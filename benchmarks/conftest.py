@@ -1,0 +1,17 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures (fast
+parameter sweeps by default; set REPRO_FULL=1 for the full-scale runs)
+and asserts the *shape* of the result — who wins, by roughly what
+factor, where crossovers fall — mirroring the claims of the paper.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    """True when REPRO_FULL=1: run the paper-scale parameter sweeps."""
+    return os.environ.get("REPRO_FULL", "0") == "1"

@@ -1,0 +1,37 @@
+"""Benchmark regenerating Figure 15: LU speedup, pipelined vs barrier.
+
+Paper claim: the fully pipelined graph (stream operations) clearly beats
+the variant with merge+split barriers, with the gap growing with node
+count; the pipelined variant reaches a speedup of ~6-7 on 8 nodes.
+"""
+
+from repro.experiments import fig15_lu_speedup
+
+
+def _check_shape(result):
+    speedups = result.data["speedups"]
+    nodes = sorted({p for (_, p) in speedups})
+    # pipelined >= barrier everywhere
+    for p in nodes:
+        assert speedups[("pipelined", p)] >= speedups[("non-pipelined", p)]
+    # the gap grows with node count
+    first, last = nodes[0], nodes[-1]
+    gap_first = speedups[("pipelined", first)] / speedups[("non-pipelined", first)]
+    gap_last = speedups[("pipelined", last)] / speedups[("non-pipelined", last)]
+    assert gap_last > gap_first
+    # decent absolute scaling of the pipelined variant
+    assert speedups[("pipelined", last)] > 0.55 * last
+    # both curves increase monotonically with nodes
+    for variant in ("pipelined", "non-pipelined"):
+        seq = [speedups[(variant, p)] for p in nodes]
+        assert all(b > a for a, b in zip(seq, seq[1:])), (variant, seq)
+
+
+def test_fig15_lu_speedup(benchmark, full_scale):
+    result = benchmark.pedantic(
+        lambda: fig15_lu_speedup.run(fast=not full_scale),
+        rounds=1, iterations=1,
+    )
+    _check_shape(result)
+    print()
+    print(result.report())

@@ -1,0 +1,34 @@
+"""Benchmark regenerating Figure 6: ring throughput, DPS vs raw sockets.
+
+Paper claim: sockets rise from a few MB/s at 1 KB transfers to a
+~35-40 MB/s plateau; DPS sits below sockets for small transfers and
+converges to the socket curve for large ones.
+"""
+
+from repro.experiments import fig6_throughput
+
+
+def _check_shape(result):
+    sizes = result.data["size"]
+    sock = result.data["sockets"]
+    dps = result.data["dps"]
+    # socket curve rises monotonically to a plateau near the NIC rate
+    assert all(b >= a for a, b in zip(sock, sock[1:]))
+    assert sock[-1] > 35.0
+    assert sock[0] < 10.0
+    # DPS is always below sockets ...
+    assert all(d < s for d, s in zip(dps, sock))
+    # ... clearly below at 1 KB ...
+    assert dps[0] / sock[0] < 0.85
+    # ... and converged at 1 MB
+    assert dps[-1] / sock[-1] > 0.92
+
+
+def test_fig6_ring_throughput(benchmark, full_scale):
+    result = benchmark.pedantic(
+        lambda: fig6_throughput.run(fast=not full_scale),
+        rounds=1, iterations=1,
+    )
+    _check_shape(result)
+    print()
+    print(result.report())

@@ -1,0 +1,41 @@
+"""Benchmark regenerating Figure 9: Game of Life speedups.
+
+Paper claim: the improved flow graph (border exchange overlapped with the
+center computation) outperforms the standard one everywhere; the gap is
+most pronounced for the smallest world; large worlds scale near-linearly.
+"""
+
+from repro.experiments import fig9_gol_speedup
+
+
+def _check_shape(result):
+    speedups = result.data["speedups"]
+    worlds = sorted({w for (w, _, _) in speedups})
+    nodes = sorted({p for (_, _, p) in speedups})
+    top = nodes[-1]
+    for w in worlds:
+        for p in nodes:
+            imp = speedups[(w, "imp", p)]
+            std = speedups[(w, "std", p)]
+            # improved graph is never slower (tiny tolerance at p=1
+            # where the two graphs coincide)
+            assert imp >= std * 0.99, (w, p, imp, std)
+    # gap at the largest node count shrinks as the world grows
+    gaps = [speedups[(w, "imp", top)] / speedups[(w, "std", top)]
+            for w in worlds]
+    cells = [eval(w.replace("x", "*")) for w in worlds]
+    ordered = [g for _, g in sorted(zip(cells, gaps))]
+    assert ordered[0] >= ordered[-1], (worlds, gaps)
+    # the biggest world scales well
+    biggest = max(worlds, key=lambda w: eval(w.replace("x", "*")))
+    assert speedups[(biggest, "imp", top)] > 0.8 * top
+
+
+def test_fig9_gol_speedup(benchmark, full_scale):
+    result = benchmark.pedantic(
+        lambda: fig9_gol_speedup.run(fast=not full_scale),
+        rounds=1, iterations=1,
+    )
+    _check_shape(result)
+    print()
+    print(result.report())

@@ -1,0 +1,42 @@
+"""Benchmark of the lazy application-launch behaviour (paper §4).
+
+"This strategy minimizes resource consumption and enables dynamic
+mapping of threads to processing nodes at runtime.  However, this
+approach requires a slightly longer startup time (e.g. one second on an
+8 node system)."
+
+The first activation of a graph spanning N nodes pays each node's
+application-launch delay as tokens first reach it; subsequent
+activations run at steady state.
+"""
+
+from repro.apps.strings import StringToken, build_uppercase_graph
+from repro.cluster import paper_cluster
+from repro.runtime import SimEngine
+
+
+def _startup_overhead(n_nodes: int) -> tuple:
+    engine = SimEngine(paper_cluster(n_nodes))
+    workers = " ".join(f"node{i:02d}" for i in range(1, n_nodes + 1))
+    graph, *_ = build_uppercase_graph("node01", workers)
+    cold = engine.run(graph, StringToken("x" * n_nodes)).makespan
+    warm = engine.run(graph, StringToken("x" * n_nodes)).makespan
+    return cold, warm
+
+
+def test_lazy_startup_cost(benchmark):
+    def sweep():
+        return {n: _startup_overhead(n) for n in (1, 2, 4, 8)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    overheads = {n: cold - warm for n, (cold, warm) in results.items()}
+    # startup overhead grows with node count ...
+    assert overheads[8] > overheads[4] > overheads[1]
+    # ... and lands in the paper's ballpark: ~1 s for the 8-node system
+    assert 0.3 < results[8][0] < 3.0
+    # warm runs are milliseconds, not seconds
+    assert results[8][1] < 0.1
+    print()
+    for n, (cold, warm) in results.items():
+        print(f"{n} nodes: first activation {cold * 1e3:7.1f} ms, "
+              f"steady state {warm * 1e3:6.2f} ms")

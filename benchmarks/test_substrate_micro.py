@@ -1,0 +1,76 @@
+"""Micro-benchmarks of the substrates (real wall-clock performance).
+
+These guard the usability of the reproduction itself: wire-format
+throughput, simulation-kernel event rate, and end-to-end engine token
+rate.  Thresholds are deliberately loose (CI machines vary); the
+benchmark table is the real signal.
+"""
+
+import numpy as np
+
+from repro.apps.strings import StringToken, build_uppercase_graph
+from repro.cluster import paper_cluster
+from repro.runtime import SimEngine
+from repro.serial import Buffer, ComplexToken, decode, encode
+from repro.simkernel import Simulator
+
+
+class MicroToken(ComplexToken):
+    def __init__(self, payload=None, seq=0):
+        self.payload = Buffer(payload if payload is not None else [])
+        self.seq = seq
+
+
+def test_wire_encode_decode_throughput(benchmark):
+    """Round-trip a 1 MB numpy payload through the wire format."""
+    tok = MicroToken(np.random.default_rng(0).random(131_072), 7)  # 1 MiB
+
+    def roundtrip():
+        return decode(encode(tok))
+
+    out = benchmark(roundtrip)
+    assert out.seq == 7
+    assert np.array_equal(out.payload.array, tok.payload.array)
+
+
+def test_wire_small_token_rate(benchmark):
+    """Encode+decode of small control-sized tokens."""
+    tok = MicroToken(np.arange(4, dtype=np.int64), 1)
+
+    def burst():
+        for _ in range(1000):
+            decode(encode(tok))
+
+    benchmark(burst)
+
+
+def test_simkernel_event_rate(benchmark):
+    """Raw event throughput of the discrete-event kernel."""
+
+    def run_events():
+        sim = Simulator()
+
+        def ping(sim, n):
+            for _ in range(n):
+                yield sim.timeout(1.0)
+
+        for _ in range(10):
+            sim.spawn(ping(sim, 1000))
+        sim.run()
+        return sim.now
+
+    now = benchmark(run_events)
+    assert now == 1000.0
+
+
+def test_engine_token_rate(benchmark):
+    """End-to-end schedule throughput: tokens through split>>leaf>>merge."""
+
+    def run_schedule():
+        engine = SimEngine(paper_cluster(3))
+        graph, *_ = build_uppercase_graph("node01", "node02 node03")
+        result = engine.run(graph, StringToken("a" * 300))
+        return result.token.text
+
+    text = benchmark.pedantic(run_schedule, rounds=3, iterations=1)
+    assert text == "A" * 300

@@ -1,0 +1,38 @@
+"""Benchmark regenerating Table 2: graph-call overhead on a GoL service.
+
+Paper claim: while a client reads randomly-located world blocks through
+the exposed graph, call times grow with block size (1.66 ms -> 130 ms),
+call rates fall correspondingly (66.8/s -> 6.9/s), and the simulation
+iteration slows only moderately — implicit overlap keeps calls cheap.
+"""
+
+from repro.experiments import table2_services
+
+
+def _check_shape(result):
+    data = result.data
+    blocks = [k for k in data if k != "none"]
+    # sort by block area
+    blocks.sort(key=lambda k: eval(k.replace("x", "*")))
+    calls = [data[b]["call_ms"] for b in blocks]
+    rates = [data[b]["cps"] for b in blocks]
+    iters = [data[b]["iter_ms"] for b in blocks]
+    baseline = data["none"]["iter_ms"]
+    # call time grows monotonically with block size, call rate falls
+    assert all(b > a for a, b in zip(calls, calls[1:])), calls
+    assert all(b < a for a, b in zip(rates, rates[1:])), rates
+    # small calls are millisecond-scale and frequent
+    assert calls[0] < 5.0
+    assert rates[0] > 30.0
+    # iterations keep running: the impact stays well under 2x
+    assert all(i < 2.0 * baseline for i in iters), (baseline, iters)
+
+
+def test_table2_graph_calls(benchmark, full_scale):
+    result = benchmark.pedantic(
+        lambda: table2_services.run(fast=not full_scale),
+        rounds=1, iterations=1,
+    )
+    _check_shape(result)
+    print()
+    print(result.report())

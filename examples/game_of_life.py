@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Distributed Game of Life with a live visualization client.
+
+Runs the paper's flagship application (section 5) on a simulated 4-node
+cluster: the world is band-distributed, iterations use the improved flow
+graph (border exchange overlapped with the center computation), and a
+separate client application reads world blocks through the exposed
+parallel-service graph while the simulation keeps iterating (Figure 10).
+
+Run:  python examples/game_of_life.py
+"""
+
+import numpy as np
+
+from repro.apps.gameoflife import life_step
+from repro.apps.gol_service import GameOfLifeService
+from repro.cluster import paper_cluster
+from repro.runtime import SimEngine
+
+
+def glider_world(rows: int = 48, cols: int = 64) -> np.ndarray:
+    """A world seeded with a few gliders plus random noise."""
+    rng = np.random.default_rng(2003)
+    world = (rng.random((rows, cols)) < 0.08).astype(np.uint8)
+    glider = np.array([[0, 1, 0], [0, 0, 1], [1, 1, 1]], dtype=np.uint8)
+    for r, c in ((2, 2), (10, 30), (30, 12)):
+        world[r : r + 3, c : c + 3] = glider
+    return world
+
+
+def render(block: np.ndarray) -> str:
+    return "\n".join("".join("#" if v else "." for v in row) for row in block)
+
+
+def main() -> None:
+    world = glider_world()
+    engine = SimEngine(paper_cluster(4, flops=200e6))
+    gol = GameOfLifeService(engine, world, engine.cluster.node_names)
+    gol.load()
+
+    # a visualization client polling a 12x40 window via the read graph,
+    # concurrently with the iterations (driver process in virtual time)
+    snapshots = []
+
+    def viz_client(sim):
+        for _ in range(6):
+            result = yield gol.start_read(0, 0, 12, 40)
+            snapshots.append((sim.now, result.token.data.array))
+            yield sim.timeout(0.002)
+
+    engine.spawn(viz_client(engine.sim), name="viz")
+
+    reference = world
+    for i in range(8):
+        r = gol.step(improved=True)
+        reference = life_step(reference)
+        print(f"iteration {i + 1}: {r.makespan * 1e3:6.2f} ms virtual")
+    engine.run_to_completion()
+
+    final = gol.gather()
+    assert np.array_equal(final, reference), "distributed result diverged!"
+    print(f"\nresult verified against the reference stepping "
+          f"({final.sum()} live cells)")
+    print(f"\nviz client captured {len(snapshots)} frames while iterating;"
+          f" last frame (12x40 window):")
+    print(render(snapshots[-1][1]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Distributed block LU factorization with dynamic graph construction.
+
+The paper's most intricate example (section 5): the flow graph is built
+at runtime to fit the matrix — one pipelined "gray segment" per block
+column (Figure 12) — and stream operations let the next panel
+factorization start before the previous stage's multiplications have all
+finished (Figure 13).
+
+This example factors a 256×256 matrix on 4 simulated nodes, verifies
+P·A = L·U, solves a linear system through the factors, and compares the
+pipelined graph against the merge+split barrier variant.
+
+Run:  python examples/lu_factorization.py
+"""
+
+import numpy as np
+from scipy.linalg import solve_triangular
+
+from repro.apps.lu import DistributedLU
+from repro.cluster import paper_cluster
+from repro.runtime import SimEngine
+
+
+def factor(pipelined: bool, a: np.ndarray):
+    engine = SimEngine(paper_cluster(4, flops=80e6))
+    lu = DistributedLU(
+        engine, a, s=8, worker_nodes=engine.cluster.node_names,
+        pipelined=pipelined,
+        scale=8.0,  # price the run as if the matrix were 2048x2048
+    )
+    lu.load()
+    result = lu.run()
+    return lu, result
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    n = 256
+    a = rng.standard_normal((n, n)) + n * np.eye(n)
+
+    lu, res_pipe = factor(True, a)
+    print(f"pipelined factorization : {res_pipe.makespan:8.2f} s virtual "
+          f"(graph: {len(lu.lu_graph.node_ids)} nodes, built dynamically)")
+    assert lu.check(), "P*A != L*U"
+    print("verified: P*A = L*U")
+
+    # solve A x = b through the distributed factors
+    order, l, u = lu.factors()
+    b = rng.standard_normal(n)
+    y = solve_triangular(l, b[order], lower=True, unit_diagonal=True)
+    x = solve_triangular(u, y)
+    print(f"solve residual |Ax-b| = {np.abs(a @ x - b).max():.2e}")
+
+    _, res_barrier = factor(False, a)
+    print(f"barrier variant         : {res_barrier.makespan:8.2f} s virtual")
+    print(f"stream-operation pipelining wins by "
+          f"{res_barrier.makespan / res_pipe.makespan:.2f}x "
+          f"(the Figure 15 effect)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Out-of-core 3-D volume slice server — the original DPS workload.
+
+The parallel-schedules approach was first validated on out-of-core
+parallel access to 3-D volume images and the streaming "beating heart"
+slice server (paper §1).  This example distributes a synthetic volume
+over four storage nodes and serves orthogonal slices: a streaming viewer
+requests a sweep of cross-sections while the service pipelines the
+extent reads underneath.
+
+Run:  python examples/slice_server.py
+"""
+
+import numpy as np
+
+from repro.apps.volume import DistributedVolume
+from repro.cluster import paper_cluster
+from repro.runtime import SimEngine
+from repro.trace import Tracer, utilization_report
+
+
+def synthetic_volume(depth=64, rows=64, cols=64) -> np.ndarray:
+    """A volume with a bright tilted ellipsoid inside (something to see)."""
+    z, y, x = np.mgrid[0:depth, 0:rows, 0:cols].astype(np.float64)
+    z, y, x = z - depth / 2, y - rows / 2, x - cols / 2
+    r2 = (z / (depth * 0.35)) ** 2 + ((y + z * 0.2) / (rows * 0.25)) ** 2 \
+        + (x / (cols * 0.3)) ** 2
+    return np.where(r2 < 1.0, 200, 20).astype(np.uint8)
+
+
+def render(slice2d: np.ndarray, step: int = 2) -> str:
+    glyphs = " .:-=+*#%@"
+    scaled = (slice2d[::step, ::step].astype(int) * (len(glyphs) - 1)) // 255
+    return "\n".join("".join(glyphs[v] for v in row) for row in scaled)
+
+
+def main() -> None:
+    volume = synthetic_volume()
+    tracer = Tracer()
+    engine = SimEngine(paper_cluster(4), tracer=tracer)
+    server = DistributedVolume(engine, volume, engine.cluster.node_names)
+    load = server.load()
+    print(f"loaded {volume.nbytes >> 10} KiB over 4 storage nodes in "
+          f"{load.makespan * 1e3:.1f} ms virtual")
+
+    # a streaming viewer sweeps through y-slices; requests pipeline
+    frames = []
+
+    def viewer(sim):
+        pending = [server.start_slice(1, y) for y in range(8, 56, 8)]
+        for ev in pending:
+            result = yield ev
+            frames.append(result.token.data.array)
+
+    engine.spawn(viewer(engine.sim), name="viewer")
+    t0 = engine.sim.now
+    engine.run_to_completion()
+    print(f"streamed {len(frames)} cross-sections in "
+          f"{(engine.sim.now - t0) * 1e3:.1f} ms virtual "
+          f"(pipelined across the extents)\n")
+
+    mid = frames[len(frames) // 2]
+    assert np.array_equal(mid, volume[:, 8 + 8 * (len(frames) // 2), :])
+    print("middle cross-section (depth x cols):")
+    print(render(mid))
+    print()
+    print(utilization_report(engine))
+
+
+if __name__ == "__main__":
+    main()

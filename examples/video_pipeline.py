@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Streaming video recomposition — the stream-operation showcase (Fig. 4).
+
+Partial frames stored on a 4-node disk array are recomposed into complete
+frames and processed on two compute nodes.  The stream operation forwards
+each frame as soon as its parts have arrived; this example contrasts it
+with a merge+split barrier that waits for the entire read phase.
+
+Run:  python examples/video_pipeline.py
+"""
+
+from repro.apps.video import VideoJob, run_video_pipeline
+from repro.cluster import paper_cluster
+
+
+def main() -> None:
+    spec = paper_cluster(6)
+    disks = ["node01", "node02", "node03", "node04"]
+    procs = ["node05", "node06"]
+    job = VideoJob(n_frames=24, frame_bytes=1 << 20, n_parts=4)
+    print(f"{job.n_frames} frames of {job.frame_bytes >> 10} KiB, "
+          f"{job.n_parts} partial frames each, "
+          f"{len(disks)}-disk array, {len(procs)} processing nodes\n")
+
+    stream = run_video_pipeline(spec, job, disks, procs, use_stream=True)
+    barrier = run_video_pipeline(spec, job, disks, procs, use_stream=False)
+    assert stream.checksum == barrier.checksum  # identical results
+
+    fmt = "{:28} {:>12} {:>16}"
+    print(fmt.format("", "makespan", "first frame out"))
+    print(fmt.format("stream operation",
+                     f"{stream.makespan:.3f} s",
+                     f"{stream.first_frame_latency * 1e3:.1f} ms"))
+    print(fmt.format("merge+split barrier",
+                     f"{barrier.makespan:.3f} s",
+                     f"{barrier.first_frame_latency * 1e3:.1f} ms"))
+    print(f"\nthe stream starts processing "
+          f"{barrier.first_frame_latency / stream.first_frame_latency:.1f}x "
+          f"earlier and finishes "
+          f"{barrier.makespan / stream.makespan:.2f}x sooner")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Reproduction of "DPS - Dynamic Parallel Schedules" (Gerlach & Hersch,
+HIPS/IPDPS 2003).
+
+A dataflow framework for parallel applications on distributed-memory
+clusters: compositional split-compute-merge flow graphs with stream
+operations, dynamic thread-collection mapping, implicit pipelining and
+overlap of computation and communication, flow control, and parallel
+services — executed either on a deterministic simulated cluster
+(:class:`~repro.runtime.SimEngine`, virtual time) or on real OS threads
+(:class:`~repro.runtime.threaded_engine.ThreadedEngine`).
+
+Quick tour::
+
+    from repro import (
+        SimEngine, paper_cluster, ThreadCollection, DpsThread,
+        Flowgraph, FlowgraphNode, SplitOperation, LeafOperation,
+        MergeOperation, ConstantRoute, RoundRobinRoute,
+    )
+
+See ``examples/quickstart.py`` and the README for the full story; the
+``repro.experiments`` package regenerates every table and figure of the
+paper's evaluation (``python -m repro.cli all --fast``).
+"""
+
+from .cluster import (
+    Cluster,
+    ClusterSpec,
+    NetworkSpec,
+    NodeSpec,
+    paper_cluster,
+)
+from .core import (
+    ConstantRoute,
+    DpsThread,
+    FlowControlPolicy,
+    Flowgraph,
+    FlowgraphBuilder,
+    FlowgraphNode,
+    GraphError,
+    LeafOperation,
+    LoadBalancedRoute,
+    MergeOperation,
+    Operation,
+    Route,
+    RoundRobinRoute,
+    SplitOperation,
+    StreamOperation,
+    ThreadCollection,
+    route_fn,
+)
+from .runtime import Application, RunResult, ScheduleError, SimEngine
+from .runtime.threaded_engine import ThreadedEngine
+from .serial import Buffer, ComplexToken, SimpleToken, Token, Vector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Application",
+    "Buffer",
+    "Cluster",
+    "ClusterSpec",
+    "ComplexToken",
+    "ConstantRoute",
+    "DpsThread",
+    "FlowControlPolicy",
+    "Flowgraph",
+    "FlowgraphBuilder",
+    "FlowgraphNode",
+    "GraphError",
+    "LeafOperation",
+    "LoadBalancedRoute",
+    "MergeOperation",
+    "NetworkSpec",
+    "NodeSpec",
+    "Operation",
+    "Route",
+    "RoundRobinRoute",
+    "RunResult",
+    "ScheduleError",
+    "SimEngine",
+    "SimpleToken",
+    "SplitOperation",
+    "StreamOperation",
+    "ThreadCollection",
+    "ThreadedEngine",
+    "Token",
+    "Vector",
+    "paper_cluster",
+    "route_fn",
+]

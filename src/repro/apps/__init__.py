@@ -1,0 +1,28 @@
+"""Applications from the paper and its lineage: tutorial strings, ring
+transfer, block matmul, Game of Life (+ parallel service), block LU
+factorization, video pipeline, 3-D volume slice server, radio
+listening rates."""
+
+from . import (
+    gameoflife,
+    gol_service,
+    lu,
+    matmul,
+    radio,
+    ring,
+    strings,
+    video,
+    volume,
+)
+
+__all__ = [
+    "gameoflife",
+    "gol_service",
+    "lu",
+    "matmul",
+    "radio",
+    "ring",
+    "strings",
+    "video",
+    "volume",
+]

@@ -1,0 +1,192 @@
+"""Game of Life as a parallel service (paper Figure 10 and Table 2).
+
+The paper extends the Game of Life with an additional graph returning the
+current state of a world subset, possibly distributed over several compute
+nodes.  A visualization client calls this graph — an inter-application
+graph call that the client sees as a simple leaf operation, preserving
+pipelining and token queuing.
+
+:class:`GameOfLifeService` adds that ``read`` graph: the split posts one
+read-part request per worker whose band intersects the requested block,
+workers copy the overlapping part out of their band (charging memory-read
+time), and the merge reassembles the block.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..cluster import costs
+from ..core import (
+    Flowgraph,
+    FlowgraphNode,
+    LeafOperation,
+    MergeOperation,
+    SplitOperation,
+    route_fn,
+)
+from ..runtime import SimEngine
+from ..serial import Buffer, ComplexToken, SimpleToken
+from ..simkernel import Event
+from .gameoflife import (
+    DistributedGameOfLife,
+    GolExchangeThread,
+    GolMasterThread,
+)
+
+__all__ = ["GolReadRequest", "GolBlockToken", "GameOfLifeService"]
+
+
+class GolReadRequest(SimpleToken):
+    """Read the block ``[row:row+height, col:col+width]`` of the world."""
+
+    def __init__(self, row: int = 0, col: int = 0,
+                 height: int = 0, width: int = 0):
+        self.row = row
+        self.col = col
+        self.height = height
+        self.width = width
+
+
+class GolReadPartCmd(SimpleToken):
+    def __init__(self, worker: int = 0, row0: int = 0, row1: int = 0,
+                 col: int = 0, width: int = 0, out_row: int = 0):
+        self.worker = worker
+        self.row0 = row0          # global start row of the part
+        self.row1 = row1          # global end row (exclusive)
+        self.col = col
+        self.width = width
+        self.out_row = out_row    # row offset within the output block
+
+
+class GolBlockPart(ComplexToken):
+    def __init__(self, worker: int = 0, out_row: int = 0, data=None):
+        self.worker = worker
+        self.out_row = out_row
+        self.data = Buffer(data if data is not None else [])
+
+
+class GolBlockToken(ComplexToken):
+    """The assembled world subset returned to the caller."""
+
+    def __init__(self, data=None, row: int = 0, col: int = 0):
+        self.data = Buffer(data if data is not None else [])
+        self.row = row
+        self.col = col
+
+
+_PartByWorker = route_fn("GolPartByWorker", lambda tok, n: tok.worker % n)
+
+
+class GolReadSplit(SplitOperation):
+    """(a) split the request to the workers owning intersecting bands."""
+
+    thread_type = GolMasterThread
+    in_types = (GolReadRequest,)
+    out_types = (GolReadPartCmd,)
+
+    #: global band boundaries (len n_workers+1); set by the class factory
+    bounds: tuple = (0, 0)
+
+    def execute(self, tok: GolReadRequest):
+        r0, r1 = tok.row, tok.row + tok.height
+        bounds = self.bounds
+        if not (0 <= r0 < r1 <= bounds[-1]):
+            raise ValueError(
+                f"read rows [{r0}, {r1}) outside world of {bounds[-1]} rows"
+            )
+        posted = 0
+        for w in range(len(bounds) - 1):
+            lo = max(r0, bounds[w])
+            hi = min(r1, bounds[w + 1])
+            if lo < hi:
+                self.post(GolReadPartCmd(
+                    worker=w, row0=lo, row1=hi, col=tok.col,
+                    width=tok.width, out_row=lo - r0,
+                ))
+                posted += 1
+        if posted == 0:  # pragma: no cover - excluded by the range check
+            raise ValueError("read request intersects no band")
+
+
+class GolReadPart(LeafOperation):
+    """(b) copy the overlapping band rows; charge the per-cell read cost."""
+
+    thread_type = GolExchangeThread
+    in_types = (GolReadPartCmd,)
+    out_types = (GolBlockPart,)
+
+    def execute(self, tok: GolReadPartCmd):
+        t = self.thread
+        lo = tok.row0 - t.row_start
+        hi = tok.row1 - t.row_start
+        part = t.band[lo:hi, tok.col:tok.col + tok.width].copy()
+        yield self.charge_flops(costs.gol_read_flops(part.size))
+        yield self.post(GolBlockPart(tok.worker, tok.out_row, part))
+
+
+class GolReadMerge(MergeOperation):
+    """(c) merge the parts into the requested subset."""
+
+    thread_type = GolMasterThread
+    in_types = (GolBlockPart,)
+    out_types = (GolBlockToken,)
+
+    def execute(self, tok: GolBlockPart):
+        parts = []
+        while tok is not None:
+            parts.append((tok.out_row, tok.data.array))
+            tok = yield self.next_token()
+        parts.sort(key=lambda p: p[0])
+        yield self.post(GolBlockToken(np.vstack([p[1] for p in parts])))
+
+
+class GameOfLifeService(DistributedGameOfLife):
+    """A Game of Life that additionally exposes the world-read graph.
+
+    ``read_graph`` is registered with the engine under
+    ``gol<uid>.read``; clients may call it by name through
+    :meth:`~repro.core.ops.Operation.call_graph` (inter-application graph
+    call) or drive it directly with :meth:`read_block` /
+    :meth:`start_read`.
+    """
+
+    def __init__(self, engine: SimEngine, world, worker_nodes: List[str],
+                 master_node: Optional[str] = None):
+        super().__init__(engine, world, worker_nodes, master_node)
+        rows = self.world0.shape[0]
+        bounds = tuple(
+            int(b) for b in np.linspace(0, rows, self.n_workers + 1).astype(int)
+        )
+        uid = self.load_graph.name.split(".")[0]  # "gol<uid>"
+        split_cls = type(f"GolReadSplit_{uid}", (GolReadSplit,),
+                         {"bounds": bounds})
+        b = (
+            FlowgraphNode(split_cls, self._master)
+            >> FlowgraphNode(GolReadPart, self._exchange, _PartByWorker)
+            >> FlowgraphNode(GolReadMerge, self._master)
+        )
+        self.read_graph = Flowgraph(b, f"{uid}.read")
+        engine.register_graph(self.read_graph, app_name=uid)
+
+    @property
+    def read_graph_name(self) -> str:
+        return self.read_graph.name
+
+    def read_block(self, row: int, col: int, height: int, width: int) -> np.ndarray:
+        """Synchronous block read (runs the engine to completion)."""
+        result = self.engine.run(
+            self.read_graph, GolReadRequest(row, col, height, width)
+        )
+        return result.token.data.array
+
+    def start_read(self, row: int, col: int, height: int, width: int,
+                   driver_node: Optional[str] = None) -> Event:
+        """Asynchronous read for driver processes; succeeds with RunResult."""
+        return self.engine.start(
+            self.read_graph,
+            GolReadRequest(row, col, height, width),
+            driver_node=driver_node,
+        )

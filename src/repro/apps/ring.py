@@ -1,0 +1,258 @@
+"""Ring round-trip transfer — the communication-overhead experiment (Fig. 6).
+
+The paper evaluates DPS's communication overhead by sending 100 MB along a
+ring of 4 PCs, each machine forwarding blocks as soon as received, and
+comparing the steady-state throughput of (a) raw socket transfers against
+(b) the same payloads embedded in DPS data objects.
+
+This module provides both sides:
+
+- :func:`run_socket_ring` — blocks flow hop-by-hop straight through the
+  network model (no DPS headers, no serialization CPU cost): the baseline.
+- :func:`run_dps_ring` — the same traffic expressed as a DPS flow graph
+  ``split >> forward >> forward >> ... >> merge`` with one collection per
+  hop; tokens carry a :class:`~repro.serial.Buffer` payload and therefore
+  pay the DPS control-structure header and per-message serialization CPU,
+  which is exactly the overhead Figure 6 quantifies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..cluster import Cluster, ClusterSpec
+from ..core import (
+    ConstantRoute,
+    DpsThread,
+    FlowControlPolicy,
+    Flowgraph,
+    FlowgraphNode,
+    LeafOperation,
+    MergeOperation,
+    SplitOperation,
+    ThreadCollection,
+)
+from ..runtime import SimEngine
+from ..serial import Buffer, ComplexToken, SimpleToken
+from ..simkernel import Simulator
+
+__all__ = [
+    "RingResult",
+    "run_socket_ring",
+    "run_dps_ring",
+    "build_ring_graph",
+]
+
+
+@dataclass
+class RingResult:
+    """Outcome of one ring sweep point.
+
+    ``throughput`` is the *steady-state* rate, measured over the last 80%
+    of blocks so the pipeline-fill ramp does not bias large-block points
+    (the paper reports steady-state throughput).
+    """
+
+    block_bytes: int
+    total_bytes: int
+    elapsed: float
+    #: time when the first 20% of blocks had completed the round trip
+    warm_time: float = 0.0
+    #: bytes completed during that warm-up window
+    warm_bytes: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Per-node steady-state throughput in bytes/second."""
+        window = self.elapsed - self.warm_time
+        if window <= 0:
+            return self.total_bytes / self.elapsed if self.elapsed else 0.0
+        return (self.total_bytes - self.warm_bytes) / window
+
+    @property
+    def throughput_mb(self) -> float:
+        return self.throughput / 1e6
+
+
+# ---------------------------------------------------------------------------
+# baseline: raw socket forwarding
+# ---------------------------------------------------------------------------
+
+def run_socket_ring(
+    spec: ClusterSpec, block_bytes: int, total_bytes: int
+) -> RingResult:
+    """Forward blocks around the ring with bare network transfers."""
+    if block_bytes <= 0 or total_bytes <= 0:
+        raise ValueError("block and total sizes must be positive")
+    sim = Simulator()
+    cluster = Cluster(sim, spec)
+    names = cluster.node_names
+    if len(names) < 2:
+        raise ValueError("the ring needs at least 2 nodes")
+    nodes = [cluster.node(n) for n in names]
+    n_blocks = math.ceil(total_bytes / block_bytes)
+    remaining = [n_blocks]
+    completions: List[float] = []
+
+    def forward(block_id: int, hop: int) -> None:
+        if hop == len(nodes):
+            remaining[0] -= 1
+            completions.append(sim.now)
+            return
+        # hop h moves the block from nodes[h] to nodes[(h+1) % len]
+        ev = cluster.network.transfer(
+            nodes[hop], nodes[(hop + 1) % len(nodes)], block_bytes
+        )
+        ev.add_callback(lambda _ev, b=block_id, h=hop: forward(b, h + 1))
+
+    for block_id in range(n_blocks):
+        forward(block_id, 0)
+    elapsed = sim.run()
+    if remaining[0] != 0:  # pragma: no cover - defensive
+        raise RuntimeError("ring transfer did not drain")
+    warm_count = max(1, n_blocks // 5)
+    warm_time = completions[warm_count - 1] if n_blocks > 1 else 0.0
+    warm_bytes = warm_count * block_bytes if n_blocks > 1 else 0
+    return RingResult(block_bytes, n_blocks * block_bytes, elapsed,
+                      warm_time, warm_bytes)
+
+
+# ---------------------------------------------------------------------------
+# DPS version
+# ---------------------------------------------------------------------------
+
+class RingBlockToken(ComplexToken):
+    """A payload block travelling around the ring."""
+
+    def __init__(self, data=None, seq: int = 0, n_blocks: int = 0):
+        self.data = data if data is not None else Buffer([])
+        self.seq = seq
+        self.n_blocks = n_blocks
+
+
+class RingJobToken(SimpleToken):
+    """Describes the whole transfer: block size and count."""
+
+    def __init__(self, block_bytes: int = 0, n_blocks: int = 0):
+        self.block_bytes = block_bytes
+        self.n_blocks = n_blocks
+
+
+class RingDoneToken(SimpleToken):
+    def __init__(self, blocks: int = 0, received_bytes: int = 0,
+                 warm_time: float = 0.0, warm_blocks: int = 0,
+                 last_time: float = 0.0):
+        self.blocks = blocks
+        self.received_bytes = received_bytes
+        #: time when the warm-up fraction of blocks had arrived
+        self.warm_time = warm_time
+        self.warm_blocks = warm_blocks
+        #: arrival time of the final block
+        self.last_time = last_time
+
+
+class RingThread(DpsThread):
+    pass
+
+
+class RingSource(SplitOperation):
+    """Emit the block tokens (hop 0 of the ring)."""
+
+    thread_type = RingThread
+    in_types = (RingJobToken,)
+    out_types = (RingBlockToken,)
+
+    def execute(self, tok: RingJobToken):
+        payload = np.zeros(tok.block_bytes, dtype=np.uint8)
+        for seq in range(tok.n_blocks):
+            self.post(RingBlockToken(Buffer(payload), seq, tok.n_blocks))
+
+
+class RingForward(LeafOperation):
+    """Forward the block to the next hop as soon as it arrives."""
+
+    thread_type = RingThread
+    in_types = (RingBlockToken,)
+    out_types = (RingBlockToken,)
+
+    def execute(self, tok: RingBlockToken):
+        self.post(RingBlockToken(tok.data, tok.seq, tok.n_blocks))
+
+
+class RingSink(MergeOperation):
+    """Count blocks completing the round trip; record warm-up timing."""
+
+    thread_type = RingThread
+    in_types = (RingBlockToken,)
+    out_types = (RingDoneToken,)
+
+    def execute(self, tok: RingBlockToken):
+        blocks = 0
+        received = 0
+        warm_count = max(1, tok.n_blocks // 5)
+        warm_time = 0.0
+        last = 0.0
+        while tok is not None:
+            blocks += 1
+            received += tok.data.nbytes
+            last = self.now()
+            if blocks == warm_count:
+                warm_time = last
+            tok = yield self.next_token()
+        yield self.post(RingDoneToken(blocks, received, warm_time,
+                                      warm_count, last))
+
+
+def build_ring_graph(node_names: List[str]) -> Flowgraph:
+    """``split >> forward*(n-1) >> merge`` with one hop per ring node.
+
+    The source and sink live on the first node; each forward hop on the
+    next node, so every block crosses ``len(node_names)`` NICs — the same
+    traffic pattern as the socket baseline.
+    """
+    if len(node_names) < 2:
+        raise ValueError("the ring needs at least 2 nodes")
+    head = ThreadCollection(RingThread, "ring-head").map(node_names[0])
+    builder = FlowgraphNode(RingSource, head, ConstantRoute).as_builder()
+    for i, name in enumerate(node_names[1:], start=1):
+        hop = ThreadCollection(RingThread, f"ring-hop{i}").map(name)
+        builder = builder >> FlowgraphNode(RingForward, hop, ConstantRoute)
+    builder = builder >> FlowgraphNode(RingSink, head, ConstantRoute)
+    return Flowgraph(builder, "ring")
+
+
+def run_dps_ring(
+    spec: ClusterSpec,
+    block_bytes: int,
+    total_bytes: int,
+    window: int | None = 64,
+) -> RingResult:
+    """Run the DPS ring and measure round-trip throughput."""
+    if block_bytes <= 0 or total_bytes <= 0:
+        raise ValueError("block and total sizes must be positive")
+    n_blocks = math.ceil(total_bytes / block_bytes)
+    engine = SimEngine(
+        spec,
+        policy=FlowControlPolicy(window=window),
+        # Payload bytes are zeros; sizes come from the Buffer directly.
+        # CPU serialization costs are still charged (that's the overhead
+        # under test); only the python-level byte copying is skipped.
+        serialize_payloads=False,
+        charge_serialization=True,
+    )
+    graph = build_ring_graph(spec.node_names)
+    engine.register_graph(graph)
+    engine.prelaunch()
+    result = engine.run(graph, RingJobToken(block_bytes, n_blocks))
+    done = result.token
+    if done.blocks != n_blocks:  # pragma: no cover - defensive
+        raise RuntimeError("DPS ring lost blocks")
+    warm_time = done.warm_time - result.started_at if n_blocks > 1 else 0.0
+    warm_bytes = done.warm_blocks * block_bytes if n_blocks > 1 else 0
+    elapsed = done.last_time - result.started_at
+    return RingResult(block_bytes, n_blocks * block_bytes, elapsed,
+                      warm_time, warm_bytes)

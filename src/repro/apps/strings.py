@@ -1,0 +1,127 @@
+"""The paper's tutorial application: parallel lowercase → uppercase.
+
+Mirrors the source code of section 3 of the paper: a ``SplitString``
+operation posts one ``CharToken`` per character, ``ToUpperCase`` leaf
+operations convert characters on a collection of compute threads, and
+``MergeString`` reassembles the string in position order.
+
+This is deliberately the most literal possible transcription of the C++
+tutorial; it exists to validate the programming model and to serve as the
+quickstart example.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core import (
+    ConstantRoute,
+    DpsThread,
+    Flowgraph,
+    FlowgraphNode,
+    LeafOperation,
+    MergeOperation,
+    SplitOperation,
+    ThreadCollection,
+    route_fn,
+)
+from ..serial import ComplexToken, SimpleToken
+
+__all__ = [
+    "StringToken",
+    "CharToken",
+    "MainThread",
+    "ComputeThread",
+    "SplitString",
+    "ToUpperCase",
+    "MergeString",
+    "RoundRobinByPos",
+    "build_uppercase_graph",
+]
+
+
+class StringToken(ComplexToken):
+    """A whole character string."""
+
+    def __init__(self, text: str = ""):
+        self.text = text
+
+
+class CharToken(SimpleToken):
+    """One character and its position within the string (paper §3)."""
+
+    def __init__(self, chr: str = "", pos: int = 0, total: int = 0):
+        self.chr = chr
+        self.pos = pos
+        #: String length, carried so the merge can size its output.
+        self.total = total
+
+
+class MainThread(DpsThread):
+    """Hosts the split and merge operations."""
+
+
+class ComputeThread(DpsThread):
+    """Hosts the per-character uppercase leaf operations."""
+
+
+class SplitString(SplitOperation):
+    """Post one token for each character of the input string."""
+
+    thread_type = MainThread
+    in_types = (StringToken,)
+    out_types = (CharToken,)
+
+    def execute(self, tok: StringToken):
+        for i, c in enumerate(tok.text):
+            self.post(CharToken(c, i, len(tok.text)))
+
+
+class ToUpperCase(LeafOperation):
+    """Post the uppercase equivalent of the incoming character."""
+
+    thread_type = ComputeThread
+    in_types = (CharToken,)
+    out_types = (CharToken,)
+
+    def execute(self, tok: CharToken):
+        self.post(CharToken(tok.chr.upper(), tok.pos, tok.total))
+
+
+class MergeString(MergeOperation):
+    """Store incoming characters at their position; post the string."""
+
+    thread_type = MainThread
+    in_types = (CharToken,)
+    out_types = (StringToken,)
+
+    def execute(self, tok: CharToken):
+        chars = [""] * tok.total
+        while tok is not None:
+            chars[tok.pos] = tok.chr
+            tok = yield self.next_token()  # waitForNextToken()
+        yield self.post(StringToken("".join(chars)))
+
+
+#: The paper's ROUTE macro example:
+#: ``ROUTE(RoundRobinRoute, ComputeThread, CharToken, pos % threadCount())``
+RoundRobinByPos = route_fn("RoundRobinByPos", lambda tok, n: tok.pos % n)
+
+
+def build_uppercase_graph(
+    main_mapping: str,
+    worker_mapping: str,
+    name: str = "uppercase",
+) -> Tuple[Flowgraph, ThreadCollection, ThreadCollection]:
+    """Build the split-compute-merge tutorial graph (paper Figure 2).
+
+    Returns ``(graph, main_collection, worker_collection)``.
+    """
+    main = ThreadCollection(MainThread, "main").map(main_mapping)
+    workers = ThreadCollection(ComputeThread, "proc").map(worker_mapping)
+    builder = (
+        FlowgraphNode(SplitString, main, ConstantRoute)
+        >> FlowgraphNode(ToUpperCase, workers, RoundRobinByPos)
+        >> FlowgraphNode(MergeString, main, ConstantRoute)
+    )
+    return Flowgraph(builder, name), main, workers

@@ -1,0 +1,346 @@
+"""Parallel 3-D volume slice server — the first-generation DPS workload.
+
+The parallel-schedules approach was born on data-intensive imaging
+services (paper §1): out-of-core parallel access to 3-D volume images
+[20] and streaming real-time slice extraction from time-varying volumes
+(the 4-D beating-heart slice server [22]).  This module rebuilds that
+service on the reproduction framework:
+
+- the volume is partitioned along its depth axis into *extents*, one per
+  storage node; extents live on the node's disk (reads charge disk
+  time at :data:`VOLUME_DISK_BYTES_PER_SECOND`);
+- the exposed ``slice`` graph extracts an orthogonal slice: the split
+  intersects the requested plane with the extents, owners read and crop
+  their parts (disk + CPU charges), and the merge reassembles the slice
+  — one inter-application graph call per slice, so a visualization
+  client streams slices while other requests are in flight (pipelined
+  by construction).
+
+Axis 0 slices live in a single extent (one reader); axis 1/2 slices
+cross *every* extent — the genuinely parallel case the service exists
+for.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+import numpy as np
+
+from ..cluster import costs
+from ..core import (
+    ConstantRoute,
+    DpsThread,
+    Flowgraph,
+    FlowgraphNode,
+    LeafOperation,
+    MergeOperation,
+    SplitOperation,
+    ThreadCollection,
+    route_fn,
+)
+from ..runtime import RunResult, SimEngine
+from ..serial import Buffer, ComplexToken, SimpleToken
+from ..simkernel import Event
+
+__all__ = ["DistributedVolume", "VOLUME_DISK_BYTES_PER_SECOND"]
+
+#: sustained read bandwidth of each storage node's disk array
+VOLUME_DISK_BYTES_PER_SECOND = 25e6
+
+_instance_counter = itertools.count(1)
+
+
+# ---------------------------------------------------------------------------
+# tokens
+# ---------------------------------------------------------------------------
+
+class VolLoadToken(ComplexToken):
+    def __init__(self, volume=None):
+        self.volume = Buffer(volume if volume is not None else [])
+
+
+class VolExtentToken(ComplexToken):
+    def __init__(self, owner: int = 0, data=None, z_start: int = 0):
+        self.owner = owner
+        self.data = Buffer(data if data is not None else [])
+        self.z_start = z_start
+
+
+class VolAckToken(SimpleToken):
+    def __init__(self, owner: int = 0):
+        self.owner = owner
+
+
+class VolSyncToken(SimpleToken):
+    def __init__(self, count: int = 0):
+        self.count = count
+
+
+class VolSliceRequest(SimpleToken):
+    """Extract the orthogonal slice ``axis = index`` of the volume."""
+
+    def __init__(self, axis: int = 0, index: int = 0):
+        self.axis = axis
+        self.index = index
+
+
+class VolPartRequest(SimpleToken):
+    def __init__(self, owner: int = 0, axis: int = 0, index: int = 0,
+                 out_offset: int = 0):
+        self.owner = owner
+        self.axis = axis
+        self.index = index
+        #: row offset of this extent's contribution in the output slice
+        self.out_offset = out_offset
+
+
+class VolSlicePart(ComplexToken):
+    def __init__(self, owner: int = 0, out_offset: int = 0, data=None):
+        self.owner = owner
+        self.out_offset = out_offset
+        self.data = Buffer(data if data is not None else [])
+
+
+class VolSliceToken(ComplexToken):
+    def __init__(self, axis: int = 0, index: int = 0, data=None):
+        self.axis = axis
+        self.index = index
+        self.data = Buffer(data if data is not None else [])
+
+
+# ---------------------------------------------------------------------------
+# threads / ops
+# ---------------------------------------------------------------------------
+
+class VolMasterThread(DpsThread):
+    pass
+
+
+class VolStorageThread(DpsThread):
+    """Owns one extent of the volume (modelled as on-disk data)."""
+
+    def __init__(self):
+        self.extent: Optional[np.ndarray] = None
+        self.z_start = 0
+
+
+_ByOwner = route_fn("VolByOwner", lambda tok, n: tok.owner % n)
+
+
+class VolLoadSplit(SplitOperation):
+    thread_type = VolMasterThread
+    in_types = (VolLoadToken,)
+    out_types = (VolExtentToken,)
+
+    n_extents = 1
+
+    def execute(self, tok: VolLoadToken):
+        volume = tok.volume.array
+        bounds = np.linspace(0, volume.shape[0], self.n_extents + 1).astype(int)
+        for i in range(self.n_extents):
+            extent = np.ascontiguousarray(volume[bounds[i]:bounds[i + 1]])
+            self.post(VolExtentToken(i, extent, int(bounds[i])))
+
+
+class VolStoreExtent(LeafOperation):
+    thread_type = VolStorageThread
+    in_types = (VolExtentToken,)
+    out_types = (VolAckToken,)
+
+    def execute(self, tok: VolExtentToken):
+        t = self.thread
+        t.extent = tok.data.array.copy()
+        t.z_start = tok.z_start
+        # writing the extent to the local disk array
+        yield self.charge_seconds(t.extent.nbytes / VOLUME_DISK_BYTES_PER_SECOND)
+        yield self.post(VolAckToken(tok.owner))
+
+
+class VolSyncMerge(MergeOperation):
+    thread_type = VolMasterThread
+    in_types = (VolAckToken,)
+    out_types = (VolSyncToken,)
+
+    def execute(self, tok):
+        count = 0
+        while tok is not None:
+            count += 1
+            tok = yield self.next_token()
+        yield self.post(VolSyncToken(count))
+
+
+class VolSliceSplit(SplitOperation):
+    """(a) intersect the requested plane with the extents."""
+
+    thread_type = VolMasterThread
+    in_types = (VolSliceRequest,)
+    out_types = (VolPartRequest,)
+
+    #: extent boundaries along axis 0 (len n_extents+1)
+    bounds: tuple = (0, 0)
+    shape: tuple = (0, 0, 0)
+
+    def execute(self, tok: VolSliceRequest):
+        if not 0 <= tok.axis <= 2:
+            raise ValueError(f"axis must be 0..2, got {tok.axis}")
+        if not 0 <= tok.index < self.shape[tok.axis]:
+            raise ValueError(
+                f"slice {tok.index} outside axis {tok.axis} of size "
+                f"{self.shape[tok.axis]}"
+            )
+        if tok.axis == 0:
+            # the slice lives in exactly one extent
+            owner = int(np.searchsorted(self.bounds, tok.index, "right") - 1)
+            self.post(VolPartRequest(owner, tok.axis, tok.index, 0))
+        else:
+            # the slice crosses every extent; parts stack by z offset
+            for owner in range(len(self.bounds) - 1):
+                self.post(VolPartRequest(
+                    owner, tok.axis, tok.index, int(self.bounds[owner])
+                ))
+
+
+class VolReadPart(LeafOperation):
+    """(b) read and crop the extent's contribution from disk."""
+
+    thread_type = VolStorageThread
+    in_types = (VolPartRequest,)
+    out_types = (VolSlicePart,)
+
+    def execute(self, tok: VolPartRequest):
+        t = self.thread
+        if tok.axis == 0:
+            part = t.extent[tok.index - t.z_start].copy()
+        elif tok.axis == 1:
+            part = t.extent[:, tok.index, :].copy()
+        else:
+            part = t.extent[:, :, tok.index].copy()
+        # out-of-core access: the extent rows containing the slice are
+        # fetched from the disk array, then cropped in memory
+        yield self.charge_seconds(part.nbytes / VOLUME_DISK_BYTES_PER_SECOND)
+        yield self.charge_seconds(part.nbytes / costs.MEMCPY_BYTES_PER_SECOND)
+        yield self.post(VolSlicePart(tok.owner, tok.out_offset, part))
+
+
+class VolSliceMerge(MergeOperation):
+    """(c) reassemble the slice from the extent parts."""
+
+    thread_type = VolMasterThread
+    in_types = (VolSlicePart,)
+    out_types = (VolSliceToken,)
+
+    def execute(self, tok: VolSlicePart):
+        parts = []
+        while tok is not None:
+            parts.append((tok.out_offset, tok.data.array))
+            tok = yield self.next_token()
+        parts.sort(key=lambda p: p[0])
+        if len(parts) == 1:
+            data = parts[0][1]
+        else:
+            data = np.vstack([p[1] for p in parts])
+        yield self.post(VolSliceToken(data=data))
+
+
+# ---------------------------------------------------------------------------
+# the service wrapper
+# ---------------------------------------------------------------------------
+
+class DistributedVolume:
+    """A 3-D volume distributed over storage nodes, exposing a slice
+    service.
+
+    ``master_node`` defaults to the first storage node.  After
+    :meth:`load`, slices are served through :meth:`read_slice`
+    (synchronous) or :meth:`start_slice` (for streaming clients); other
+    DPS applications may call the graph by name
+    (:attr:`slice_graph_name`).
+    """
+
+    def __init__(self, engine: SimEngine, volume: np.ndarray,
+                 storage_nodes: List[str],
+                 master_node: Optional[str] = None):
+        volume = np.asarray(volume, dtype=np.uint8)
+        if volume.ndim != 3:
+            raise ValueError("volume must be 3-D")
+        if not storage_nodes:
+            raise ValueError("need at least one storage node")
+        if volume.shape[0] < len(storage_nodes):
+            raise ValueError(
+                f"volume of depth {volume.shape[0]} cannot be split over "
+                f"{len(storage_nodes)} extents"
+            )
+        self.engine = engine
+        self.volume0 = volume
+        self.n_extents = len(storage_nodes)
+        uid = next(_instance_counter)
+        self._master = ThreadCollection(
+            VolMasterThread, f"vol{uid}-master"
+        ).map(master_node or storage_nodes[0])
+        self._storage = ThreadCollection(
+            VolStorageThread, f"vol{uid}-store"
+        ).map_nodes(storage_nodes)
+
+        bounds = tuple(
+            int(b) for b in
+            np.linspace(0, volume.shape[0], self.n_extents + 1).astype(int)
+        )
+        load_split = type(f"VolLoadSplit_{uid}", (VolLoadSplit,),
+                          {"n_extents": self.n_extents})
+        slice_split = type(f"VolSliceSplit_{uid}", (VolSliceSplit,),
+                           {"bounds": bounds, "shape": volume.shape})
+        self.load_graph = Flowgraph(
+            FlowgraphNode(load_split, self._master)
+            >> FlowgraphNode(VolStoreExtent, self._storage, _ByOwner)
+            >> FlowgraphNode(VolSyncMerge, self._master),
+            f"vol{uid}.load",
+        )
+        self.slice_graph = Flowgraph(
+            FlowgraphNode(slice_split, self._master)
+            >> FlowgraphNode(VolReadPart, self._storage, _ByOwner)
+            >> FlowgraphNode(VolSliceMerge, self._master),
+            f"vol{uid}.slice",
+        )
+        engine.register_graph(self.load_graph, app_name=f"vol{uid}")
+        engine.register_graph(self.slice_graph, app_name=f"vol{uid}")
+        self._loaded = False
+
+    @property
+    def slice_graph_name(self) -> str:
+        return self.slice_graph.name
+
+    def load(self) -> RunResult:
+        """Distribute the extents onto the storage nodes' disks."""
+        result = self.engine.run(self.load_graph, VolLoadToken(self.volume0))
+        self._loaded = True
+        return result
+
+    def _validate_request(self, axis: int, index: int) -> None:
+        if not self._loaded:
+            raise RuntimeError("call load() before reading slices")
+        if not 0 <= axis <= 2:
+            raise ValueError(f"axis must be 0..2, got {axis}")
+        if not 0 <= index < self.volume0.shape[axis]:
+            raise ValueError(
+                f"slice {index} outside axis {axis} of size "
+                f"{self.volume0.shape[axis]}"
+            )
+
+    def read_slice(self, axis: int, index: int) -> np.ndarray:
+        """Extract one orthogonal slice (runs the engine to completion)."""
+        self._validate_request(axis, index)
+        result = self.engine.run(
+            self.slice_graph, VolSliceRequest(axis, index)
+        )
+        return result.token.data.array
+
+    def start_slice(self, axis: int, index: int,
+                    driver_node: Optional[str] = None) -> Event:
+        """Asynchronous slice request for streaming driver processes."""
+        self._validate_request(axis, index)
+        return self.engine.start(
+            self.slice_graph, VolSliceRequest(axis, index),
+            driver_node=driver_node,
+        )

@@ -1,0 +1,90 @@
+"""Command-line runner for the paper-reproduction experiments.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli fig6 [--fast]
+    python -m repro.cli all --fast
+    python -m repro.cli demo            # quickstart: parallel uppercase
+
+Each experiment prints its measured table next to the paper's reference
+values; ``--fast`` shrinks sweeps for a quick look.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import ALL
+
+__all__ = ["main"]
+
+
+def _run_experiment(name: str, fast: bool) -> None:
+    runner = ALL[name]
+    t0 = time.perf_counter()
+    result = runner(fast=fast)
+    wall = time.perf_counter() - t0
+    print(result.report())
+    if result.paper_reference:
+        print(f"paper: {result.paper_reference}")
+    print(f"(wall time {wall:.1f} s{', fast mode' if fast else ''})")
+    print()
+
+
+def _demo() -> None:
+    from .apps.strings import StringToken, build_uppercase_graph
+    from .cluster import paper_cluster
+    from .runtime import SimEngine
+    from .trace import Tracer, activity_timeline, op_summary
+
+    tracer = Tracer()
+    engine = SimEngine(paper_cluster(4), tracer=tracer)
+    graph, *_ = build_uppercase_graph("node01", "node02 node03 node04")
+    text = "dynamic parallel schedules"
+    result = engine.run(graph, StringToken(text))
+    print(f"input : {text!r}")
+    print(f"output: {result.token.text!r}")
+    print(f"virtual time: {result.makespan * 1e3:.2f} ms on 4 nodes")
+    print()
+    print(op_summary(tracer))
+    print()
+    print(activity_timeline(tracer, width=60))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="dps-repro",
+        description="Reproduce the evaluation of 'DPS - Dynamic Parallel "
+                    "Schedules' (Gerlach & Hersch, 2003)",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(ALL) + ["all", "list", "demo"],
+        help="experiment id (table/figure), 'all', 'list' or 'demo'",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="shrunk parameter sweeps (seconds instead of minutes)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, runner in sorted(ALL.items()):
+            doc = (runner.__module__ or "").rsplit(".", 1)[-1]
+            print(f"{name:8} {doc}")
+        return 0
+    if args.experiment == "demo":
+        _demo()
+        return 0
+    names = sorted(ALL) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        _run_experiment(name, args.fast)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Hardware model substrate: nodes, network, cluster presets, cost models."""
+
+from . import costs
+from .cluster import Cluster, ClusterSpec, paper_cluster
+from .network import Message, Network, NetworkSpec
+from .node import Node, NodeSpec
+
+__all__ = [
+    "Cluster",
+    "ClusterSpec",
+    "Message",
+    "Network",
+    "NetworkSpec",
+    "Node",
+    "NodeSpec",
+    "costs",
+    "paper_cluster",
+]

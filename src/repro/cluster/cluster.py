@@ -1,0 +1,89 @@
+"""Cluster assembly and the paper's testbed preset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from ..simkernel import Simulator
+from .network import Network, NetworkSpec
+from .node import Node, NodeSpec
+
+__all__ = ["ClusterSpec", "Cluster", "paper_cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static cluster description: machines plus interconnect."""
+
+    nodes: tuple[NodeSpec, ...]
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("cluster needs at least one node")
+        names = [n.name for n in self.nodes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate node names: {names}")
+
+    @property
+    def node_names(self) -> List[str]:
+        return [n.name for n in self.nodes]
+
+    def with_nodes(self, count: int) -> "ClusterSpec":
+        """A copy restricted to the first *count* nodes."""
+        if not 1 <= count <= len(self.nodes):
+            raise ValueError(
+                f"cannot take {count} nodes from a {len(self.nodes)}-node cluster"
+            )
+        return ClusterSpec(self.nodes[:count], self.network)
+
+
+class Cluster:
+    """A cluster spec bound to a simulator: live nodes plus network."""
+
+    def __init__(self, sim: Simulator, spec: ClusterSpec):
+        self.sim = sim
+        self.spec = spec
+        self.nodes: Dict[str, Node] = {
+            ns.name: Node(sim, ns) for ns in spec.nodes
+        }
+        self.network = Network(sim, spec.network)
+
+    def node(self, name: str) -> Node:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown node {name!r}; cluster has {sorted(self.nodes)}"
+            ) from None
+
+    @property
+    def node_names(self) -> List[str]:
+        return list(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def paper_cluster(
+    n_nodes: int = 8,
+    cpus: int = 2,
+    flops: float = 80e6,
+    network: NetworkSpec | None = None,
+    name_prefix: str = "node",
+) -> ClusterSpec:
+    """The testbed of the paper's evaluation (section 4).
+
+    Eight bi-processor 733 MHz Pentium III PCs with 512 MB RAM behind a
+    Gigabit Ethernet switch.  ``flops`` is the effective rate of the
+    paper's plain C++ numeric kernels ("no optimized linear algebra
+    library was used").
+    """
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    nodes = tuple(
+        NodeSpec(name=f"{name_prefix}{i + 1:02d}", cpus=cpus, flops=flops)
+        for i in range(n_nodes)
+    )
+    return ClusterSpec(nodes=nodes, network=network or NetworkSpec())

@@ -1,0 +1,109 @@
+"""Cost models: virtual compute durations for the paper's kernels.
+
+The simulated cluster charges operations with virtual CPU seconds derived
+from classic flop counts.  Keeping these formulas in one module makes the
+calibration auditable and lets benchmarks reason about communication /
+computation ratios analytically (as Table 1 of the paper does).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "dps_wire_overhead_seconds",
+    "matmul_flops",
+    "matmul_accumulate_flops",
+    "lu_panel_flops",
+    "trsm_flops",
+    "gol_cell_flops",
+    "gol_band_flops",
+    "gol_read_flops",
+    "serialize_cpu_seconds",
+    "MEMCPY_BYTES_PER_SECOND",
+    "SERIALIZE_PER_MESSAGE_SECONDS",
+]
+
+#: Effective memory-copy bandwidth of the paper's PCs (PIII-733, PC133
+#: SDRAM): used to charge CPU time for token serialization copies.
+MEMCPY_BYTES_PER_SECOND = 250e6
+
+#: Fixed per-message CPU cost of building/parsing DPS token control
+#: structures (graph position, group frames).
+SERIALIZE_PER_MESSAGE_SECONDS = 50e-6
+
+
+def matmul_flops(m: int, n: int, k: int) -> float:
+    """Flops of a dense ``(m×k) @ (k×n)`` multiply (fused multiply-add = 2)."""
+    return 2.0 * m * n * k
+
+
+def matmul_accumulate_flops(m: int, n: int, k: int) -> float:
+    """Flops of ``C += A @ B`` — same leading term as :func:`matmul_flops`."""
+    return 2.0 * m * n * k + m * n
+
+
+def lu_panel_flops(rows: int, cols: int) -> float:
+    """Flops of a rectangular LU panel factorization with partial pivoting.
+
+    For an ``rows × cols`` panel (rows ≥ cols) eliminating ``cols``
+    columns, step j scales the pivot column and applies a rank-1 update:
+    ``sum_j 2·(rows−j)·(cols−j) ≈ rows·cols² − cols³/3`` flops.
+    """
+    r, c = float(rows), float(cols)
+    return 2.0 * (r * c * c - (r + c) * c * (c - 1) / 2.0 + c * (c - 1) * (2 * c - 1) / 6.0)
+
+
+def trsm_flops(rows: int, cols: int) -> float:
+    """Flops of a triangular solve ``L⁻¹ · B`` with L ``rows×rows``, B ``rows×cols``."""
+    return float(rows) * rows * cols
+
+
+def gol_cell_flops(cells: int) -> float:
+    """Equivalent flops for updating *cells* Game-of-Life cells.
+
+    A cell update is 8 neighbour adds plus rule logic; the paper's C++
+    implementation spends roughly 25 simple operations per cell.
+    """
+    return 25.0 * cells
+
+
+def gol_band_flops(width: int, rows: int) -> float:
+    """Equivalent flops for updating a band of ``rows`` lines of ``width``."""
+    return gol_cell_flops(width * rows)
+
+
+def gol_read_flops(cells: int) -> float:
+    """Equivalent flops for reading *cells* world cells into a block.
+
+    Extracting a sub-block walks the cells with bounds handling (the
+    paper's Table 2 "processing time: reading the world data from
+    memory"), costing roughly 10 simple operations per cell.
+    """
+    return 10.0 * cells
+
+
+#: Per-byte descriptor-touching cost of the DPS serializer.  The paper's
+#: serializer works "with pointer arithmetic ... without requiring
+#: redundant data declarations" — it avoids bulk copies, so the inline
+#: per-byte cost is tiny (the payload itself is streamed by the NIC).
+SERIALIZE_TOUCH_SECONDS_PER_BYTE = 1e-9
+
+
+def serialize_cpu_seconds(nbytes: int) -> float:
+    """CPU time to serialize or deserialize a token of *nbytes*.
+
+    One traversal copy at memcpy speed plus the fixed control-structure
+    cost — used where a full copy is actually made (e.g. reading world
+    blocks out of thread storage).
+    """
+    return SERIALIZE_PER_MESSAGE_SECONDS + nbytes / MEMCPY_BYTES_PER_SECOND
+
+
+def dps_wire_overhead_seconds(nbytes: int) -> float:
+    """Inline communication-layer cost of one DPS data object.
+
+    Charged on the NIC occupancy on each side of a transfer: building /
+    parsing the control structures plus the near-zero-copy serializer
+    traversal.  This is the overhead Figure 6 quantifies against raw
+    sockets.
+    """
+    return SERIALIZE_PER_MESSAGE_SECONDS + nbytes * SERIALIZE_TOUCH_SECONDS_PER_BYTE

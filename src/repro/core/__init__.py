@@ -1,0 +1,56 @@
+"""Dynamic Parallel Schedules core: operations, flow graphs, routing,
+thread collections and flow control — the paper's contribution."""
+
+from .flowcontrol import FlowControlPolicy, SplitWindow
+from .graph import Flowgraph, FlowgraphBuilder, FlowgraphNode, GraphError
+from .ops import (
+    CallGraphRequest,
+    ChargeRequest,
+    ScatterCallRequest,
+    LeafOperation,
+    MergeOperation,
+    NextTokenRequest,
+    Operation,
+    OpKind,
+    PostRequest,
+    SplitOperation,
+    StreamOperation,
+)
+from .routing import (
+    ConstantRoute,
+    LoadBalancedRoute,
+    Route,
+    RoundRobinRoute,
+    RoutingContext,
+    route_fn,
+)
+from .threads import DpsThread, ThreadCollection, parse_mapping
+
+__all__ = [
+    "CallGraphRequest",
+    "ChargeRequest",
+    "ConstantRoute",
+    "DpsThread",
+    "FlowControlPolicy",
+    "Flowgraph",
+    "FlowgraphBuilder",
+    "FlowgraphNode",
+    "GraphError",
+    "LeafOperation",
+    "LoadBalancedRoute",
+    "MergeOperation",
+    "NextTokenRequest",
+    "OpKind",
+    "Operation",
+    "PostRequest",
+    "Route",
+    "ScatterCallRequest",
+    "RoundRobinRoute",
+    "RoutingContext",
+    "SplitOperation",
+    "SplitWindow",
+    "StreamOperation",
+    "ThreadCollection",
+    "parse_mapping",
+    "route_fn",
+]

@@ -1,0 +1,103 @@
+"""Flow control: bounded tokens in circulation per split-merge construct.
+
+The paper (§3, "Flow control and load balancing"): *"a feedback mechanism
+ensures that no more than a given number of data objects is in circulation
+between a specific pair of split merge constructs ...  The split operation
+is simply stalled until data objects have arrived and been processed by
+the corresponding merge operation."*
+
+:class:`SplitWindow` is the pure bookkeeping: engines consult it before
+transmitting a posted token and feed it acknowledgement messages sent by
+the matching merge.  It also tracks per-target-instance outstanding counts,
+which drives :class:`~repro.core.routing.LoadBalancedRoute`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["FlowControlPolicy", "SplitWindow"]
+
+
+@dataclass(frozen=True)
+class FlowControlPolicy:
+    """Per-schedule flow-control configuration.
+
+    ``window`` is the maximum number of unacknowledged tokens a split (or
+    stream) instance may have in circulation towards its matching merge.
+    ``None`` disables the feedback mechanism entirely (unbounded).
+    ``window=1`` degenerates to lock-step execution — the no-overlap
+    baseline used by the Table 1 reproduction.
+    """
+
+    window: Optional[int] = 8
+
+    def __post_init__(self) -> None:
+        if self.window is not None and self.window < 1:
+            raise ValueError("flow-control window must be >= 1 or None")
+
+
+class SplitWindow:
+    """Outstanding-token accounting for one split instance.
+
+    ``in_flight`` counts tokens posted but not yet acknowledged by the
+    matching merge.  ``can_send`` gates transmission; ``on_post`` /
+    ``on_ack`` update the counters.
+    """
+
+    def __init__(self, window: Optional[int]):
+        if window is not None and window < 1:
+            raise ValueError("window must be >= 1 or None")
+        self.window = window
+        self.in_flight = 0
+        #: tokens outstanding per destination thread index (feedback for
+        #: load-balanced routing).
+        self.per_instance: Dict[int, int] = {}
+        # lifetime statistics
+        self.total_posted = 0
+        self.total_acked = 0
+        self.stalls = 0
+
+    @property
+    def can_send(self) -> bool:
+        """True when another token may enter circulation now."""
+        return self.window is None or self.in_flight < self.window
+
+    def on_post(self, instance: int) -> None:
+        """Record a token entering circulation towards *instance*."""
+        if not self.can_send:
+            raise RuntimeError("on_post() while window full; check can_send")
+        self.in_flight += 1
+        self.total_posted += 1
+        self.per_instance[instance] = self.per_instance.get(instance, 0) + 1
+
+    def on_ack(self, instance: int, count: int = 1) -> None:
+        """Record *count* tokens consumed by the merge at *instance*."""
+        if count < 1:
+            raise ValueError("ack count must be >= 1")
+        if count > self.in_flight:
+            raise RuntimeError(
+                f"ack of {count} exceeds {self.in_flight} tokens in flight"
+            )
+        self.in_flight -= count
+        self.total_acked += count
+        have = self.per_instance.get(instance, 0)
+        if have < count:
+            raise RuntimeError(
+                f"ack from instance {instance} which holds only {have} tokens"
+            )
+        self.per_instance[instance] = have - count
+
+    def on_stall(self) -> None:
+        """Record that a poster had to wait for window space."""
+        self.stalls += 1
+
+    def outstanding(self, instance: int) -> int:
+        return self.per_instance.get(instance, 0)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SplitWindow {self.in_flight}/{self.window} "
+            f"posted={self.total_posted} stalls={self.stalls}>"
+        )

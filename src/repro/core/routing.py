@@ -1,0 +1,151 @@
+"""Routing functions: which thread instance receives a token (paper §3).
+
+A routing function maps a token to an index within the target thread
+collection.  Routes are classes so they can be stateful (round-robin
+counters, load-balance bookkeeping); the :func:`route_fn` helper is the
+analog of the paper's ``ROUTE`` macro for one-expression routes.
+
+The runtime instantiates one route object per (controller node, flow-graph
+node), and injects a :class:`RoutingContext` before the first call.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Type
+
+from ..serial.token import Token
+from .threads import ThreadCollection
+
+__all__ = [
+    "Route",
+    "RoutingContext",
+    "RoundRobinRoute",
+    "ConstantRoute",
+    "LoadBalancedRoute",
+    "route_fn",
+]
+
+
+class RoutingContext:
+    """What a route may consult: collection size and feedback counters."""
+
+    def __init__(
+        self,
+        collection: ThreadCollection,
+        outstanding: Optional[Callable[[int], int]] = None,
+    ):
+        self.collection = collection
+        self._outstanding = outstanding
+
+    @property
+    def thread_count(self) -> int:
+        return self.collection.thread_count
+
+    def outstanding(self, index: int) -> int:
+        """Tokens posted to thread *index* and not yet acknowledged.
+
+        Fed by the flow-control ack stream (paper: "By incorporating
+        additional information into posted data objects ... DPS achieves
+        a simple form of load balancing").  Zero when no feedback is
+        available.
+        """
+        if self._outstanding is None:
+            return 0
+        return self._outstanding(index)
+
+
+class Route:
+    """Base class for routing functions.
+
+    Subclasses implement :meth:`route` returning a thread index in
+    ``[0, thread_count)``.
+    """
+
+    def __init__(self) -> None:
+        self._ctx: Optional[RoutingContext] = None
+
+    def bind(self, ctx: RoutingContext) -> "Route":
+        self._ctx = ctx
+        return self
+
+    @property
+    def ctx(self) -> RoutingContext:
+        if self._ctx is None:
+            raise RuntimeError(f"{type(self).__name__} used before bind()")
+        return self._ctx
+
+    @property
+    def thread_count(self) -> int:
+        return self.ctx.thread_count
+
+    def route(self, token: Token) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, token: Token) -> int:
+        index = self.route(token)
+        n = self.thread_count
+        if not isinstance(index, int) or not 0 <= index < n:
+            raise ValueError(
+                f"{type(self).__name__} returned {index!r}; must be an int "
+                f"in [0, {n})"
+            )
+        return index
+
+
+class ConstantRoute(Route):
+    """Always the same instance — the paper's ``MainRoute`` idiom."""
+
+    def __init__(self, index: int = 0):
+        super().__init__()
+        self.index = index
+
+    def route(self, token: Token) -> int:
+        return self.index
+
+
+class RoundRobinRoute(Route):
+    """Cycle through the collection (stateful per routing site)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next = 0
+
+    def route(self, token: Token) -> int:
+        index = self._next % self.thread_count
+        self._next = index + 1
+        return index
+
+
+class LoadBalancedRoute(Route):
+    """Prefer the instance with the fewest unacknowledged tokens.
+
+    Ties break towards the lowest index, keeping runs deterministic.
+    This is the paper's feedback-based load balancing: route "data
+    objects to those processing nodes which have previously posted data
+    objects to the merge operation".
+    """
+
+    def route(self, token: Token) -> int:
+        ctx = self.ctx
+        best, best_load = 0, None
+        for i in range(ctx.thread_count):
+            load = ctx.outstanding(i)
+            if best_load is None or load < best_load:
+                best, best_load = i, load
+        return best
+
+
+def route_fn(
+    name: str, fn: Callable[[Token, int], int]
+) -> Type[Route]:
+    """Create a Route subclass from an expression — the ``ROUTE`` macro.
+
+    *fn* receives ``(token, thread_count)`` and returns the index::
+
+        RoundRobin = route_fn("RoundRobin", lambda tok, n: tok.pos % n)
+    """
+
+    def route(self: Route, token: Token) -> int:
+        return fn(token, self.thread_count)
+
+    return type(name, (Route,), {"route": route, "__doc__": f"ROUTE({name})"})

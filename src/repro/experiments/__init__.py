@@ -1,0 +1,38 @@
+"""Reproduction harnesses for every table and figure of the evaluation.
+
+Each module exposes ``run(fast=False) -> ExperimentResult``:
+
+- :mod:`.fig6_throughput`   — Figure 6, ring throughput DPS vs sockets
+- :mod:`.table1_overlap`    — Table 1, matmul overlap reductions
+- :mod:`.fig9_gol_speedup`  — Figure 9, Game of Life speedups
+- :mod:`.table2_services`   — Table 2, graph-call overhead
+- :mod:`.fig15_lu_speedup`  — Figure 15, LU pipelined vs non-pipelined
+"""
+
+from . import (
+    fig6_throughput,
+    fig9_gol_speedup,
+    fig15_lu_speedup,
+    table1_overlap,
+    table2_services,
+)
+from .common import ExperimentResult, format_table
+
+ALL = {
+    "fig6": fig6_throughput.run,
+    "table1": table1_overlap.run,
+    "fig9": fig9_gol_speedup.run,
+    "table2": table2_services.run,
+    "fig15": fig15_lu_speedup.run,
+}
+
+__all__ = [
+    "ALL",
+    "ExperimentResult",
+    "fig6_throughput",
+    "fig9_gol_speedup",
+    "fig15_lu_speedup",
+    "format_table",
+    "table1_overlap",
+    "table2_services",
+]

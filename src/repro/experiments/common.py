@@ -1,0 +1,67 @@
+"""Shared plumbing for the table/figure reproduction harnesses.
+
+Each experiment module exposes ``run(fast=False) -> ExperimentResult``.
+``fast`` shrinks sweeps for CI; the default parameters regenerate the
+paper's tables and figures at full scope.  Results carry both the
+measured rows and the paper's reference values so EXPERIMENTS.md can be
+generated mechanically and shape checks can be asserted in benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["ExperimentResult", "format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    floatfmt: str = "{:.2f}",
+) -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    def fmt(v: Any) -> str:
+        if isinstance(v, float):
+            return floatfmt.format(v)
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one table/figure reproduction."""
+
+    #: experiment id, e.g. "fig6", "table1"
+    name: str
+    #: one-line description of what the paper reports
+    title: str
+    headers: List[str]
+    rows: List[List[Any]]
+    #: the paper's reference numbers, for side-by-side comparison
+    paper_reference: str = ""
+    #: free-form notes about scope/calibration
+    notes: str = ""
+    #: arbitrary extra data for shape assertions in benchmarks
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def table(self) -> str:
+        return format_table(self.headers, self.rows)
+
+    def report(self) -> str:
+        parts = [f"== {self.name}: {self.title} ==", self.table()]
+        if self.notes:
+            parts.append(f"notes: {self.notes}")
+        return "\n".join(parts)

@@ -1,0 +1,84 @@
+"""Figure 15 — LU factorization speedup, pipelined vs non-pipelined.
+
+The paper factors a 4096×4096 matrix on 1–8 nodes and compares the fully
+pipelined graph (stream operations) with a variant using merge+split
+barriers instead.  The pipelined variant clearly wins, with the gap
+growing with the node count (the barrier serializes the per-column
+stages, idling workers between phases).
+
+We really factor a 1024×1024 matrix split into 16 block columns and
+price every operation as if the matrix were 4096×4096 (``scale=4``) —
+the schedule structure (tokens, dependencies, message counts) is
+identical, only the real arithmetic is cheaper.  "No optimized linear
+algebra library was used" in the paper, so the cost model uses the plain
+C++ kernel rate (~80 Mflop/s).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..apps.lu import DistributedLU
+from ..cluster import paper_cluster
+from ..core import FlowControlPolicy
+from ..runtime import SimEngine
+from .common import ExperimentResult
+
+__all__ = ["run"]
+
+LU_FLOPS = 80e6
+
+
+def _lu_time(a: np.ndarray, s: int, p: int, pipelined: bool,
+             scale: float, check: bool) -> float:
+    engine = SimEngine(paper_cluster(max(p, 1), flops=LU_FLOPS),
+                       policy=FlowControlPolicy(window=None),
+                       serialize_payloads=False)
+    lu = DistributedLU(engine, a, s, engine.cluster.node_names[:p],
+                       pipelined=pipelined, scale=scale)
+    lu.load()
+    result = lu.run()
+    if check and not lu.check():  # pragma: no cover - defensive
+        raise AssertionError("P·A != L·U")
+    return result.makespan
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    n_real = 256 if fast else 512
+    scale = 4096 / n_real
+    s = 8 if fast else 16
+    node_counts = [1, 2, 4] if fast else [1, 2, 3, 4, 5, 6, 7, 8]
+    rng = np.random.default_rng(99)
+    a = rng.standard_normal((n_real, n_real)) + n_real * np.eye(n_real)
+
+    base = None
+    rows: List[List] = []
+    speedups: Dict[tuple, float] = {}
+    for p in node_counts:
+        t_pipe = _lu_time(a, s, p, True, scale, check=(p == node_counts[-1]))
+        t_barrier = _lu_time(a, s, p, False, scale, check=False)
+        if base is None:
+            base = t_barrier  # 1-node non-pipelined run
+        s_pipe = base / t_pipe
+        s_barrier = base / t_barrier
+        rows.append([p, s_pipe, s_barrier, t_pipe, t_barrier])
+        speedups[("pipelined", p)] = s_pipe
+        speedups[("non-pipelined", p)] = s_barrier
+    return ExperimentResult(
+        name="fig15",
+        title="LU factorization speedup (virtual 4096²): pipelined "
+              "(stream ops) vs non-pipelined (merge+split barriers)",
+        headers=["nodes", "speedup pipe", "speedup barrier",
+                 "t_pipe [s]", "t_barrier [s]"],
+        rows=rows,
+        paper_reference="Paper Fig. 15: both curves start at ~1; the "
+                        "pipelined variant dominates, reaching ~6-7 at 8 "
+                        "nodes while the non-pipelined one flattens "
+                        "around 4-5.",
+        notes=f"real matrix {n_real}², s={s} block columns, costs scaled "
+              f"x{scale:.0f} to the paper's 4096² (identical schedule "
+              f"structure); baseline: non-pipelined on 1 node",
+        data={"speedups": speedups},
+    )

@@ -1,0 +1,132 @@
+"""Table 2 — graph-call overhead on a running Game of Life service.
+
+The paper runs a 5620×5620-cell Game of Life on 4 machines (1000 ms per
+iteration) and lets a client application periodically request randomly
+located fixed-size blocks through the exposed read graph.  Table 2
+reports, per block size, the median call time, the slowed-down iteration
+time, and the average calls per second.
+
+    block (w×h)   call (median)  iteration   calls/s
+    —             —              1000 ms     (no calls)
+    40×40         1.66 ms        1041 ms     66.8
+    400×400       22.14 ms       1284 ms     31.8
+    400×2400      130.43 ms      1381 ms     6.9
+
+The client issues the next call ~13 ms after the previous one returns
+(matching the paper's observed pacing: 1.66 ms calls at 66.8 calls/s).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..apps.gameoflife import GolIterToken
+from ..apps.gol_service import GameOfLifeService, GolReadRequest
+from ..cluster import paper_cluster
+from ..runtime import SimEngine
+from .common import ExperimentResult
+
+__all__ = ["run", "BLOCK_SIZES"]
+
+#: (width, height) request sizes from the paper's Table 2
+BLOCK_SIZES: List[Optional[Tuple[int, int]]] = [
+    None, (40, 40), (400, 400), (400, 2400)
+]
+
+GOL_FLOPS = 200e6
+CLIENT_PAUSE = 13e-3
+
+PAPER_TABLE2 = {
+    None: (None, 1000.0, None),
+    (40, 40): (1.66, 1041.0, 66.8),
+    (400, 400): (22.14, 1284.0, 31.8),
+    (400, 2400): (130.43, 1381.0, 6.9),
+}
+
+
+def _measure(world_side: int, n_workers: int, block: Optional[Tuple[int, int]],
+             n_iters: int, seed: int = 7) -> Tuple[float, float, float]:
+    """Returns (median call ms, mean iteration ms, calls per second)."""
+    rng = np.random.default_rng(seed)
+    world = (rng.random((world_side, world_side)) < 0.35).astype(np.uint8)
+    engine = SimEngine(
+        paper_cluster(n_workers, flops=GOL_FLOPS),
+        serialize_payloads=False,
+    )
+    svc = GameOfLifeService(engine, world,
+                            engine.cluster.node_names[:n_workers])
+    svc.load()
+    svc.step(improved=True)  # warm-up (launch delays)
+
+    call_times: List[float] = []
+    stop = [False]
+
+    def client(sim):
+        w, h = block
+        while not stop[0]:
+            row = int(rng.integers(0, world_side - h + 1))
+            col = int(rng.integers(0, world_side - w + 1))
+            start = sim.now
+            yield svc.start_read(row, col, h, w)
+            call_times.append(sim.now - start)
+            yield sim.timeout(CLIENT_PAUSE)
+
+    started = engine.sim.now
+    if block is not None:
+        engine.spawn(client(engine.sim), name="table2-client")
+    # drive the iterations with run_until: the client loop runs forever,
+    # so draining the whole event queue would never return
+    iter_total = 0.0
+    for _ in range(n_iters):
+        t0 = engine.sim.now
+        done = engine.start(svc.improved_graph, GolIterToken(svc.iteration + 1))
+        svc.iteration += 1
+        engine.run_until(done)
+        iter_total += engine.sim.now - t0
+    stop[0] = True
+    elapsed = engine.sim.now - started
+
+    median_call = float(np.median(call_times)) if call_times else 0.0
+    calls_per_sec = len(call_times) / elapsed if call_times else 0.0
+    return median_call * 1e3, iter_total / n_iters * 1e3, calls_per_sec
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    world_side = 1408 if fast else 5620
+    n_iters = 1 if fast else 3
+    # fast mode shrinks the tall block so it still fits the smaller world
+    blocks = ([None, (40, 40), (400, 400), (400, 1200)] if fast
+              else BLOCK_SIZES)
+    rows: List[List] = []
+    data = {}
+    for block in blocks:
+        call_ms, iter_ms, cps = _measure(world_side, 4, block, n_iters)
+        label = "none" if block is None else f"{block[0]}x{block[1]}"
+        paper = PAPER_TABLE2.get(block, (None, None, None))
+        rows.append([
+            label,
+            call_ms if block else float("nan"),
+            iter_ms,
+            cps if block else float("nan"),
+            paper[0] if paper[0] is not None else float("nan"),
+            paper[1] if paper[1] is not None else float("nan"),
+            paper[2] if paper[2] is not None else float("nan"),
+        ])
+        data[label] = {"call_ms": call_ms, "iter_ms": iter_ms, "cps": cps}
+    return ExperimentResult(
+        name="table2",
+        title="Simulation iteration time with and without graph calls "
+              "(Game of Life service, 4 nodes)",
+        headers=["block", "call [ms]", "iter [ms]", "calls/s",
+                 "paper call", "paper iter", "paper c/s"],
+        rows=rows,
+        paper_reference="Paper Table 2: 1000 ms baseline iteration; calls "
+                        "grow from 1.66 ms (40x40) to 130 ms (400x2400) "
+                        "while the iteration slows only to 1041–1381 ms — "
+                        "implicit overlap keeps graph calls cheap.",
+        notes=f"world {world_side}², {n_iters} measured iterations, client "
+              f"pause {CLIENT_PAUSE * 1e3:.0f} ms between calls",
+        data=data,
+    )

@@ -1,0 +1,38 @@
+"""Execution engines and runtime environment for DPS schedules."""
+
+from .base import (
+    ACK_BYTES,
+    DATA_HEADER_BYTES,
+    GROUP_TOTAL_BYTES,
+    AckMessage,
+    Application,
+    DataEnvelope,
+    GroupFrame,
+    GroupTotalMessage,
+    RunResult,
+)
+from .checkpoint import Checkpoint, CheckpointManager, fail_node
+from .controller import ScheduleError, SimController
+from .kernel import KernelEnvironment, KernelSpec, NameServer
+from .sim_engine import SimEngine
+
+__all__ = [
+    "ACK_BYTES",
+    "AckMessage",
+    "Application",
+    "Checkpoint",
+    "CheckpointManager",
+    "KernelEnvironment",
+    "KernelSpec",
+    "NameServer",
+    "fail_node",
+    "DATA_HEADER_BYTES",
+    "DataEnvelope",
+    "GROUP_TOTAL_BYTES",
+    "GroupFrame",
+    "GroupTotalMessage",
+    "RunResult",
+    "ScheduleError",
+    "SimController",
+    "SimEngine",
+]

@@ -1,0 +1,146 @@
+"""Runtime envelopes, applications and shared constants.
+
+Tokens travelling between threads are wrapped in :class:`DataEnvelope`
+carrying the "control structures giving information about their state and
+position within the flow graph" that the paper describes: the target graph
+node and instance, the activation id, and the stack of group frames pushed
+by enclosing split/stream operations.
+
+Small control messages implement the feedback machinery:
+
+- :class:`AckMessage` — the matching merge acknowledges a consumed token
+  to the split instance's controller (drives flow control and
+  load-balanced routing);
+- :class:`GroupTotalMessage` — a split/stream instance announces, when its
+  body completes, how many tokens the group contains, so the merge knows
+  when ``next_token()`` must return ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from ..core.graph import Flowgraph
+from ..serial.token import Token
+
+__all__ = [
+    "GroupFrame",
+    "DataEnvelope",
+    "AckMessage",
+    "GroupTotalMessage",
+    "Application",
+    "RunResult",
+    "DATA_HEADER_BYTES",
+    "ACK_BYTES",
+    "GROUP_TOTAL_BYTES",
+]
+
+#: Wire overhead of the DPS control structures on each data token.
+DATA_HEADER_BYTES = 128
+#: Wire size of a token acknowledgement.
+ACK_BYTES = 32
+#: Wire size of a group-total announcement.
+GROUP_TOTAL_BYTES = 48
+
+
+@dataclass(frozen=True)
+class GroupFrame:
+    """One level of split-merge nesting attached to a token."""
+
+    group_id: int
+    #: Emission index within the group (0-based).
+    index: int
+    #: Graph node id of the split/stream that opened the group.
+    opener: int
+    #: Thread index of the opening split/stream instance.
+    opener_instance: int
+    #: Node (machine) hosting the opening instance — ack destination.
+    origin_node: str
+    #: Thread index the token was routed to when it left the opener;
+    #: echoed back in acks to drive load-balanced routing.
+    routed_instance: int
+
+
+@dataclass
+class DataEnvelope:
+    """A token in flight towards (graph, node_id, instance)."""
+
+    token: Token
+    graph: Flowgraph
+    node_id: int
+    instance: int
+    ctx_id: int
+    frames: Tuple[GroupFrame, ...] = ()
+
+    def top_frame(self) -> GroupFrame:
+        if not self.frames:
+            raise RuntimeError(
+                f"token at {self.graph.node(self.node_id).name} has no "
+                f"group frame; merge outside a split-merge construct"
+            )
+        return self.frames[-1]
+
+
+@dataclass(frozen=True)
+class AckMessage:
+    """Merge → split feedback: one token of *group_id* was consumed."""
+
+    graph_name: str
+    opener: int
+    opener_instance: int
+    group_id: int
+    routed_instance: int
+
+
+@dataclass(frozen=True)
+class GroupTotalMessage:
+    """Split → merge instances: the group contains *total* tokens."""
+
+    graph_name: str
+    merge_node: int
+    instance: int
+    group_id: int
+    total: int
+
+
+class Application:
+    """A named DPS application: a bundle of flow graphs.
+
+    Applications expose graphs by name; another application can call an
+    exposed graph as if it were a leaf operation (paper §4–5).  The
+    runtime launches application instances lazily on the nodes that
+    receive tokens, charging the node's launch delay once.
+    """
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("application name must be non-empty")
+        self.name = name
+        self.graphs: dict[str, Flowgraph] = {}
+
+    def expose(self, graph: Flowgraph, name: Optional[str] = None) -> Flowgraph:
+        """Register *graph* under *name* (default ``graph.name``)."""
+        key = name or graph.name
+        if key in self.graphs and self.graphs[key] is not graph:
+            raise ValueError(f"application {self.name!r} already exposes {key!r}")
+        self.graphs[key] = graph
+        return graph
+
+    def __repr__(self) -> str:
+        return f"<Application {self.name!r} graphs={sorted(self.graphs)}>"
+
+
+@dataclass
+class RunResult:
+    """Outcome of one graph activation on the simulated cluster."""
+
+    token: Token
+    #: Virtual time when the activation started / its result reached the
+    #: driver node.
+    started_at: float
+    finished_at: float
+
+    @property
+    def makespan(self) -> float:
+        return self.finished_at - self.started_at

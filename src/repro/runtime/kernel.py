@@ -1,0 +1,182 @@
+"""The DPS runtime environment: kernels and the name server (paper §4).
+
+A *kernel* runs on every machine participating in parallel program
+execution; it launches applications lazily and brokers communication.
+Kernels are *"named independently of the underlying host names.  This
+allows multiple kernels to be executed on a single host.  This feature is
+mainly useful for debugging purposes.  It enforces the use of the
+networking code ... although the application is running within a single
+computer."*  Kernels *"locate each other either by using UDP broadcasts
+or by accessing a simple name server."*
+
+This module models that layer on top of the simulated cluster:
+
+- :class:`KernelSpec` / :func:`cluster_from_kernels` — build a cluster
+  where each kernel is a scheduling endpoint, several of which may share
+  a physical host (transfers between co-hosted kernels use the network
+  model's loopback parameters — full networking code, no physical wire);
+- :class:`NameServer` — kernel-name registration and lookup, with
+  simulated lookup latency;
+- :class:`KernelEnvironment` — convenience wrapper tying a name server,
+  a cluster of kernels and a :class:`~repro.runtime.SimEngine` together,
+  including the single-machine debugging deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..cluster.cluster import ClusterSpec
+from ..cluster.network import NetworkSpec
+from ..cluster.node import NodeSpec
+from ..core.flowcontrol import FlowControlPolicy
+from .sim_engine import SimEngine
+
+__all__ = [
+    "KernelSpec",
+    "NameServer",
+    "KernelEnvironment",
+    "cluster_from_kernels",
+]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One DPS kernel: a named scheduling endpoint on a physical host."""
+
+    name: str
+    host: str = ""
+    cpus: int = 2
+    flops: float = 80e6
+    launch_delay: float = 0.125
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("kernel name must be non-empty")
+
+
+def cluster_from_kernels(
+    kernels: Sequence[KernelSpec],
+    network: Optional[NetworkSpec] = None,
+) -> ClusterSpec:
+    """Build a cluster spec with one node per kernel.
+
+    Kernels sharing a host share it for communication purposes (loopback
+    instead of the physical wire) while keeping their own CPUs — the
+    model of several kernel processes on a multi-core machine.
+    """
+    if not kernels:
+        raise ValueError("need at least one kernel")
+    nodes = tuple(
+        NodeSpec(
+            name=k.name,
+            cpus=k.cpus,
+            flops=k.flops,
+            launch_delay=k.launch_delay,
+            host=k.host or k.name,
+        )
+        for k in kernels
+    )
+    return ClusterSpec(nodes=nodes, network=network or NetworkSpec())
+
+
+class NameServer:
+    """The simple name server kernels may register with (paper §4).
+
+    Keeps kernel name → host mappings; lookups have a small latency that
+    driver processes can charge with
+    ``yield sim.timeout(ns.lookup_latency)``.
+    """
+
+    #: round-trip cost of one name lookup over the network
+    lookup_latency: float = 0.5e-3
+
+    def __init__(self) -> None:
+        self._kernels: Dict[str, KernelSpec] = {}
+
+    def register(self, kernel: KernelSpec) -> None:
+        existing = self._kernels.get(kernel.name)
+        if existing is not None and existing != kernel:
+            raise ValueError(
+                f"kernel name {kernel.name!r} already registered on host "
+                f"{existing.host!r}"
+            )
+        self._kernels[kernel.name] = kernel
+
+    def unregister(self, name: str) -> None:
+        """Remove a kernel (nodes can be removed from the cluster at any
+        point in time, paper §4)."""
+        self._kernels.pop(name, None)
+
+    def lookup(self, name: str) -> KernelSpec:
+        try:
+            return self._kernels[name]
+        except KeyError:
+            raise KeyError(
+                f"no kernel named {name!r}; registered: {sorted(self._kernels)}"
+            ) from None
+
+    def kernels(self) -> List[str]:
+        return sorted(self._kernels)
+
+    def kernels_on(self, host: str) -> List[str]:
+        return sorted(
+            name for name, k in self._kernels.items() if k.host == host
+        )
+
+    def __len__(self) -> int:
+        return len(self._kernels)
+
+
+class KernelEnvironment:
+    """A deployed DPS runtime: kernels + name server + engine.
+
+    ``KernelEnvironment.debug(n)`` builds the paper's debugging setup —
+    *n* kernels on a single machine, forcing every inter-kernel transfer
+    through the full serialization and networking code while staying on
+    one host.
+    """
+
+    def __init__(
+        self,
+        kernels: Sequence[KernelSpec],
+        network: Optional[NetworkSpec] = None,
+        policy: FlowControlPolicy = FlowControlPolicy(),
+        **engine_kwargs,
+    ):
+        self.name_server = NameServer()
+        for kernel in kernels:
+            self.name_server.register(kernel)
+        self.kernel_specs = list(kernels)
+        self.cluster_spec = cluster_from_kernels(kernels, network)
+        self.engine = SimEngine(self.cluster_spec, policy=policy,
+                                **engine_kwargs)
+
+    @classmethod
+    def debug(cls, n_kernels: int, host: str = "localhost",
+              **kwargs) -> "KernelEnvironment":
+        """*n* kernels on one machine — the paper's debugging deployment."""
+        if n_kernels < 1:
+            raise ValueError("need at least one kernel")
+        kernels = [
+            KernelSpec(name=f"kernel{i + 1:02d}", host=host)
+            for i in range(n_kernels)
+        ]
+        return cls(kernels, **kwargs)
+
+    @property
+    def kernel_names(self) -> List[str]:
+        return [k.name for k in self.kernel_specs]
+
+    def mapping_for(self, *entries: str) -> str:
+        """Validate kernel names and build a mapping string.
+
+        ``env.mapping_for("kernel01*2", "kernel02")`` checks each kernel
+        against the name server and returns the string for
+        :meth:`~repro.core.ThreadCollection.map`.
+        """
+        for entry in entries:
+            name = entry.split("*")[0]
+            self.name_server.lookup(name)  # raises for unknown kernels
+        return " ".join(entries)

@@ -1,0 +1,579 @@
+"""The simulated-cluster execution engine.
+
+:class:`SimEngine` runs DPS applications on a modelled cluster
+(:mod:`repro.cluster`) under virtual time.  Operations *really* execute —
+tokens carry real payloads, routing/flow-control/merging is the real
+mechanism — but computation is charged to node CPUs via cost models and
+communication passes through the NIC/switch model, so overlap and
+pipelining effects appear in the virtual clock exactly as they would on
+the paper's testbed wall clock.
+
+Typical use::
+
+    engine = SimEngine(paper_cluster(4))
+    workers = ThreadCollection(ComputeThread, "proc").map("node01*1 node02")
+    ... build graph ...
+    engine.register_graph(graph)
+    result = engine.run(graph, input_token)
+    print(result.makespan, engine.metrics())
+
+Concurrent activity (pipelined client loops, services) uses
+:meth:`spawn` driver processes that ``yield engine.start(...)`` events.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Optional, Union
+
+from ..cluster.cluster import Cluster, ClusterSpec
+from ..cluster.costs import dps_wire_overhead_seconds
+from ..core.flowcontrol import FlowControlPolicy
+from ..core.graph import Flowgraph
+from ..serial.token import Token
+from ..serial.wire import decode, encode
+from ..simkernel import Event, Simulator
+from .base import (
+    ACK_BYTES,
+    DATA_HEADER_BYTES,
+    AckMessage,
+    Application,
+    DataEnvelope,
+    RunResult,
+)
+from .controller import ScheduleError, SimController
+
+__all__ = ["SimEngine", "ScheduleError"]
+
+
+@dataclass
+class _Activation:
+    ctx_id: int
+    driver_node: str
+    event: Event
+    wrap_result: bool
+    started_at: float
+    done: bool = False
+    # scatter-call machinery (inter-application split, paper §6)
+    scatter: bool = False
+    on_token: Optional[Any] = None
+    received: int = 0
+    delivered: int = 0
+    total: Optional[int] = None
+    graph_name: str = ""
+
+
+class SimEngine:
+    """Discrete-event execution engine over a modelled cluster."""
+
+    def __init__(
+        self,
+        cluster: Union[Cluster, ClusterSpec],
+        policy: FlowControlPolicy = FlowControlPolicy(),
+        serialize_payloads: bool = True,
+        charge_serialization: bool = True,
+        tracer: Optional[Any] = None,
+    ):
+        self.sim = Simulator()
+        self.cluster = (
+            cluster if isinstance(cluster, Cluster) else Cluster(self.sim, cluster)
+        )
+        self.policy = policy
+        #: Encode/decode token payloads on remote transfers (authoritative
+        #: wire sizes, enforces serializability).  Disable for very large
+        #: payload sweeps; sizes then come from Token.payload_nbytes().
+        self.serialize_payloads = serialize_payloads
+        #: Charge token (de)serialization to node CPUs.
+        self.charge_serialization = charge_serialization
+        self.tracer = tracer
+        self.controllers: Dict[str, SimController] = {
+            name: SimController(self, name) for name in self.cluster.node_names
+        }
+        self._graphs: Dict[str, Flowgraph] = {}
+        self._graph_app: Dict[str, str] = {}
+        #: (app, src, dst) pairs with an established TCP connection
+        self._connected: set = set()
+        self._group_counter = itertools.count(1)
+        self._ctx_counter = itertools.count(1)
+        self._activations: Dict[int, _Activation] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register_app(self, app: Application) -> None:
+        """Register every graph of *app*; they can then be run or called."""
+        for name, graph in app.graphs.items():
+            self._register(graph, app.name, name)
+
+    def register_graph(self, graph: Flowgraph, app_name: str = "app") -> None:
+        """Register a standalone graph under a default application."""
+        self._register(graph, app_name, graph.name)
+
+    def _register(self, graph: Flowgraph, app_name: str, name: str) -> None:
+        existing = self._graphs.get(name)
+        if existing is not None and existing is not graph:
+            raise ValueError(f"graph name {name!r} already registered")
+        self._validate_mapping(graph)
+        self._graphs[name] = graph
+        self._graph_app[graph.name] = app_name
+
+    def _validate_mapping(self, graph: Flowgraph) -> None:
+        for collection in graph.collections():
+            for node_name in collection.placements:
+                if node_name not in self.controllers:
+                    raise ScheduleError(
+                        f"collection {collection.name!r} maps thread(s) to "
+                        f"{node_name!r}, which is not in the cluster "
+                        f"{sorted(self.controllers)}"
+                    )
+
+    def graph(self, name: str) -> Flowgraph:
+        try:
+            return self._graphs[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown graph {name!r}; registered: {sorted(self._graphs)}"
+            ) from None
+
+    def app_of(self, env: DataEnvelope) -> str:
+        return self._graph_app.get(env.graph.name, "app")
+
+    def prelaunch(self) -> None:
+        """Mark every application as already running on every node.
+
+        Skips the lazy-launch delay — use for steady-state benchmarks.
+        """
+        apps = set(self._graph_app.values())
+        names = list(self.controllers)
+        for controller in self.controllers.values():
+            controller._launched.update(apps)
+        for app in apps:
+            for src in names:
+                for dst in names:
+                    self._connected.add((app, src, dst))
+
+    # ------------------------------------------------------------------
+    # identifiers
+    # ------------------------------------------------------------------
+    def next_group_id(self) -> int:
+        return next(self._group_counter)
+
+    def trace(self, kind: str, **fields: Any) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, kind, **fields)
+
+    # ------------------------------------------------------------------
+    # activations
+    # ------------------------------------------------------------------
+    def start(
+        self,
+        graph: Union[Flowgraph, str],
+        token: Token,
+        driver_node: Optional[str] = None,
+    ) -> Event:
+        """Begin one activation; the event succeeds with a RunResult."""
+        return self._start(graph, token, driver_node, wrap_result=True)
+
+    def start_call(
+        self, graph_name: str, token: Token, caller_node: str
+    ) -> Event:
+        """Graph call from an operation body; succeeds with the result token."""
+        return self._start(graph_name, token, caller_node, wrap_result=False)
+
+    def start_scatter(
+        self, graph_name: str, token: Token, caller_node: str, on_token
+    ) -> Event:
+        """Inter-application scatter call (paper §6 future work).
+
+        Runs the named scatter graph; each of its depth-1 output tokens
+        is transferred to *caller_node* and handed to *on_token* (the
+        calling split posts it as its own).  The returned event succeeds
+        with the token count once the remote group is fully delivered.
+        """
+        graph = self.graph(graph_name)
+        if not graph.scatter:
+            raise ScheduleError(
+                f"graph {graph_name!r} is not a scatter graph; use "
+                f"call_graph() for ordinary services"
+            )
+        event = self._start(graph, token, caller_node, wrap_result=False,
+                            scatter=True, on_token=on_token)
+        return event
+
+    def _start(
+        self,
+        graph: Union[Flowgraph, str],
+        token: Token,
+        driver_node: Optional[str],
+        wrap_result: bool,
+        scatter: bool = False,
+        on_token=None,
+    ) -> Event:
+        if isinstance(graph, str):
+            graph = self.graph(graph)
+        elif graph.name not in self._graphs:
+            self.register_graph(graph)
+        if graph.scatter and not scatter:
+            raise ScheduleError(
+                f"scatter graph {graph.name!r} must be invoked through "
+                f"call_scatter() from a split/stream operation"
+            )
+        if not isinstance(token, Token):
+            raise TypeError(f"graph input must be a Token, got {type(token).__name__}")
+        entry_node = graph.node(graph.entry)
+        if not entry_node.op_class.accepts(type(token)):
+            raise ScheduleError(
+                f"graph {graph.name!r} entry accepts "
+                f"{[t.__name__ for t in entry_node.op_class.in_types]}, "
+                f"got {type(token).__name__}"
+            )
+        driver = driver_node or entry_node.collection.node_of(0)
+        if driver not in self.controllers:
+            raise ScheduleError(f"driver node {driver!r} not in cluster")
+        ctx_id = next(self._ctx_counter)
+        event = self.sim.event()
+        self._activations[ctx_id] = _Activation(
+            ctx_id, driver, event, wrap_result, self.sim.now,
+            scatter=scatter, on_token=on_token, graph_name=graph.name,
+        )
+        controller = self.controllers[driver]
+        route = controller._route_for(graph, graph.entry, entry_node, None)
+        instance = route(token)
+        env = DataEnvelope(
+            token=token,
+            graph=graph,
+            node_id=graph.entry,
+            instance=instance,
+            ctx_id=ctx_id,
+            frames=(),
+        )
+        self.trace("activation_start", graph=graph.name, driver=driver)
+        self.transmit(env, driver, entry_node.collection.node_of(instance))
+        return event
+
+    def complete_activation(self, ctx_id: int, token: Token,
+                            from_node: str, frame=None,
+                            needs_ack: bool = False) -> None:
+        """Called by a controller when the exit node posts a result.
+
+        Ordinary graphs produce exactly one result; scatter graphs call
+        this once per depth-1 output token (*frame* identifies the remote
+        group; *needs_ack* says the token was admitted through an
+        upstream flow-control window that expects consumption feedback).
+        """
+        act = self._activations.get(ctx_id)
+        if act is None or act.done:
+            raise ScheduleError(f"result for unknown/finished activation {ctx_id}")
+
+        if act.scatter:
+            act.received += 1
+
+            def deliver_one(sim=self.sim):
+                if from_node != act.driver_node:
+                    nbytes = self._wire_size(token) + DATA_HEADER_BYTES
+                    yield self.cluster.network.transfer(
+                        self.cluster.node(from_node),
+                        self.cluster.node(act.driver_node),
+                        nbytes,
+                    )
+                if needs_ack and frame is not None:
+                    ack = AckMessage(
+                        graph_name=act.graph_name,
+                        opener=frame.opener,
+                        opener_instance=frame.opener_instance,
+                        group_id=frame.group_id,
+                        routed_instance=frame.routed_instance,
+                    )
+                    self.send_control(act.driver_node, frame.origin_node,
+                                      ACK_BYTES, ack)
+                act.on_token(token)
+                act.delivered += 1
+                self._maybe_finish_scatter(act)
+
+            self.sim.spawn(deliver_one(), name=f"scatter:{ctx_id}")
+            return
+
+        act.done = True
+
+        def deliver(sim=self.sim):
+            if from_node != act.driver_node:
+                nbytes = self._wire_size(token) + DATA_HEADER_BYTES
+                yield self.cluster.network.transfer(
+                    self.cluster.node(from_node),
+                    self.cluster.node(act.driver_node),
+                    nbytes,
+                )
+            self.trace("activation_done", ctx=ctx_id)
+            if act.wrap_result:
+                act.event.succeed(RunResult(token, act.started_at, sim.now))
+            else:
+                act.event.succeed(token)
+
+        self.sim.spawn(deliver(), name=f"result:{ctx_id}")
+
+    def scatter_total(self, ctx_id: int, total: int) -> None:
+        """The remote scatter opener announced its group size."""
+        act = self._activations.get(ctx_id)
+        if act is None or not act.scatter:
+            raise ScheduleError(f"scatter total for unknown activation {ctx_id}")
+        act.total = total
+        self._maybe_finish_scatter(act)
+
+    def _maybe_finish_scatter(self, act: _Activation) -> None:
+        if act.done or act.total is None or act.delivered < act.total:
+            return
+        act.done = True
+        self.trace("activation_done", ctx=act.ctx_id, scatter=True)
+        act.event.succeed(act.total)
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _wire_size(self, token: Token) -> int:
+        if self.serialize_payloads:
+            return len(encode(token))
+        return token.payload_nbytes()
+
+    def transmit(self, env: DataEnvelope, src: str, dest: str) -> None:
+        """Move a data envelope between controllers (or locally)."""
+        src_node = self.cluster.node(src)
+        dest_node = self.cluster.node(dest)
+        if src == dest:
+            # Zero-copy pointer pass (paper §4): negligible local cost.
+            def local():
+                yield self.cluster.network.transfer(src_node, dest_node, 0)
+                self.controllers[dest].receive(env)
+
+            self.sim.spawn(local(), name=f"post:{src}")
+            return
+
+        payload = encode(env.token) if self.serialize_payloads else None
+        nbytes = (len(payload) if payload is not None
+                  else env.token.payload_nbytes()) + DATA_HEADER_BYTES
+        # The DPS communication layer builds/parses control structures and
+        # runs the (near-zero-copy) serializer inline on each side.
+        extra = dps_wire_overhead_seconds(nbytes) if self.charge_serialization else 0.0
+        # delayed connection establishment (paper §4): the first data
+        # object between two application instances opens the TCP socket
+        conn_key = (self.app_of(env), src, dest)
+        connect = 0.0
+        if conn_key not in self._connected:
+            self._connected.add(conn_key)
+            connect = self.cluster.network.spec.connect_overhead
+
+        def remote():
+            yield self.cluster.network.transfer(
+                src_node, dest_node, nbytes,
+                tx_extra=extra + connect, rx_extra=extra,
+            )
+            if payload is not None:
+                env.token = decode(payload)
+            self.trace("msg", src=src, dest=dest, nbytes=nbytes)
+            self.controllers[dest].receive(env)
+
+        self.sim.spawn(remote(), name=f"send:{src}->{dest}")
+
+    def send_control(self, src: str, dest: str, nbytes: int, message: Any) -> None:
+        """Move a small control message (ack / group total)."""
+        src_node = self.cluster.node(src)
+        dest_node = self.cluster.node(dest)
+
+        def proc():
+            yield self.cluster.network.transfer(src_node, dest_node, nbytes)
+            self.controllers[dest].receive(message)
+
+        self.sim.spawn(proc(), name=f"ctl:{src}->{dest}")
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+    def spawn(self, gen: Generator, name: str = "driver"):
+        """Run a driver process alongside the schedule (client loops)."""
+        return self.sim.spawn(gen, name=name)
+
+    def run(
+        self,
+        graph: Union[Flowgraph, str],
+        token: Token,
+        driver_node: Optional[str] = None,
+        until: Optional[float] = None,
+    ) -> RunResult:
+        """Run one activation to completion and return its result."""
+        event = self.start(graph, token, driver_node)
+        self.sim.run(until=until)
+        if not event.triggered:
+            self._raise_stuck()
+        self.check_quiescent()
+        return event.value
+
+    def run_until(self, event: Event, limit: Optional[float] = None) -> Any:
+        """Advance the simulation until *event* triggers.
+
+        Unlike :meth:`run`, this leaves other activity (client driver
+        loops, concurrent activations) pending — it is the primitive for
+        workloads with perpetual background processes.  Raises if the
+        event queue drains or *limit* virtual seconds pass first.
+        """
+        while not event.triggered:
+            if limit is not None and self.sim.now > limit:
+                raise ScheduleError(
+                    f"run_until() exceeded the virtual time limit {limit}"
+                )
+            if not self.sim.step():
+                self._raise_stuck()
+        if not event.ok:
+            raise event.value
+        return event.value
+
+    def run_to_completion(self, until: Optional[float] = None) -> float:
+        """Drain all pending activity; returns the final virtual time."""
+        t = self.sim.run(until=until)
+        self.check_quiescent()
+        return t
+
+    def _raise_stuck(self) -> None:
+        details = []
+        group_nodes: Dict[int, list] = {}
+        for controller in self.controllers.values():
+            details.extend(controller.open_groups())
+            for gid, group in controller._groups.items():
+                if group.received > 0:
+                    group_nodes.setdefault(gid, []).append(controller.node_name)
+            pending = controller.pending_posts()
+            if pending:
+                details.append(
+                    f"{pending} posts stuck behind flow control at "
+                    f"{controller.node_name}"
+                )
+        for gid, nodes in group_nodes.items():
+            if len(nodes) > 1:
+                details.append(
+                    f"group {gid} was routed to multiple merge instances on "
+                    f"{nodes}; all tokens of one group must reach the same "
+                    f"merge thread"
+                )
+        raise ScheduleError(
+            "schedule did not complete; likely a routing bug (tokens of one "
+            "group sent to different merge instances) or a flow-control "
+            "deadlock. Diagnostics: " + ("; ".join(details) or "none")
+        )
+
+    def check_quiescent(self) -> None:
+        """Verify no merge group or flow-control queue is left dangling."""
+        problems = []
+        for controller in self.controllers.values():
+            problems.extend(controller.open_groups())
+            if controller.pending_posts():
+                problems.append(
+                    f"pending posts at {controller.node_name}"
+                )
+        for act in self._activations.values():
+            if not act.done:
+                problems.append(f"activation {act.ctx_id} never completed")
+        if problems:
+            raise ScheduleError("non-quiescent schedule: " + "; ".join(problems))
+
+    # ------------------------------------------------------------------
+    # dynamic reshaping
+    # ------------------------------------------------------------------
+    def remap(self, collection, mapping: str | list) -> Dict[str, Any]:
+        """Remap a thread collection onto different nodes at runtime.
+
+        The paper's dynamicity story (§2, §6): *"Dynamically created
+        thread collections and mappings of threads to nodes also offer
+        the potential for dynamically allocating computing and I/O
+        resources according to the requirements of multiple concurrently
+        running parallel applications."*
+
+        The schedule must be quiescent (between activations).  Thread
+        objects — and thus the distributed data they hold — migrate to
+        their new nodes over the network, priced by
+        :meth:`~repro.core.DpsThread.state_nbytes`.  The thread count
+        must stay the same (redistribution across a different number of
+        threads is application logic, not a runtime concern).
+
+        Returns a report dict: migrated thread count, bytes moved and
+        virtual migration time.
+        """
+        self.check_quiescent()
+        old_placements = collection.placements
+        if isinstance(mapping, str):
+            collection.map(mapping)
+        else:
+            collection.map_nodes(mapping)
+        new_placements = collection.placements
+        if len(new_placements) != len(old_placements):
+            collection.map_nodes(old_placements)  # roll back
+            raise ScheduleError(
+                f"remap cannot change the thread count "
+                f"({len(old_placements)} -> {len(new_placements)}); "
+                f"redistribute data at the application level instead"
+            )
+        self._validate_mapping_nodes(new_placements, collection)
+        moves = [
+            (i, old, new)
+            for i, (old, new) in enumerate(zip(old_placements, new_placements))
+            if old != new
+        ]
+        report = {"migrated": 0, "bytes": 0, "started_at": self.sim.now,
+                  "duration": 0.0}
+
+        def migrate():
+            for index, old, new in moves:
+                thread = self.controllers[old].evict_thread(collection, index)
+                if thread is None:
+                    # never instantiated: nothing to move, it will be
+                    # created lazily on the new node
+                    continue
+                nbytes = thread.state_nbytes() + DATA_HEADER_BYTES
+                yield self.cluster.network.transfer(
+                    self.cluster.node(old), self.cluster.node(new), nbytes
+                )
+                self.controllers[new].adopt_thread(collection, index, thread)
+                report["migrated"] += 1
+                report["bytes"] += nbytes
+                self.trace("thread_migrated", collection=collection.name,
+                           index=index, src=old, dest=new, nbytes=nbytes)
+            report["duration"] = self.sim.now - report["started_at"]
+
+        proc = self.sim.spawn(migrate(), name=f"remap:{collection.name}")
+        self.run_until(proc)
+        return report
+
+    def _validate_mapping_nodes(self, placements, collection) -> None:
+        for node_name in placements:
+            if node_name not in self.controllers:
+                raise ScheduleError(
+                    f"collection {collection.name!r} remapped to unknown "
+                    f"node {node_name!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, Any]:
+        """Aggregate run statistics (network, CPU, flow control)."""
+        net = self.cluster.network
+        per_node = {
+            name: {
+                "compute_time": node.compute_time,
+                "cpu_utilization": node.cpu_utilization(),
+            }
+            for name, node in self.cluster.nodes.items()
+        }
+        stalls = 0
+        posted = 0
+        for controller in self.controllers.values():
+            for window in controller.window_stats().values():
+                stalls += window.stalls
+                posted += window.total_posted
+        return {
+            "time": self.sim.now,
+            "network_bytes": net.bytes_sent,
+            "network_messages": net.messages_sent,
+            "local_messages": net.local_messages,
+            "nodes": per_node,
+            "window_stalls": stalls,
+            "tokens_posted": posted,
+        }

@@ -1,0 +1,621 @@
+"""Real-thread execution engine.
+
+:class:`ThreadedEngine` runs the same operation/graph/routing code as the
+simulated engine, but on actual OS threads with blocking queues — each DPS
+thread is mapped to one ``threading.Thread``, exactly as the C++ library
+maps DPS threads to operating-system threads.  There is no virtual time
+and no cluster model; "nodes" are logical placement labels.  Tokens moving
+between threads placed on *different* logical nodes are serialized and
+deserialized through the real wire format, enforcing that applications
+stay serializable (the same reason the paper runs multiple kernels on one
+host "for debugging purposes ... it enforces the use of the networking
+code").
+
+Use this engine for functional validation and interactive examples; use
+:class:`~repro.runtime.sim_engine.SimEngine` for performance studies.
+CPython's GIL limits true compute parallelism here, which is exactly why
+the performance reproduction lives on the simulated engine (see
+DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, Optional, Tuple, Union
+
+from ..core.flowcontrol import FlowControlPolicy, SplitWindow
+from ..core.graph import Flowgraph
+from ..core.ops import (
+    CallGraphRequest,
+    ChargeRequest,
+    NextTokenRequest,
+    Operation,
+    OpKind,
+    PostRequest,
+    ScatterCallRequest,
+)
+from ..core.routing import Route, RoutingContext
+from ..core.threads import ThreadCollection
+from ..serial.token import Token
+from ..serial.wire import decode, encode
+from .base import Application, DataEnvelope, GroupFrame
+from .controller import ScheduleError
+
+import inspect
+
+__all__ = ["ThreadedEngine"]
+
+_STOP = object()
+
+
+class _ThreadWorker:
+    """One DPS thread: an OS thread draining an envelope queue."""
+
+    def __init__(self, engine: "ThreadedEngine", collection: ThreadCollection, index: int):
+        self.engine = engine
+        self.collection = collection
+        self.index = index
+        self.thread_obj = collection.make_thread(index)
+        self.inbox: "queue.Queue" = queue.Queue()
+        self.os_thread = threading.Thread(
+            target=self._loop,
+            name=f"dps:{collection.name}[{index}]",
+            daemon=True,
+        )
+        self.os_thread.start()
+
+    def _loop(self) -> None:
+        while True:
+            item = self.inbox.get()
+            if item is _STOP:
+                return
+            try:
+                if isinstance(item, DataEnvelope):
+                    self.engine._handle_data(self, item)
+                elif isinstance(item, tuple) and item[0] == "resume":
+                    self.engine._poke_group(self, item[1])
+            except BaseException as exc:  # surface to the caller of run()
+                self.engine._record_failure(exc)
+                return
+
+
+class _Group:
+    __slots__ = (
+        "group_id", "buffer", "received", "consumed", "total", "instance",
+        "node_id", "parent_frames", "body", "body_gen", "parked", "completed",
+        "worker",
+    )
+
+    def __init__(self, group_id: int):
+        self.group_id = group_id
+        self.buffer: Deque[DataEnvelope] = deque()
+        self.received = 0
+        self.consumed = 0
+        self.total: Optional[int] = None
+        self.instance: Optional[int] = None
+        self.node_id: Optional[int] = None
+        self.parent_frames: Optional[Tuple[GroupFrame, ...]] = None
+        self.body = None
+        self.body_gen = None
+        self.parked = False
+        self.completed = False
+        self.worker: Optional[_ThreadWorker] = None
+
+    @property
+    def drained(self) -> bool:
+        return self.total is not None and self.consumed == self.total
+
+
+class _Body:
+    __slots__ = ("op", "graph", "node_id", "worker", "ctx_id", "base_frames",
+                 "out_group_id", "posted", "group")
+
+    def __init__(self, op, graph, node_id, worker, ctx_id, base_frames, group=None):
+        self.op = op
+        self.graph = graph
+        self.node_id = node_id
+        self.worker = worker
+        self.ctx_id = ctx_id
+        self.base_frames = base_frames
+        self.out_group_id: Optional[int] = None
+        self.posted = 0
+        self.group = group
+
+    @property
+    def kind(self):
+        return self.graph.node(self.node_id).kind
+
+    @property
+    def opens_group(self):
+        return self.kind in (OpKind.SPLIT, OpKind.STREAM)
+
+
+class ThreadedEngine:
+    """Execute DPS schedules on real OS threads with blocking queues."""
+
+    def __init__(self, policy: FlowControlPolicy = FlowControlPolicy(),
+                 serialize_transfers: bool = True):
+        self.policy = policy
+        #: Serialize tokens crossing logical node boundaries (wire-format
+        #: round trip), as the DPS debugging kernels do.
+        self.serialize_transfers = serialize_transfers
+        self._lock = threading.RLock()
+        self._graphs: Dict[str, Flowgraph] = {}
+        self._workers: Dict[Tuple[int, int], _ThreadWorker] = {}
+        self._groups: Dict[int, _Group] = {}
+        self._windows: Dict[Tuple[str, int, int], SplitWindow] = {}
+        self._pending: Dict[Tuple[str, int, int],
+                            Deque[Tuple[DataEnvelope, Optional[threading.Event]]]] = {}
+        self._routes: Dict[Tuple[str, int], Route] = {}
+        self._group_counter = 0
+        self._ctx_counter = 0
+        self._results: Dict[int, "queue.Queue"] = {}
+        #: ctx_id -> [on_token, delivered, total, done_event] for scatter calls
+        self._scatters: Dict[int, list] = {}
+        self._failure: Optional[BaseException] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # registration / lifecycle
+    # ------------------------------------------------------------------
+    def register_graph(self, graph: Flowgraph) -> None:
+        existing = self._graphs.get(graph.name)
+        if existing is not None and existing is not graph:
+            raise ValueError(f"graph name {graph.name!r} already registered")
+        self._graphs[graph.name] = graph
+
+    def register_app(self, app: Application) -> None:
+        for graph in app.graphs.values():
+            self.register_graph(graph)
+
+    def graph(self, name: str) -> Flowgraph:
+        try:
+            return self._graphs[name]
+        except KeyError:
+            raise KeyError(f"unknown graph {name!r}") from None
+
+    def shutdown(self) -> None:
+        """Stop all worker threads (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers.values())
+        for w in workers:
+            w.inbox.put(_STOP)
+        for w in workers:
+            w.os_thread.join(timeout=5)
+
+    def __enter__(self) -> "ThreadedEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(self, graph: Union[Flowgraph, str], token: Token,
+            timeout: float = 60.0) -> Token:
+        """Run one activation to completion; returns the result token."""
+        if isinstance(graph, str):
+            graph = self.graph(graph)
+        elif graph.name not in self._graphs:
+            self.register_graph(graph)
+        entry = graph.node(graph.entry)
+        if graph.scatter:
+            raise ScheduleError(
+                f"scatter graph {graph.name!r} must be invoked through "
+                f"call_scatter() from a split/stream operation"
+            )
+        if not entry.op_class.accepts(type(token)):
+            raise ScheduleError(
+                f"graph {graph.name!r} entry does not accept "
+                f"{type(token).__name__}"
+            )
+        with self._lock:
+            self._ctx_counter += 1
+            ctx_id = self._ctx_counter
+            result_q: "queue.Queue" = queue.Queue()
+            self._results[ctx_id] = result_q
+            route = self._route_for(graph, graph.entry, entry, None)
+            instance = route(token)
+        env = DataEnvelope(token, graph, graph.entry, instance, ctx_id, ())
+        self._deliver(env)
+        try:
+            outcome = result_q.get(timeout=timeout)
+        except queue.Empty:
+            failure = self._failure
+            if failure is not None:
+                raise failure
+            raise ScheduleError(
+                f"graph {graph.name!r} did not complete within {timeout}s; "
+                f"likely a routing bug or flow-control deadlock"
+            ) from None
+        finally:
+            with self._lock:
+                self._results.pop(ctx_id, None)
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return outcome
+
+    def _run_scatter(self, request: ScatterCallRequest, body: _Body) -> int:
+        """Run a remote scatter graph; its outputs become *body*'s posts."""
+        graph = self.graph(request.graph_name)
+        if not graph.scatter:
+            raise ScheduleError(
+                f"graph {request.graph_name!r} is not a scatter graph"
+            )
+        entry = graph.node(graph.entry)
+        done = threading.Event()
+        with self._lock:
+            self._ctx_counter += 1
+            ctx_id = self._ctx_counter
+            self._scatters[ctx_id] = [
+                lambda tok, b=body: self._emit(b, PostRequest(tok)),
+                0, None, done,
+            ]
+            route = self._route_for(graph, graph.entry, entry, None)
+            instance = route(request.token)
+        env = DataEnvelope(request.token, graph, graph.entry, instance,
+                           ctx_id, ())
+        self._deliver(env)
+        if not done.wait(timeout=60):
+            raise ScheduleError(
+                f"scatter call {request.graph_name!r} did not complete"
+            )
+        with self._lock:
+            state = self._scatters.pop(ctx_id)
+        return state[2]
+
+    def _scatter_token(self, ctx_id: int, token: Token) -> None:
+        with self._lock:
+            state = self._scatters.get(ctx_id)
+            if state is None:
+                raise ScheduleError(f"scatter result for unknown ctx {ctx_id}")
+        state[0](token)
+        with self._lock:
+            state[1] += 1
+            if state[2] is not None and state[1] >= state[2]:
+                state[3].set()
+
+    def scatter_total(self, ctx_id: int, total: int) -> None:
+        with self._lock:
+            state = self._scatters.get(ctx_id)
+            if state is None:
+                raise ScheduleError(f"scatter total for unknown ctx {ctx_id}")
+            state[2] = total
+            if state[1] >= total:
+                state[3].set()
+
+    def _record_failure(self, exc: BaseException) -> None:
+        with self._lock:
+            self._failure = exc
+            queues = list(self._results.values())
+        for q in queues:
+            q.put(exc)
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _worker_for(self, collection: ThreadCollection, index: int) -> _ThreadWorker:
+        with self._lock:
+            key = (id(collection), index)
+            worker = self._workers.get(key)
+            if worker is None:
+                worker = _ThreadWorker(self, collection, index)
+                self._workers[key] = worker
+            return worker
+
+    def _deliver(self, env: DataEnvelope) -> None:
+        node = env.graph.node(env.node_id)
+        worker = self._worker_for(node.collection, env.instance)
+        if self.serialize_transfers and node.collection.node_of(env.instance) != \
+                self._placement_of_current_thread():
+            env.token = decode(encode(env.token))
+        worker.inbox.put(env)
+
+    def _placement_of_current_thread(self) -> Optional[str]:
+        name = threading.current_thread().name
+        if name.startswith("dps:"):
+            with self._lock:
+                for (cid, idx), worker in self._workers.items():
+                    if worker.os_thread is threading.current_thread():
+                        return worker.collection.node_of(idx)
+        return None
+
+    # ------------------------------------------------------------------
+    # envelope handling (runs on worker threads)
+    # ------------------------------------------------------------------
+    def _handle_data(self, worker: _ThreadWorker, env: DataEnvelope) -> None:
+        node = env.graph.node(env.node_id)
+        if node.kind in (OpKind.LEAF, OpKind.SPLIT):
+            body = self._make_body(env, worker)
+            self._drive(body, env.token)
+            return
+        frame = env.top_frame()
+        with self._lock:
+            group = self._groups.get(frame.group_id)
+            if group is None:
+                group = _Group(frame.group_id)
+                self._groups[frame.group_id] = group
+            if group.instance is None:
+                group.instance = env.instance
+                group.node_id = env.node_id
+                group.parent_frames = env.frames[:-1]
+                group.worker = worker
+            elif group.instance != env.instance or group.node_id != env.node_id:
+                raise ScheduleError(
+                    f"group {frame.group_id} routed to multiple merge instances"
+                )
+            group.received += 1
+            start_body = group.body is None
+            if start_body:
+                group.consumed += 1
+                self._ack(env)
+        if start_body:
+            body = self._make_body(env, worker, group=group)
+            with self._lock:
+                group.body = body
+            self._drive(body, env.token)
+        else:
+            with self._lock:
+                group.buffer.append(env)
+                parked = group.parked
+            if parked:
+                self._poke_group(worker, frame.group_id)
+
+    def _poke_group(self, worker: _ThreadWorker, group_id: int) -> None:
+        while True:
+            with self._lock:
+                group = self._groups.get(group_id)
+                if group is None or group.body is None or not group.parked:
+                    return
+                if group.buffer:
+                    env = group.buffer.popleft()
+                    group.consumed += 1
+                    group.parked = False
+                    self._ack(env)
+                    value = env.token
+                elif group.drained:
+                    group.parked = False
+                    group.completed = True
+                    value = None
+                else:
+                    return
+            self._drive(group.body, value, resume=True)
+            return
+
+    def _make_body(self, env: DataEnvelope, worker: _ThreadWorker,
+                   group: Optional[_Group] = None) -> _Body:
+        node = env.graph.node(env.node_id)
+        op: Operation = node.op_class()
+        if not isinstance(worker.thread_obj, node.op_class.thread_type):
+            raise ScheduleError(
+                f"{node.op_class.__name__} requires "
+                f"{node.op_class.thread_type.__name__}"
+            )
+        base = env.frames if node.kind in (OpKind.LEAF, OpKind.SPLIT) \
+            else env.frames[:-1]
+        body = _Body(op, env.graph, env.node_id, worker, env.ctx_id, base, group)
+        import time as _time
+        op.bind(worker.thread_obj, lambda req, b=body: self._emit(b, req),
+                now=_time.monotonic)
+        return body
+
+    # ------------------------------------------------------------------
+    # body driver (blocking flavour)
+    # ------------------------------------------------------------------
+    def _drive(self, body: _Body, first_value: Any, resume: bool = False) -> None:
+        op = body.op
+        if not resume:
+            if not inspect.isgeneratorfunction(op.execute):
+                if body.kind in (OpKind.MERGE, OpKind.STREAM):
+                    raise ScheduleError(
+                        f"{type(op).__name__}.execute must be a generator"
+                    )
+                op.execute(first_value)
+                self._finish_body(body)
+                return
+            gen = op.execute(first_value)
+            to_send: Any = None
+        else:
+            gen = body.group.body_gen
+            to_send = first_value
+
+        while True:
+            try:
+                request = gen.send(to_send)
+            except StopIteration:
+                self._finish_body(body)
+                return
+            to_send = None
+            if isinstance(request, PostRequest):
+                admit = request._admit_event
+                if admit is not None:
+                    admit.wait()  # blocking split stall
+            elif isinstance(request, ChargeRequest):
+                pass  # virtual cost: meaningless on the real-thread engine
+            elif isinstance(request, NextTokenRequest):
+                group = body.group
+                if group is None:
+                    raise ScheduleError("next_token() outside merge/stream")
+                with self._lock:
+                    if group.buffer:
+                        env = group.buffer.popleft()
+                        group.consumed += 1
+                        self._ack(env)
+                        to_send = env.token
+                        continue
+                    if group.drained:
+                        group.completed = True
+                        to_send = None
+                        continue
+                    group.parked = True
+                    group.body_gen = gen
+                return
+            elif isinstance(request, CallGraphRequest):
+                to_send = self.run(request.graph_name, request.token)
+            elif isinstance(request, ScatterCallRequest):
+                if not body.opens_group:
+                    raise ScheduleError(
+                        "call_scatter() outside a split/stream body"
+                    )
+                to_send = self._run_scatter(request, body)
+            else:
+                raise ScheduleError(f"bad yield {request!r} from {type(op).__name__}")
+
+    def _finish_body(self, body: _Body) -> None:
+        group = body.group
+        if group is not None:
+            with self._lock:
+                if not group.completed:
+                    raise ScheduleError(
+                        f"{type(body.op).__name__} returned before consuming "
+                        f"its whole group"
+                    )
+                del self._groups[group.group_id]
+        if body.opens_group:
+            if body.posted == 0:
+                raise ScheduleError(
+                    f"{type(body.op).__name__} posted no tokens"
+                )
+            self._close_group(body)
+
+    # ------------------------------------------------------------------
+    # posting path
+    # ------------------------------------------------------------------
+    def _emit(self, body: _Body, req: PostRequest) -> None:
+        token = req.token
+        node = body.graph.node(body.node_id)
+        if not any(isinstance(token, t) for t in node.op_class.out_types):
+            raise ScheduleError(
+                f"{node.op_class.__name__} posted undeclared "
+                f"{type(token).__name__}"
+            )
+        succ = body.graph.dispatch(body.node_id, type(token))
+        if succ is None:
+            body.posted += 1
+            if body.graph.scatter:
+                self._scatter_token(body.ctx_id, token)
+                return
+            with self._lock:
+                result_q = self._results.get(body.ctx_id)
+            if result_q is None:
+                raise ScheduleError(f"result for unknown activation {body.ctx_id}")
+            result_q.put(token)
+            return
+        with self._lock:
+            window = self._window_for(body) if body.opens_group else None
+            if window is not None and body.out_group_id is None:
+                self._group_counter += 1
+                body.out_group_id = self._group_counter
+            seq = body.posted
+            body.posted += 1
+            if window is not None:
+                key = (body.graph.name, body.node_id, body.worker.index)
+                if not window.can_send or self._pending.get(key):
+                    # defer routing until the window admits the token
+                    admit = threading.Event()
+                    req._admit_event = admit
+                    self._pending.setdefault(key, deque()).append(
+                        (body, token, succ, seq, admit)
+                    )
+                    window.on_stall()
+                    return
+            env = self._route_env(body, token, succ, seq, window)
+        self._deliver(env)
+
+    def _route_env(self, body: _Body, token: Token, succ: int, seq: int,
+                   window) -> DataEnvelope:
+        """Route and wrap a token (caller holds the lock)."""
+        node = body.graph.node(body.node_id)
+        succ_node = body.graph.node(succ)
+        route = self._route_for(body.graph, succ, succ_node, window)
+        instance = route(token)
+        frames = body.base_frames
+        if body.opens_group:
+            frames = frames + (GroupFrame(
+                group_id=body.out_group_id,
+                index=seq,
+                opener=body.node_id,
+                opener_instance=body.worker.index,
+                origin_node=node.collection.node_of(body.worker.index),
+                routed_instance=instance,
+            ),)
+        if window is not None:
+            window.on_post(instance)
+        return DataEnvelope(token, body.graph, succ, instance,
+                            body.ctx_id, frames)
+
+    def _window_for(self, body: _Body) -> SplitWindow:
+        key = (body.graph.name, body.node_id, body.worker.index)
+        window = self._windows.get(key)
+        if window is None:
+            window = SplitWindow(self.policy.window)
+            self._windows[key] = window
+        return window
+
+    def _route_for(self, graph: Flowgraph, node_id: int, node, window) -> Route:
+        key = (graph.name, node_id)
+        route = self._routes.get(key)
+        if route is None:
+            route = node.route_class()
+            holder = {"window": None}
+
+            def outstanding(i: int) -> int:
+                w = holder["window"]
+                return w.outstanding(i) if w is not None else 0
+
+            route.bind(RoutingContext(node.collection, outstanding))
+            route._dps_holder = holder  # type: ignore[attr-defined]
+            self._routes[key] = route
+        route._dps_holder["window"] = window  # type: ignore[attr-defined]
+        return route
+
+    # ------------------------------------------------------------------
+    # feedback
+    # ------------------------------------------------------------------
+    def _ack(self, env: DataEnvelope) -> None:
+        """Consume-side ack (caller holds the lock)."""
+        frame = env.top_frame()
+        key = (env.graph.name, frame.opener, frame.opener_instance)
+        window = self._windows.get(key)
+        if window is None:
+            return  # opener used no window (policy None at post time)
+        window.on_ack(frame.routed_instance)
+        pending = self._pending.get(key)
+        to_deliver = []
+        while pending and window.can_send:
+            qbody, qtoken, qsucc, qseq, admit = pending.popleft()
+            queued_env = self._route_env(qbody, qtoken, qsucc, qseq, window)
+            to_deliver.append((queued_env, admit))
+        if pending is not None and not pending:
+            self._pending.pop(key, None)
+        for queued_env, admit in to_deliver:
+            self._deliver(queued_env)
+            if admit is not None:
+                admit.set()
+
+    def _close_group(self, body: _Body) -> None:
+        graph = body.graph
+        if graph.scatter and body.node_id == graph.scatter_opener:
+            self.scatter_total(body.ctx_id, body.posted)
+            return
+        merge_id = graph.matching_merge(body.node_id)
+        with self._lock:
+            group = self._groups.get(body.out_group_id)
+            if group is None:
+                group = _Group(body.out_group_id)
+                self._groups[body.out_group_id] = group
+            group.total = body.posted
+            worker = group.worker
+            parked = group.parked
+        if worker is not None and parked:
+            worker.inbox.put(("resume", body.out_group_id))
+        elif worker is None:
+            # no token has arrived yet; the total will be found when the
+            # first token creates the body
+            pass

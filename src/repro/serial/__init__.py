@@ -1,0 +1,22 @@
+"""Serialization substrate: tokens, containers, registry, wire format."""
+
+from .containers import Buffer, Vector
+from .registry import TokenRegistry, registry
+from .token import ComplexToken, SimpleToken, Token, TokenMeta
+from .wire import MAGIC, WireError, decode, encode, encoded_size
+
+__all__ = [
+    "Buffer",
+    "ComplexToken",
+    "MAGIC",
+    "SimpleToken",
+    "Token",
+    "TokenMeta",
+    "TokenRegistry",
+    "Vector",
+    "WireError",
+    "decode",
+    "encode",
+    "encoded_size",
+    "registry",
+]

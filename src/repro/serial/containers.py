@@ -1,0 +1,128 @@
+"""Container types for token payloads.
+
+The DPS C++ library provides two container templates:
+
+- ``Buffer<T>`` — a variable-size array of *simple* elements, serialized
+  with a plain memory copy.  Here :class:`Buffer` wraps a numpy array so
+  serialization is a single buffer-protocol copy (the fast path the
+  mpi4py-style guides recommend).
+- ``Vector<T>`` — a variable-size array of *complex* elements (other
+  serializable objects).  Here :class:`Vector` is a thin typed list.
+
+The C++ ``CT<T>`` wrapper (inserting simple types into complex tokens) is
+unnecessary in Python — plain attributes serve that role — so it is not
+reproduced; the wire codec handles scalars natively.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional
+
+import numpy as np
+
+__all__ = ["Buffer", "Vector"]
+
+
+class Buffer:
+    """A typed, variable-size array of simple elements (numpy-backed).
+
+    ``Buffer(data, dtype=...)`` accepts anything :func:`numpy.asarray`
+    accepts.  The underlying array is exposed as :attr:`array`; element
+    access and length are delegated.  Serialization copies the raw bytes,
+    so element types must be numeric/boolean (no object dtype).
+    """
+
+    __slots__ = ("array",)
+
+    def __init__(self, data: Any = (), dtype: Any = None):
+        arr = np.asarray(data, dtype=dtype)
+        if arr.dtype == object:
+            raise TypeError("Buffer requires a numeric dtype, not object")
+        self.array = arr
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size in bytes."""
+        return self.array.nbytes
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.array.dtype
+
+    @property
+    def shape(self) -> tuple:
+        return self.array.shape
+
+    def __len__(self) -> int:
+        return len(self.array)
+
+    def __getitem__(self, idx):
+        return self.array[idx]
+
+    def __setitem__(self, idx, value) -> None:
+        self.array[idx] = value
+
+    def __iter__(self) -> Iterator:
+        return iter(self.array)
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, Buffer):
+            other = other.array
+        return bool(
+            isinstance(other, np.ndarray)
+            and self.array.shape == other.shape
+            and self.array.dtype == other.dtype
+            and np.array_equal(self.array, other)
+        )
+
+    def __repr__(self) -> str:
+        return f"Buffer(dtype={self.array.dtype}, shape={self.array.shape})"
+
+
+class Vector:
+    """A variable-size array of complex (serializable) elements.
+
+    Optionally homogeneity-checked: ``Vector(items, element_type=Foo)``
+    rejects elements that are not ``Foo`` instances, mirroring the typed
+    C++ ``Vector<Something>``.
+    """
+
+    __slots__ = ("items", "element_type")
+
+    def __init__(self, items: Iterable[Any] = (), element_type: Optional[type] = None):
+        self.element_type = element_type
+        self.items: List[Any] = []
+        for item in items:
+            self.append(item)
+
+    def append(self, item: Any) -> None:
+        if self.element_type is not None and not isinstance(item, self.element_type):
+            raise TypeError(
+                f"Vector[{self.element_type.__name__}] cannot hold "
+                f"{type(item).__name__}"
+            )
+        self.items.append(item)
+
+    def extend(self, items: Iterable[Any]) -> None:
+        for item in items:
+            self.append(item)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __getitem__(self, idx):
+        return self.items[idx]
+
+    def __iter__(self) -> Iterator:
+        return iter(self.items)
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, Vector):
+            return self.items == other.items
+        if isinstance(other, list):
+            return self.items == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        et = self.element_type.__name__ if self.element_type else "Any"
+        return f"Vector[{et}](len={len(self.items)})"

@@ -1,0 +1,64 @@
+"""Token class registry — the Python analog of DPS's ``IDENTIFY`` macro.
+
+In the C++ library every data object class carries an ``IDENTIFY`` macro
+that registers an abstract class factory so objects can be instantiated
+during deserialization.  Here a metaclass registers every
+:class:`~repro.serial.token.Token` subclass under a stable name; the wire
+decoder looks the class up by that name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+__all__ = ["TokenRegistry", "registry"]
+
+
+class TokenRegistry:
+    """Maps stable class names to token classes (abstract factory)."""
+
+    def __init__(self) -> None:
+        self._classes: Dict[str, type] = {}
+
+    def register(self, cls: type, name: str | None = None) -> None:
+        """Register *cls* under *name* (default: the class ``__name__``).
+
+        Re-registering the *same* class object is a no-op; registering a
+        different class under an existing name raises, because silently
+        shadowing a token type would corrupt deserialization.
+        """
+        key = name or cls.__name__
+        existing = self._classes.get(key)
+        if existing is not None and existing is not cls:
+            raise ValueError(
+                f"token name {key!r} already registered by "
+                f"{existing.__module__}.{existing.__qualname__}"
+            )
+        self._classes[key] = cls
+
+    def lookup(self, name: str) -> type:
+        """Return the class registered under *name*."""
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown token class {name!r}; did you forget to import "
+                f"the module defining it before deserializing?"
+            ) from None
+
+    def name_of(self, cls: type) -> str:
+        """Return the registered name for *cls*."""
+        key = getattr(cls, "_dps_name_", cls.__name__)
+        if self._classes.get(key) is not cls:
+            raise KeyError(f"{cls!r} is not registered")
+        return key
+
+    def is_registered(self, name: str) -> bool:
+        return name in self._classes
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+
+#: Process-global registry used by the default wire codec.
+registry = TokenRegistry()

@@ -1,0 +1,292 @@
+"""Binary wire format for tokens.
+
+Tokens crossing node boundaries are serialized to a compact self-describing
+binary format and rebuilt on the receiving side through the class registry,
+exactly as the C++ library does with its pointer-arithmetic serializer and
+abstract class factories.  Numpy-backed :class:`~repro.serial.containers.Buffer`
+payloads are emitted as single raw-byte copies (the buffer-protocol fast
+path), everything else field-by-field.
+
+Layout::
+
+    message  := MAGIC 'DPS2' | u16 name_len | name utf-8 | value(fields dict)
+    value    := u8 tag | payload            (tags in ``Tag``)
+    ndarray  := u8 dtype_len | dtype | u8 ndim | u32 dims... | raw bytes
+
+The format is intentionally versioned via the magic string.
+"""
+
+from __future__ import annotations
+
+import struct
+from enum import IntEnum
+from typing import Any
+
+import numpy as np
+
+from .containers import Buffer, Vector
+from .registry import TokenRegistry, registry
+from .token import Token
+
+__all__ = ["encode", "decode", "encoded_size", "WireError", "MAGIC"]
+
+MAGIC = b"DPS2"
+
+_U8 = struct.Struct("<B")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+
+class WireError(ValueError):
+    """Raised on malformed wire messages or unserializable payloads."""
+
+
+class Tag(IntEnum):
+    NONE = 0
+    FALSE = 1
+    TRUE = 2
+    INT64 = 3
+    FLOAT64 = 4
+    STR = 5
+    BYTES = 6
+    BIGINT = 7
+    NDARRAY = 8
+    BUFFER = 9
+    VECTOR = 10
+    LIST = 11
+    TUPLE = 12
+    DICT = 13
+    TOKEN = 14
+
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+def encode(token: Token, reg: TokenRegistry = registry) -> bytes:
+    """Serialize *token* (a registered :class:`Token`) to bytes."""
+    if not isinstance(token, Token):
+        raise WireError(f"can only encode Token instances, got {type(token).__name__}")
+    name = reg.name_of(type(token)).encode("utf-8")
+    out = bytearray(MAGIC)
+    out += _U16.pack(len(name))
+    out += name
+    _encode_value(out, token.fields())
+    return bytes(out)
+
+
+def encoded_size(token: Token, reg: TokenRegistry = registry) -> int:
+    """Authoritative wire size of *token* in bytes."""
+    return len(encode(token, reg))
+
+
+def decode(data: bytes | memoryview, reg: TokenRegistry = registry) -> Token:
+    """Rebuild a token from bytes produced by :func:`encode`."""
+    view = memoryview(data)
+    if bytes(view[:4]) != MAGIC:
+        raise WireError("bad magic; not a DPS wire message")
+    (name_len,) = _U16.unpack_from(view, 4)
+    offset = 6
+    name = bytes(view[offset : offset + name_len]).decode("utf-8")
+    offset += name_len
+    cls = reg.lookup(name)
+    fields, offset = _decode_value(view, offset)
+    if offset != len(view):
+        raise WireError(f"trailing garbage: {len(view) - offset} bytes")
+    obj = cls.__new__(cls)
+    obj.__dict__.update(fields)
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# value encoding
+# ---------------------------------------------------------------------------
+
+def _encode_value(out: bytearray, value: Any) -> None:
+    if value is None:
+        out += _U8.pack(Tag.NONE)
+    elif value is False:
+        out += _U8.pack(Tag.FALSE)
+    elif value is True:
+        out += _U8.pack(Tag.TRUE)
+    elif isinstance(value, (int, np.integer)) and not isinstance(value, bool):
+        iv = int(value)
+        if _INT64_MIN <= iv <= _INT64_MAX:
+            out += _U8.pack(Tag.INT64)
+            out += _I64.pack(iv)
+        else:
+            raw = str(iv).encode("ascii")
+            out += _U8.pack(Tag.BIGINT)
+            out += _U32.pack(len(raw))
+            out += raw
+    elif isinstance(value, (float, np.floating)):
+        out += _U8.pack(Tag.FLOAT64)
+        out += _F64.pack(float(value))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out += _U8.pack(Tag.STR)
+        out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        out += _U8.pack(Tag.BYTES)
+        out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(value, Buffer):
+        out += _U8.pack(Tag.BUFFER)
+        _encode_ndarray(out, value.array)
+    elif isinstance(value, np.ndarray):
+        out += _U8.pack(Tag.NDARRAY)
+        _encode_ndarray(out, value)
+    elif isinstance(value, Vector):
+        out += _U8.pack(Tag.VECTOR)
+        out += _U32.pack(len(value.items))
+        for item in value.items:
+            _encode_value(out, item)
+    elif isinstance(value, list):
+        out += _U8.pack(Tag.LIST)
+        out += _U32.pack(len(value))
+        for item in value:
+            _encode_value(out, item)
+    elif isinstance(value, tuple):
+        out += _U8.pack(Tag.TUPLE)
+        out += _U32.pack(len(value))
+        for item in value:
+            _encode_value(out, item)
+    elif isinstance(value, dict):
+        out += _U8.pack(Tag.DICT)
+        out += _U32.pack(len(value))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise WireError(f"dict keys must be str, got {type(key).__name__}")
+            raw = key.encode("utf-8")
+            out += _U16.pack(len(raw))
+            out += raw
+            _encode_value(out, item)
+    elif isinstance(value, Token):
+        name = registry.name_of(type(value)).encode("utf-8")
+        out += _U8.pack(Tag.TOKEN)
+        out += _U16.pack(len(name))
+        out += name
+        _encode_value(out, value.fields())
+    else:
+        raise WireError(
+            f"unserializable value of type {type(value).__name__}; token "
+            f"fields must be scalars, Buffer, Vector, ndarray, containers "
+            f"or nested Tokens"
+        )
+
+
+def _encode_ndarray(out: bytearray, arr: np.ndarray) -> None:
+    if arr.dtype == object:
+        raise WireError("object-dtype arrays are not serializable")
+    if arr.dtype.hasobject:
+        raise WireError("arrays containing objects are not serializable")
+    # ascontiguousarray promotes 0-d arrays to 1-d; preserve the shape.
+    contiguous = np.ascontiguousarray(arr).reshape(arr.shape)
+    dtype_str = contiguous.dtype.str.encode("ascii")
+    out += _U8.pack(len(dtype_str))
+    out += dtype_str
+    out += _U8.pack(contiguous.ndim)
+    for dim in contiguous.shape:
+        out += _U32.pack(dim)
+    out += contiguous.tobytes()
+
+
+# ---------------------------------------------------------------------------
+# value decoding
+# ---------------------------------------------------------------------------
+
+def _decode_value(view: memoryview, offset: int) -> tuple[Any, int]:
+    tag = view[offset]
+    offset += 1
+    if tag == Tag.NONE:
+        return None, offset
+    if tag == Tag.FALSE:
+        return False, offset
+    if tag == Tag.TRUE:
+        return True, offset
+    if tag == Tag.INT64:
+        (v,) = _I64.unpack_from(view, offset)
+        return v, offset + 8
+    if tag == Tag.FLOAT64:
+        (v,) = _F64.unpack_from(view, offset)
+        return v, offset + 8
+    if tag == Tag.STR:
+        (n,) = _U32.unpack_from(view, offset)
+        offset += 4
+        return bytes(view[offset : offset + n]).decode("utf-8"), offset + n
+    if tag == Tag.BYTES:
+        (n,) = _U32.unpack_from(view, offset)
+        offset += 4
+        return bytes(view[offset : offset + n]), offset + n
+    if tag == Tag.BIGINT:
+        (n,) = _U32.unpack_from(view, offset)
+        offset += 4
+        return int(bytes(view[offset : offset + n]).decode("ascii")), offset + n
+    if tag == Tag.NDARRAY:
+        return _decode_ndarray(view, offset)
+    if tag == Tag.BUFFER:
+        arr, offset = _decode_ndarray(view, offset)
+        buf = Buffer.__new__(Buffer)
+        buf.array = arr
+        return buf, offset
+    if tag == Tag.VECTOR:
+        (n,) = _U32.unpack_from(view, offset)
+        offset += 4
+        vec = Vector()
+        for _ in range(n):
+            item, offset = _decode_value(view, offset)
+            vec.items.append(item)
+        return vec, offset
+    if tag in (Tag.LIST, Tag.TUPLE):
+        (n,) = _U32.unpack_from(view, offset)
+        offset += 4
+        items = []
+        for _ in range(n):
+            item, offset = _decode_value(view, offset)
+            items.append(item)
+        return (tuple(items) if tag == Tag.TUPLE else items), offset
+    if tag == Tag.DICT:
+        (n,) = _U32.unpack_from(view, offset)
+        offset += 4
+        result: dict[str, Any] = {}
+        for _ in range(n):
+            (klen,) = _U16.unpack_from(view, offset)
+            offset += 2
+            key = bytes(view[offset : offset + klen]).decode("utf-8")
+            offset += klen
+            value, offset = _decode_value(view, offset)
+            result[key] = value
+        return result, offset
+    if tag == Tag.TOKEN:
+        (nlen,) = _U16.unpack_from(view, offset)
+        offset += 2
+        name = bytes(view[offset : offset + nlen]).decode("utf-8")
+        offset += nlen
+        cls = registry.lookup(name)
+        fields, offset = _decode_value(view, offset)
+        obj = cls.__new__(cls)
+        obj.__dict__.update(fields)
+        return obj, offset
+    raise WireError(f"unknown wire tag {tag}")
+
+
+def _decode_ndarray(view: memoryview, offset: int) -> tuple[np.ndarray, int]:
+    dlen = view[offset]
+    offset += 1
+    dtype = np.dtype(bytes(view[offset : offset + dlen]).decode("ascii"))
+    offset += dlen
+    ndim = view[offset]
+    offset += 1
+    shape = []
+    for _ in range(ndim):
+        (dim,) = _U32.unpack_from(view, offset)
+        offset += 4
+        shape.append(dim)
+    count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    nbytes = count * dtype.itemsize
+    arr = np.frombuffer(view[offset : offset + nbytes], dtype=dtype).reshape(shape).copy()
+    return arr, offset + nbytes

@@ -1,0 +1,30 @@
+"""Deterministic discrete-event simulation kernel.
+
+The substrate under the DPS simulated-cluster runtime: generator-based
+processes, a virtual clock, FIFO stores and counting resources.
+"""
+
+from .events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .resources import Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,408 @@
+"""Discrete-event simulation kernel: events, processes and the scheduler.
+
+This module implements a compact, deterministic discrete-event simulation
+core in the style of SimPy.  Simulated activities are Python generators
+("processes") that ``yield`` :class:`Event` objects; the :class:`Simulator`
+advances a virtual clock and resumes processes when the events they wait on
+are triggered.
+
+Determinism: every scheduled callback is keyed by ``(time, priority, seq)``
+where ``seq`` is a monotonically increasing counter, so simultaneous events
+always fire in the order they were scheduled.  Runs are fully reproducible.
+
+The DPS runtime (:mod:`repro.runtime.sim_engine`) builds node controllers,
+network links and operation executions on top of these primitives.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "SimulationError",
+]
+
+_PENDING = object()
+
+#: Priority used for ordinary events.
+NORMAL = 1
+#: Priority used for urgent (kernel-internal) events.
+URGENT = 0
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. double trigger)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The interrupt ``cause`` is available as ``exc.cause``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    An event starts *pending*; it is *triggered* by :meth:`succeed` or
+    :meth:`fail` and then delivered to its callbacks at the current
+    simulation time (in scheduling order).  Processes wait on an event by
+    yielding it.
+    """
+
+    __slots__ = ("sim", "_callbacks", "_value", "_ok", "_scheduled")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+
+    # -- state -----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (succeed/fail was called)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded. Only meaningful once triggered."""
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception when failed)."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with *value*."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(0.0, self, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event as failed; waiters receive *exception*."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(0.0, self, priority)
+        return self
+
+    # -- subscription ----------------------------------------------------
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register *fn* to run when the event is processed.
+
+        If the event has already been processed the callback runs
+        immediately (still at the current simulation time).
+        """
+        if self._callbacks is None:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _process_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "pending" if not self.triggered else ("ok" if self._ok else "failed")
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.6g}>"
+
+
+class Timeout(Event):
+    """An event that succeeds *delay* time units after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self._ok = True
+        self._value = value
+        sim._schedule(delay, self, NORMAL)
+
+
+class Process(Event):
+    """A running simulated activity wrapped around a generator.
+
+    The process itself is an event that triggers when the generator
+    terminates; yielding a process therefore *joins* it.  The generator
+    return value becomes the event value, an uncaught exception fails it.
+    """
+
+    __slots__ = ("name", "_gen", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        if not hasattr(gen, "send"):
+            raise TypeError(f"Process requires a generator, got {type(gen).__name__}")
+        super().__init__(sim)
+        self.name = name or getattr(gen, "__name__", "process")
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: start the generator at the current time.
+        init = Event(sim)
+        init._ok = True
+        init._value = None
+        init.add_callback(self._resume)
+        sim._schedule(0.0, init, URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a terminated process is an error; interrupting a
+        process blocked on an event detaches it from that event.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt terminated process {self.name!r}")
+        hit = Event(self.sim)
+        hit._ok = False
+        hit._value = Interrupt(cause)
+        hit.add_callback(self._resume)
+        self.sim._schedule(0.0, hit, URGENT)
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:  # e.g. interrupted then event fired anyway
+            return
+        waited = self._waiting_on
+        self._waiting_on = None
+        self.sim._active_process = self
+        try:
+            if event._ok:
+                target = self._gen.send(event._value)
+            else:
+                exc = event._value
+                if isinstance(exc, Interrupt) and waited is not None:
+                    # Detach from the event we were waiting on so a later
+                    # trigger does not resume us twice.
+                    _discard_callback(waited, self._resume)
+                target = self._gen.throw(exc)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            self.fail(exc)
+            return
+        self.sim._active_process = None
+        if not isinstance(target, Event):
+            self._gen.close()
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}; processes "
+                    f"must yield Event instances"
+                )
+            )
+            return
+        if target.sim is not self.sim:
+            self._gen.close()
+            self.fail(SimulationError("yielded event belongs to another simulator"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+def _discard_callback(event: Event, fn: Callable) -> None:
+    if event._callbacks is not None:
+        try:
+            event._callbacks.remove(fn)
+        except ValueError:
+            pass
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        for ev in self._events:
+            if ev.sim is not sim:
+                raise SimulationError("all events must belong to the same simulator")
+        self._remaining = len(self._events)
+        if not self._events:
+            self.succeed({})
+        else:
+            for ev in self._events:
+                ev.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Triggers when the first of its events triggers.
+
+    The value is a dict mapping the triggered event(s) to their values.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+        else:
+            self.succeed({event: event._value})
+
+
+class AllOf(_Condition):
+    """Triggers when all of its events have triggered."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed({ev: ev._value for ev in self._events})
+
+
+class Simulator:
+    """The event loop: a virtual clock plus a priority queue of events.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(2.0)
+            return "done"
+
+        proc = sim.spawn(worker(sim))
+        sim.run()
+        assert sim.now == 2.0 and proc.value == "done"
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that succeeds after *delay* time units."""
+        return Timeout(self, delay, value)
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start a new process from generator *gen*."""
+        return Process(self, gen, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling ------------------------------------------------------
+    def _schedule(self, delay: float, event: Event, priority: int = NORMAL) -> None:
+        if event._scheduled:
+            raise SimulationError(f"{event!r} scheduled twice")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def step(self) -> bool:
+        """Process the next event. Returns False when the queue is empty.
+
+        Like :meth:`run`, a process that died with no waiter to deliver
+        the exception to re-raises here instead of vanishing silently.
+        """
+        if not self._heap:
+            return False
+        time, _prio, _seq, event = heapq.heappop(self._heap)
+        if time < self._now:  # pragma: no cover - defensive
+            raise SimulationError("time went backwards")
+        self._now = time
+        unobserved_failure = (
+            isinstance(event, Process) and not event._ok and not event._callbacks
+        )
+        event._process_callbacks()
+        if unobserved_failure:
+            raise event._value
+        return True
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or the clock reaches *until*.
+
+        Returns the final simulation time.  If a process fails with an
+        uncaught exception the exception propagates out of :meth:`run`
+        unless some other process was joined on it.
+        """
+        while self._heap:
+            if until is not None and self.peek() > until:
+                self._now = until
+                break
+            time, _prio, _seq, event = heapq.heappop(self._heap)
+            self._now = time
+            unobserved_failure = (
+                isinstance(event, Process) and not event._ok and not event._callbacks
+            )
+            event._process_callbacks()
+            if unobserved_failure:
+                # A process died with no waiter to deliver the exception to;
+                # surface it instead of silently swallowing the crash.
+                raise event._value
+        return self._now

@@ -1,0 +1,20 @@
+"""Execution tracing and text timeline reports."""
+
+from .timeline import (
+    activity_timeline,
+    message_summary,
+    op_durations,
+    op_summary,
+    utilization_report,
+)
+from .tracer import TraceEvent, Tracer
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "activity_timeline",
+    "message_summary",
+    "op_durations",
+    "op_summary",
+    "utilization_report",
+]

@@ -1,0 +1,133 @@
+"""Text reports over traces: per-node activity timelines and summaries.
+
+The flow graph "can be easily visualized and represents therefore a
+valuable tool for thinking and experimenting with different
+parallelization strategies" (paper §6); these helpers provide the
+terminal-friendly equivalent for *executions*: who fired what when, and
+how busy each node was.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional
+
+from .tracer import Tracer
+
+__all__ = ["activity_timeline", "op_summary", "message_summary",
+           "op_durations", "utilization_report"]
+
+
+def activity_timeline(
+    tracer: Tracer,
+    width: int = 72,
+    until: Optional[float] = None,
+) -> str:
+    """An ASCII density timeline of op firings per node.
+
+    Each row is a node; each column a time bucket; the glyph encodes how
+    many operations fired in that bucket (`` .:-=+*#%@`` scale).
+    """
+    events = tracer.filter("op_token")
+    if not events:
+        return "(no op events traced)"
+    t_end = until if until is not None else max(ev.time for ev in events)
+    t_end = max(t_end, 1e-12)
+    buckets: Dict[str, List[int]] = defaultdict(lambda: [0] * width)
+    for ev in events:
+        col = min(int(ev.time / t_end * width), width - 1)
+        buckets[ev.fields["node"]][col] += 1
+    glyphs = " .:-=+*#%@"
+    peak = max(max(row) for row in buckets.values()) or 1
+    lines = [f"timeline 0 .. {t_end:.6g} s ({width} buckets)"]
+    for node in sorted(buckets):
+        row = buckets[node]
+        chars = "".join(
+            glyphs[min(int(c / peak * (len(glyphs) - 1) + (c > 0)), len(glyphs) - 1)]
+            for c in row
+        )
+        lines.append(f"{node:>10} |{chars}|")
+    return "\n".join(lines)
+
+
+def op_summary(tracer: Tracer) -> str:
+    """Operation firing counts per (node, op) pair."""
+    counts = Counter(
+        (ev.fields["node"], ev.fields["op"]) for ev in tracer.filter("op_token")
+    )
+    if not counts:
+        return "(no op events traced)"
+    lines = [f"{'node':>10} {'operation':<24} firings"]
+    for (node, op), n in sorted(counts.items()):
+        lines.append(f"{node:>10} {op:<24} {n}")
+    return "\n".join(lines)
+
+
+def message_summary(tracer: Tracer) -> str:
+    """Bytes and message counts per (src, dest) pair."""
+    bytes_by_pair: Dict[tuple, int] = Counter()
+    msgs_by_pair: Dict[tuple, int] = Counter()
+    for ev in tracer.filter("msg"):
+        pair = (ev.fields["src"], ev.fields["dest"])
+        bytes_by_pair[pair] += ev.fields["nbytes"]
+        msgs_by_pair[pair] += 1
+    if not msgs_by_pair:
+        return "(no messages traced)"
+    lines = [f"{'src':>10} -> {'dest':<10} {'messages':>9} {'bytes':>12}"]
+    for pair in sorted(msgs_by_pair):
+        lines.append(
+            f"{pair[0]:>10} -> {pair[1]:<10} {msgs_by_pair[pair]:>9} "
+            f"{bytes_by_pair[pair]:>12}"
+        )
+    return "\n".join(lines)
+
+
+def op_durations(tracer: Tracer) -> str:
+    """Total/mean busy duration per operation (from op_done events).
+
+    Durations include time a merge/stream body spent parked waiting for
+    its group, so long-lived collectors legitimately dominate.
+    """
+    totals: Dict[tuple, float] = defaultdict(float)
+    counts: Dict[tuple, int] = Counter()
+    for ev in tracer.filter("op_done"):
+        key = (ev.fields["node"], ev.fields["op"])
+        totals[key] += ev.fields["duration"]
+        counts[key] += 1
+    if not counts:
+        return "(no op_done events traced)"
+    lines = [f"{'node':>10} {'operation':<24} {'bodies':>7} "
+             f"{'total [s]':>10} {'mean [ms]':>10}"]
+    for key in sorted(counts):
+        n = counts[key]
+        total = totals[key]
+        lines.append(
+            f"{key[0]:>10} {key[1]:<24} {n:>7} {total:>10.4f} "
+            f"{total / n * 1e3:>10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def utilization_report(engine) -> str:
+    """CPU and NIC busy fractions per node of a finished (or paused) run.
+
+    Reads the resource occupancy integrals of the simulated cluster —
+    the quickest way to see whether a schedule is compute-, send- or
+    receive-bound on each machine.
+    """
+    elapsed = engine.sim.now
+    if elapsed <= 0:
+        return "(no virtual time has passed)"
+    lines = [
+        f"utilization over {elapsed:.6g} virtual seconds",
+        f"{'node':>10} {'cpu':>7} {'nic tx':>7} {'nic rx':>7} "
+        f"{'compute [s]':>12}",
+    ]
+    for name, node in sorted(engine.cluster.nodes.items()):
+        lines.append(
+            f"{name:>10} {node.cpu.utilization() * 100:>6.1f}% "
+            f"{node.nic_tx.utilization() * 100:>6.1f}% "
+            f"{node.nic_rx.utilization() * 100:>6.1f}% "
+            f"{node.compute_time:>12.4f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Structured trace of schedule execution events.
+
+Attach a :class:`Tracer` to a :class:`~repro.runtime.SimEngine` to record
+operation firings, message transfers and activation boundaries with their
+virtual timestamps.  Traces are the raw material for the text timelines in
+:mod:`repro.trace.timeline` and for debugging scheduling behaviour
+(e.g. visually confirming that computation and communication overlap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    time: float
+    kind: str
+    fields: Dict[str, Any]
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+
+class Tracer:
+    """Append-only event recorder with simple query helpers."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        """*capacity* bounds memory; oldest events are dropped beyond it."""
+        self.events: List[TraceEvent] = []
+        self.capacity = capacity
+        self.dropped = 0
+
+    def emit(self, time: float, kind: str, **fields: Any) -> None:
+        """Record an event (engine hook)."""
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            self.events.pop(0)
+            self.dropped += 1
+        self.events.append(TraceEvent(time, kind, fields))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def filter(
+        self,
+        kind: Optional[str] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> List[TraceEvent]:
+        """Events matching *kind* and/or an arbitrary predicate."""
+        out = []
+        for ev in self.events:
+            if kind is not None and ev.kind != kind:
+                continue
+            if predicate is not None and not predicate(ev):
+                continue
+            out.append(ev)
+        return out
+
+    def count(self, kind: str) -> int:
+        return sum(1 for ev in self.events if ev.kind == kind)
+
+    def span(self) -> tuple[float, float]:
+        """(first, last) event times; (0, 0) when empty."""
+        if not self.events:
+            return (0.0, 0.0)
+        return (self.events[0].time, self.events[-1].time)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0

@@ -1,0 +1,113 @@
+"""Tests for the Game of Life parallel service (Fig. 10 / Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gameoflife import life_step
+from repro.apps.gol_service import GameOfLifeService, GolReadRequest
+from repro.cluster import paper_cluster
+from repro.core import (
+    ConstantRoute,
+    DpsThread,
+    Flowgraph,
+    FlowgraphNode,
+    LeafOperation,
+    ThreadCollection,
+)
+from repro.runtime import SimEngine
+from repro.serial import ComplexToken, SimpleToken
+
+
+def make_service(rows=40, cols=40, n_workers=4, seed=9):
+    rng = np.random.default_rng(seed)
+    world = (rng.random((rows, cols)) < 0.3).astype(np.uint8)
+    engine = SimEngine(paper_cluster(n_workers))
+    svc = GameOfLifeService(engine, world, engine.cluster.node_names[:n_workers])
+    svc.load()
+    return engine, svc, world
+
+
+def test_read_whole_world():
+    engine, svc, world = make_service()
+    block = svc.read_block(0, 0, 40, 40)
+    assert np.array_equal(block, world)
+
+
+def test_read_block_single_band():
+    engine, svc, world = make_service()
+    block = svc.read_block(2, 5, 4, 10)  # inside worker 0's band
+    assert np.array_equal(block, world[2:6, 5:15])
+
+
+def test_read_block_spanning_bands():
+    engine, svc, world = make_service()
+    block = svc.read_block(8, 0, 20, 40)  # spans several 10-row bands
+    assert np.array_equal(block, world[8:28, :])
+
+
+def test_read_after_steps_sees_current_state():
+    engine, svc, world = make_service()
+    svc.step(improved=True)
+    svc.step(improved=True)
+    expected = life_step(life_step(world))
+    assert np.array_equal(svc.read_block(0, 0, 40, 40), expected)
+
+
+def test_read_out_of_range_rejected():
+    engine, svc, world = make_service()
+    with pytest.raises(Exception, match="outside world"):
+        svc.read_block(35, 0, 10, 5)
+
+
+def test_concurrent_reads_while_iterating():
+    """A client reads blocks while the simulation iterates — the Table 2
+    scenario, with the client as a driver process."""
+    engine, svc, world = make_service(rows=48, cols=48, n_workers=4)
+    call_times = []
+
+    def client(sim):
+        for i in range(6):
+            start = sim.now
+            result = yield svc.start_read(4 * i, 0, 8, 24)
+            call_times.append(sim.now - start)
+            assert result.token.data.shape == (8, 24)
+
+    engine.spawn(client(engine.sim), name="viz-client")
+    for _ in range(3):
+        svc.step(improved=True)
+    engine.run_to_completion()
+    assert len(call_times) == 6
+    assert all(t > 0 for t in call_times)
+
+
+def test_graph_call_from_another_application():
+    """A separate DPS application calls the exposed read graph (Fig. 10)."""
+    engine, svc, world = make_service()
+
+    class VizRequest(SimpleToken):
+        def __init__(self, row=0):
+            self.row = row
+
+    class VizFrame(ComplexToken):
+        def __init__(self, data=None):
+            self.data = data
+
+    read_graph_name = svc.read_graph_name
+
+    class FetchBlock(LeafOperation):
+        in_types = (VizRequest,)
+        out_types = (VizFrame,)
+
+        def execute(self, tok):
+            block = yield self.call_graph(
+                read_graph_name, GolReadRequest(tok.row, 0, 4, 40)
+            )
+            yield self.post(VizFrame(block.data.array))
+
+    viz_main = ThreadCollection(DpsThread, "viz").map("node02")
+    client = Flowgraph(
+        FlowgraphNode(FetchBlock, viz_main, ConstantRoute).as_builder(),
+        "viz-client-graph",
+    )
+    result = engine.run(client, VizRequest(12), driver_node="node02")
+    assert np.array_equal(result.token.data, world[12:16, :])

@@ -1,0 +1,84 @@
+"""Tests for the radio listening-rates application (paper ref. [21])."""
+
+import numpy as np
+import pytest
+
+from repro.apps.radio import (
+    compute_listening_rates,
+    generate_survey,
+    reference_rates,
+)
+from repro.cluster import paper_cluster
+from repro.core import LoadBalancedRoute, RoundRobinRoute
+
+
+def test_survey_generation_shapes():
+    survey = generate_survey(n_participants=50, n_stations=5, n_slots=12,
+                             seed=1)
+    assert len(survey.diaries) == 50
+    assert survey.total_minutes >= 50 * 4
+    for diary in survey.diaries:
+        assert diary.shape[1] == 2
+        assert diary[:, 0].min() >= 0 and diary[:, 0].max() < 12
+        assert diary[:, 1].min() >= -1 and diary[:, 1].max() < 5
+
+
+def test_reference_rates_manual_case():
+    from repro.apps.radio import RadioSurvey
+
+    diary = np.array([[0, 1], [0, 1], [3, 0], [5, -1]], dtype=np.int32)
+    survey = RadioSurvey(2, 6, [diary])
+    counts = reference_rates(survey)
+    assert counts[1, 0] == 2
+    assert counts[0, 3] == 1
+    assert counts.sum() == 3  # the -1 minute is "no station"
+
+
+@pytest.mark.parametrize("n_workers", [1, 2, 4])
+def test_distributed_matches_reference(n_workers):
+    survey = generate_survey(n_participants=120, seed=3)
+    run = compute_listening_rates(
+        paper_cluster(n_workers + 1), survey, n_workers
+    )
+    assert np.array_equal(run.counts, reference_rates(survey))
+    assert run.total_minutes == survey.total_minutes
+
+
+def test_rates_normalization():
+    survey = generate_survey(n_participants=60, seed=5)
+    run = compute_listening_rates(paper_cluster(3), survey, 2)
+    rates = run.rates()
+    assert rates.max() <= 1.0
+    assert np.allclose(rates * survey.total_minutes, run.counts)
+
+
+def test_worker_minutes_accounting():
+    survey = generate_survey(n_participants=100, seed=7)
+    run = compute_listening_rates(paper_cluster(4), survey, 3)
+    assert sum(run.worker_minutes) == survey.total_minutes
+    assert all(m > 0 for m in run.worker_minutes)
+
+
+def test_load_balanced_beats_round_robin_on_skewed_batches():
+    """The skewed diary lengths make blind round-robin uneven; the
+    ack-feedback route adapts (the paper's load-balancing mechanism)."""
+    survey = generate_survey(n_participants=300, seed=11)
+    lb = compute_listening_rates(
+        paper_cluster(4), survey, 3, batch_size=10,
+        route_class=LoadBalancedRoute, window=6,
+    )
+    rr = compute_listening_rates(
+        paper_cluster(4), survey, 3, batch_size=10,
+        route_class=RoundRobinRoute, window=6,
+    )
+    assert np.array_equal(lb.counts, rr.counts)  # same answer
+    # never meaningfully worse in time ...
+    assert lb.makespan <= 1.05 * rr.makespan
+    # ... and the feedback route spreads the skewed work far more evenly
+    assert np.std(lb.worker_minutes) < 0.7 * np.std(rr.worker_minutes)
+
+
+def test_worker_count_validation():
+    survey = generate_survey(n_participants=10)
+    with pytest.raises(ValueError, match="workers"):
+        compute_listening_rates(paper_cluster(2), survey, 5)

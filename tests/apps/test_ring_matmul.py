@@ -1,0 +1,130 @@
+"""Tests for the ring (Fig. 6) and matmul (Table 1) applications."""
+
+import numpy as np
+import pytest
+
+from repro.apps.matmul import block_multiply, build_matmul_graph
+from repro.apps.ring import (
+    RingResult,
+    build_ring_graph,
+    run_dps_ring,
+    run_socket_ring,
+)
+from repro.cluster import NetworkSpec, paper_cluster
+
+
+SPEC4 = paper_cluster(4)
+
+
+# ---------------------------------------------------------------------------
+# ring
+# ---------------------------------------------------------------------------
+
+def test_socket_ring_throughput_positive():
+    r = run_socket_ring(SPEC4, block_bytes=100_000, total_bytes=2_000_000)
+    assert 0 < r.throughput_mb < SPEC4.network.bandwidth / 1e6 * 1.01
+
+
+def test_socket_ring_small_blocks_slower():
+    small = run_socket_ring(SPEC4, 1_000, 1_000_000)
+    big = run_socket_ring(SPEC4, 1_000_000, 10_000_000)
+    assert big.throughput > 2 * small.throughput
+
+
+def test_socket_ring_throughput_approaches_bandwidth():
+    r = run_socket_ring(SPEC4, 1_000_000, 50_000_000)
+    # Large blocks amortize overheads: within 20% of the NIC rate.
+    assert r.throughput > 0.8 * SPEC4.network.bandwidth
+
+
+def test_dps_ring_delivers_all_blocks():
+    r = run_dps_ring(SPEC4, block_bytes=65536, total_bytes=1_048_576)
+    assert r.total_bytes == 1_048_576
+    assert r.throughput > 0
+
+
+def test_dps_slower_than_sockets_at_small_blocks():
+    """Figure 6's core observation: DPS overhead bites on small transfers."""
+    sock = run_socket_ring(SPEC4, 1_000, 500_000)
+    dps = run_dps_ring(SPEC4, 1_000, 500_000)
+    assert dps.throughput < sock.throughput
+
+
+def test_dps_converges_to_sockets_at_large_blocks():
+    sock = run_socket_ring(SPEC4, 1_000_000, 20_000_000)
+    dps = run_dps_ring(SPEC4, 1_000_000, 20_000_000)
+    assert dps.throughput > 0.85 * sock.throughput
+
+
+def test_ring_graph_requires_two_nodes():
+    with pytest.raises(ValueError):
+        build_ring_graph(["only-one"])
+
+
+def test_ring_rejects_bad_sizes():
+    with pytest.raises(ValueError):
+        run_socket_ring(SPEC4, 0, 100)
+    with pytest.raises(ValueError):
+        run_dps_ring(SPEC4, -5, 100)
+
+
+# ---------------------------------------------------------------------------
+# matmul
+# ---------------------------------------------------------------------------
+
+def rng_matrices(n, seed=7):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, n)), rng.standard_normal((n, n))
+
+
+@pytest.mark.parametrize("s", [2, 4, 8])
+def test_block_multiply_correct(s):
+    a, b = rng_matrices(64)
+    run = block_multiply(paper_cluster(3), a, b, s=s, n_workers=2)
+    assert run.check(a, b)
+
+
+def test_block_multiply_single_worker():
+    a, b = rng_matrices(32)
+    run = block_multiply(paper_cluster(2), a, b, s=4, n_workers=1)
+    assert run.check(a, b)
+
+
+def test_block_multiply_bad_split():
+    a, b = rng_matrices(30)
+    with pytest.raises(ValueError, match="not divisible"):
+        block_multiply(paper_cluster(2), a, b, s=4, n_workers=1)
+
+
+def test_block_multiply_worker_count_validation():
+    a, b = rng_matrices(16)
+    with pytest.raises(ValueError, match="workers"):
+        block_multiply(paper_cluster(2), a, b, s=2, n_workers=5)
+
+
+def test_more_workers_is_faster():
+    a, b = rng_matrices(128)
+    t1 = block_multiply(paper_cluster(5), a, b, s=4, n_workers=1).makespan
+    t4 = block_multiply(paper_cluster(5), a, b, s=4, n_workers=4).makespan
+    assert t4 < t1
+
+
+def test_overlap_beats_lockstep():
+    """The Table 1 mechanism: wide window (overlapped) beats a one-task-
+    per-worker window (send/compute/return lock-step)."""
+    a, b = rng_matrices(128)
+    spec = paper_cluster(3)
+    t_overlap = block_multiply(spec, a, b, s=8, n_workers=2,
+                               window=6).makespan
+    t_lockstep = block_multiply(spec, a, b, s=8, n_workers=2,
+                                window=2).makespan
+    assert t_overlap < t_lockstep
+
+
+def test_comm_accounting():
+    a, b = rng_matrices(64)
+    run = block_multiply(paper_cluster(2), a, b, s=2, n_workers=1)
+    # 4 tasks (2 blocks each of A row and B col => 2*2*32*32*8 bytes) + results
+    expected_task_bytes = 4 * (2 * 2 * 32 * 32 * 8)
+    assert run.comm_bytes > expected_task_bytes  # plus results and headers
+    assert run.comm_messages >= 8

@@ -1,0 +1,70 @@
+"""Unit tests for the tutorial application module (paper §3)."""
+
+import pytest
+
+from repro.apps.strings import (
+    CharToken,
+    MergeString,
+    RoundRobinByPos,
+    SplitString,
+    StringToken,
+    ToUpperCase,
+    build_uppercase_graph,
+)
+from repro.cluster import paper_cluster
+from repro.core import OpKind
+from repro.runtime import SimEngine
+from repro.serial import decode, encode
+
+
+def test_tokens_roundtrip_the_wire():
+    assert decode(encode(StringToken("abc"))).text == "abc"
+    c = decode(encode(CharToken("x", 3, 9)))
+    assert (c.chr, c.pos, c.total) == ("x", 3, 9)
+
+
+def test_op_signatures():
+    assert SplitString.kind == OpKind.SPLIT
+    assert ToUpperCase.kind == OpKind.LEAF
+    assert MergeString.kind == OpKind.MERGE
+    assert SplitString.accepts(StringToken)
+    assert not SplitString.accepts(CharToken)
+
+
+def test_route_macro_matches_paper_semantics():
+    # ROUTE(RoundRobinRoute, ComputeThread, CharToken, pos % threadCount())
+    from repro.core import RoutingContext, ThreadCollection, DpsThread
+
+    ctx = RoutingContext(
+        ThreadCollection(DpsThread).map_nodes(["a", "b", "c"])
+    )
+    route = RoundRobinByPos().bind(ctx)
+    assert [route(CharToken("x", p)) for p in range(6)] == [0, 1, 2, 0, 1, 2]
+
+
+def test_build_graph_shape():
+    graph, main, workers = build_uppercase_graph("node01", "node02*2")
+    assert graph.entry == 0 and graph.exit == 2
+    assert graph.matching_merge(0) == 2
+    assert main.thread_count == 1
+    assert workers.thread_count == 2
+
+
+@pytest.mark.parametrize("text", [
+    "a",
+    "MiXeD CaSe 123 !?",
+    "ünïcödé strings tøø",
+    "x" * 200,
+])
+def test_uppercase_various_inputs(text):
+    engine = SimEngine(paper_cluster(2))
+    graph, *_ = build_uppercase_graph("node01", "node01 node02")
+    result = engine.run(graph, StringToken(text))
+    assert result.token.text == text.upper()
+
+
+def test_many_workers_on_one_node():
+    engine = SimEngine(paper_cluster(1))
+    graph, *_ = build_uppercase_graph("node01", "node01*8")
+    result = engine.run(graph, StringToken("eight local threads"))
+    assert result.token.text == "EIGHT LOCAL THREADS"

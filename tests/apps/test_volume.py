@@ -1,0 +1,146 @@
+"""Tests for the 3-D volume slice server (first-generation DPS workload)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.volume import DistributedVolume
+from repro.cluster import paper_cluster
+from repro.runtime import SimEngine
+
+
+def make_volume(depth=20, rows=12, cols=10, n_nodes=4, seed=13):
+    rng = np.random.default_rng(seed)
+    volume = rng.integers(0, 256, size=(depth, rows, cols), dtype=np.uint8)
+    engine = SimEngine(paper_cluster(n_nodes))
+    vol = DistributedVolume(engine, volume,
+                            engine.cluster.node_names[:n_nodes])
+    vol.load()
+    return engine, vol, volume
+
+
+def test_axis0_slice_single_extent():
+    engine, vol, volume = make_volume()
+    for z in (0, 7, 19):
+        assert np.array_equal(vol.read_slice(0, z), volume[z])
+
+
+def test_axis1_slice_crosses_all_extents():
+    engine, vol, volume = make_volume()
+    got = vol.read_slice(1, 5)
+    assert np.array_equal(got, volume[:, 5, :])
+
+
+def test_axis2_slice_crosses_all_extents():
+    engine, vol, volume = make_volume()
+    got = vol.read_slice(2, 3)
+    assert np.array_equal(got, volume[:, :, 3])
+
+
+def test_single_storage_node():
+    engine, vol, volume = make_volume(n_nodes=1)
+    assert np.array_equal(vol.read_slice(1, 2), volume[:, 2, :])
+
+
+def test_uneven_extents():
+    engine, vol, volume = make_volume(depth=23, n_nodes=4)
+    assert np.array_equal(vol.read_slice(1, 0), volume[:, 0, :])
+    assert np.array_equal(vol.read_slice(0, 22), volume[22])
+
+
+def test_out_of_range_rejected():
+    engine, vol, volume = make_volume()
+    with pytest.raises(Exception, match="outside axis"):
+        vol.read_slice(0, 99)
+    with pytest.raises(Exception, match="axis must be"):
+        vol.read_slice(5, 0)
+
+
+def test_requires_load_first():
+    engine = SimEngine(paper_cluster(2))
+    vol = DistributedVolume(engine, np.zeros((8, 4, 4), np.uint8),
+                            ["node01", "node02"])
+    with pytest.raises(RuntimeError, match="load"):
+        vol.read_slice(0, 0)
+
+
+def test_validation():
+    engine = SimEngine(paper_cluster(2))
+    with pytest.raises(ValueError, match="3-D"):
+        DistributedVolume(engine, np.zeros((4, 4), np.uint8), ["node01"])
+    with pytest.raises(ValueError, match="storage node"):
+        DistributedVolume(engine, np.zeros((4, 4, 4), np.uint8), [])
+    with pytest.raises(ValueError, match="depth"):
+        DistributedVolume(engine, np.zeros((1, 4, 4), np.uint8),
+                          ["node01", "node02"])
+
+
+def test_streaming_client_pipelines_slices():
+    """The beating-heart pattern: a client streams slice requests while
+    earlier ones are still in flight."""
+    engine, vol, volume = make_volume(depth=32, rows=24, cols=24)
+    received = []
+
+    def client(sim):
+        pending = [vol.start_slice(1, i) for i in range(6)]
+        for i, ev in enumerate(pending):
+            result = yield ev
+            received.append((i, result.token.data.array))
+
+    engine.spawn(client(engine.sim), name="heart-viewer")
+    engine.run_to_completion()
+    assert len(received) == 6
+    for i, data in received:
+        assert np.array_equal(data, volume[:, i, :])
+
+
+def test_cross_application_graph_call():
+    """Another DPS application calls the slice service by name."""
+    from repro.core import (
+        ConstantRoute, DpsThread, Flowgraph, FlowgraphNode, LeafOperation,
+        ThreadCollection,
+    )
+    from repro.apps.volume import VolSliceRequest
+    from repro.serial import Buffer, ComplexToken, SimpleToken
+
+    engine, vol, volume = make_volume()
+
+    class ViewRequest(SimpleToken):
+        def __init__(self, index=0):
+            self.index = index
+
+    class ViewFrame(ComplexToken):
+        def __init__(self, data=None):
+            self.data = Buffer(data if data is not None else [])
+
+    service = vol.slice_graph_name
+
+    class FetchSlice(LeafOperation):
+        in_types = (ViewRequest,)
+        out_types = (ViewFrame,)
+
+        def execute(self, tok):
+            result = yield self.call_graph(service, VolSliceRequest(1, tok.index))
+            yield self.post(ViewFrame(result.data.array))
+
+    viewer = ThreadCollection(DpsThread, "vol-viewer").map("node02")
+    graph = Flowgraph(
+        FlowgraphNode(FetchSlice, viewer, ConstantRoute).as_builder(),
+        "vol-viewer-graph",
+    )
+    result = engine.run(graph, ViewRequest(4), driver_node="node02")
+    assert np.array_equal(result.token.data.array, volume[:, 4, :])
+
+
+def test_wide_slices_cost_more_virtual_time():
+    engine1, vol1, _ = make_volume(depth=16, rows=8, cols=8)
+    engine2, vol2, _ = make_volume(depth=16, rows=64, cols=64)
+    vol1.read_slice(1, 0)
+    t1 = engine1.sim.now
+    vol2.read_slice(1, 0)
+    t2 = engine2.sim.now
+    # bigger volumes take longer to load AND to slice; compare slice part
+    r1 = engine1.run(vol1.slice_graph,
+                     __import__("repro.apps.volume", fromlist=["VolSliceRequest"]).VolSliceRequest(1, 1)).makespan
+    r2 = engine2.run(vol2.slice_graph,
+                     __import__("repro.apps.volume", fromlist=["VolSliceRequest"]).VolSliceRequest(1, 1)).makespan
+    assert r2 > r1

@@ -1,0 +1,47 @@
+"""Unit tests for the cost models."""
+
+import pytest
+
+from repro.cluster import costs
+
+
+def test_matmul_flops():
+    assert costs.matmul_flops(2, 3, 4) == 2 * 2 * 3 * 4
+    assert costs.matmul_flops(256, 256, 256) == 2 * 256**3
+
+
+def test_matmul_accumulate_slightly_more():
+    assert costs.matmul_accumulate_flops(8, 8, 8) > costs.matmul_flops(8, 8, 8)
+
+
+def test_lu_panel_flops_square_matches_classic_third_n_cubed():
+    n = 300
+    got = costs.lu_panel_flops(n, n)
+    assert got == pytest.approx(2 * n**3 / 3, rel=0.02)
+
+
+def test_lu_panel_flops_rectangular_positive_and_monotone():
+    assert costs.lu_panel_flops(100, 10) > 0
+    assert costs.lu_panel_flops(200, 10) > costs.lu_panel_flops(100, 10)
+    assert costs.lu_panel_flops(100, 20) > costs.lu_panel_flops(100, 10)
+
+
+def test_lu_panel_flops_exact_small():
+    # rows=3, cols=2: j=0: 2*3*2=12, j=1: 2*2*1=4 -> 16
+    assert costs.lu_panel_flops(3, 2) == pytest.approx(16.0)
+
+
+def test_trsm_flops():
+    assert costs.trsm_flops(4, 8) == 4 * 4 * 8
+
+
+def test_gol_costs_scale_linearly():
+    assert costs.gol_cell_flops(100) == 10 * costs.gol_cell_flops(10)
+    assert costs.gol_band_flops(400, 50) == costs.gol_cell_flops(400 * 50)
+
+
+def test_serialize_cost_has_fixed_and_linear_parts():
+    base = costs.serialize_cpu_seconds(0)
+    assert base == pytest.approx(costs.SERIALIZE_PER_MESSAGE_SECONDS)
+    one_mb = costs.serialize_cpu_seconds(1_000_000)
+    assert one_mb == pytest.approx(base + 1_000_000 / costs.MEMCPY_BYTES_PER_SECOND)

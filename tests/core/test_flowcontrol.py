@@ -1,0 +1,103 @@
+"""Unit tests for the split-merge flow-control window bookkeeping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FlowControlPolicy, SplitWindow
+
+
+def test_policy_validation():
+    assert FlowControlPolicy().window == 8
+    assert FlowControlPolicy(window=None).window is None
+    with pytest.raises(ValueError):
+        FlowControlPolicy(window=0)
+
+
+def test_window_gates_sends():
+    w = SplitWindow(2)
+    assert w.can_send
+    w.on_post(0)
+    assert w.can_send
+    w.on_post(1)
+    assert not w.can_send
+    w.on_ack(0)
+    assert w.can_send
+
+
+def test_window_one_is_lockstep():
+    w = SplitWindow(1)
+    w.on_post(0)
+    assert not w.can_send
+    w.on_ack(0)
+    assert w.can_send
+
+
+def test_unbounded_window():
+    w = SplitWindow(None)
+    for i in range(1000):
+        w.on_post(i % 3)
+    assert w.can_send
+    assert w.in_flight == 1000
+
+
+def test_post_while_full_is_programming_error():
+    w = SplitWindow(1)
+    w.on_post(0)
+    with pytest.raises(RuntimeError, match="window full"):
+        w.on_post(0)
+
+
+def test_ack_more_than_in_flight_rejected():
+    w = SplitWindow(4)
+    w.on_post(0)
+    with pytest.raises(RuntimeError, match="exceeds"):
+        w.on_ack(0, count=2)
+
+
+def test_ack_wrong_instance_rejected():
+    w = SplitWindow(4)
+    w.on_post(0)
+    with pytest.raises(RuntimeError, match="holds only"):
+        w.on_ack(1)
+
+
+def test_per_instance_outstanding_feeds_load_balancing():
+    w = SplitWindow(None)
+    w.on_post(0)
+    w.on_post(0)
+    w.on_post(1)
+    assert w.outstanding(0) == 2
+    assert w.outstanding(1) == 1
+    assert w.outstanding(7) == 0
+    w.on_ack(0)
+    assert w.outstanding(0) == 1
+
+
+def test_stall_counter():
+    w = SplitWindow(1)
+    w.on_post(0)
+    w.on_stall()
+    w.on_stall()
+    assert w.stalls == 2
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 3)), max_size=80),
+       st.integers(1, 5))
+def test_window_invariant_never_exceeded(ops, window):
+    """Property: in_flight never exceeds the window and never goes negative."""
+    w = SplitWindow(window)
+    outstanding = []
+    for is_post, instance in ops:
+        if is_post:
+            if w.can_send:
+                w.on_post(instance)
+                outstanding.append(instance)
+        else:
+            if outstanding:
+                inst = outstanding.pop(0)
+                w.on_ack(inst)
+        assert 0 <= w.in_flight <= window
+        assert w.in_flight == len(outstanding)
+        assert all(w.outstanding(i) >= 0 for i in range(4))

@@ -1,0 +1,345 @@
+"""Unit tests for flow-graph construction and build-time validation."""
+
+import pytest
+
+from repro.core import (
+    ConstantRoute,
+    DpsThread,
+    Flowgraph,
+    FlowgraphNode,
+    GraphError,
+    LeafOperation,
+    MergeOperation,
+    RoundRobinRoute,
+    SplitOperation,
+    StreamOperation,
+    ThreadCollection,
+)
+from repro.serial import SimpleToken
+
+
+class AToken(SimpleToken):
+    pass
+
+
+class BToken(SimpleToken):
+    pass
+
+
+class CToken(SimpleToken):
+    pass
+
+
+class SplitAB(SplitOperation):
+    in_types = (AToken,)
+    out_types = (BToken,)
+
+    def execute(self, tok):
+        self.post(BToken())
+
+
+class LeafBB(LeafOperation):
+    in_types = (BToken,)
+    out_types = (BToken,)
+
+    def execute(self, tok):
+        self.post(BToken())
+
+
+class LeafBC(LeafOperation):
+    in_types = (BToken,)
+    out_types = (CToken,)
+
+    def execute(self, tok):
+        self.post(CToken())
+
+
+class LeafCC(LeafOperation):
+    in_types = (CToken,)
+    out_types = (CToken,)
+
+    def execute(self, tok):
+        self.post(CToken())
+
+
+class MergeBA(MergeOperation):
+    in_types = (BToken,)
+    out_types = (AToken,)
+
+    def execute(self, tok):
+        while tok is not None:
+            tok = yield self.next_token()
+        yield self.post(AToken())
+
+
+class MergeCA(MergeOperation):
+    in_types = (CToken,)
+    out_types = (AToken,)
+
+    def execute(self, tok):
+        while tok is not None:
+            tok = yield self.next_token()
+        yield self.post(AToken())
+
+
+class StreamBB(StreamOperation):
+    in_types = (BToken,)
+    out_types = (BToken,)
+
+    def execute(self, tok):
+        while tok is not None:
+            yield self.post(BToken())
+            tok = yield self.next_token()
+
+
+@pytest.fixture
+def tc():
+    return ThreadCollection(DpsThread, "main").map("n1")
+
+
+def node(op, tc, route=ConstantRoute):
+    return FlowgraphNode(op, tc, route)
+
+
+def test_simple_split_compute_merge(tc):
+    g = Flowgraph(node(SplitAB, tc) >> node(LeafBB, tc) >> node(MergeBA, tc), "g")
+    assert len(g.node_ids) == 3
+    assert g.entry == 0 and g.exit == 2
+    assert g.successors(0) == [1]
+    assert g.matching_merge(0) == 2
+
+
+def test_graph_direct_split_merge(tc):
+    g = Flowgraph(node(SplitAB, tc) >> node(MergeBA, tc))
+    assert g.matching_merge(0) == 1
+
+
+def test_group_depth(tc):
+    g = Flowgraph(node(SplitAB, tc) >> node(LeafBB, tc) >> node(MergeBA, tc))
+    assert g.group_depth(0) == 0
+    assert g.group_depth(1) == 1
+    assert g.group_depth(2) == 1
+
+
+def test_two_paths_type_dispatch(tc):
+    """The paper's Figure 3: path selected by the posted token type."""
+
+    class SplitABorC(SplitOperation):
+        in_types = (AToken,)
+        out_types = (BToken, CToken)
+
+        def execute(self, tok):
+            pass
+
+    class MergeBCA(MergeOperation):
+        in_types = (BToken, CToken)
+        out_types = (AToken,)
+
+        def execute(self, tok):
+            yield self.post(AToken())
+
+    s = node(SplitABorC, tc)
+    op1 = node(LeafBB, tc)
+    op2 = node(LeafCC, tc)
+    m = node(MergeBCA, tc)
+    builder = s >> op1 >> m
+    builder += s >> op2 >> m
+    g = Flowgraph(builder, "two-paths")
+    # ids follow first appearance: s=0, op1=1, m=2, op2=3
+    assert g.dispatch(g.entry, BToken) == 1
+    assert g.dispatch(g.entry, CToken) == 3
+    assert g.matching_merge(g.entry) == 2
+    assert g.exit == 2
+
+
+def test_ambiguous_dispatch_rejected(tc):
+    s = node(SplitAB, tc)
+    op1 = node(LeafBB, tc)
+    op2 = FlowgraphNode(LeafBB, tc, ConstantRoute)  # second B-accepting path
+    m = node(MergeBA, tc)
+    builder = s >> op1 >> m
+    builder += s >> op2 >> m
+    with pytest.raises(GraphError, match="ambiguous"):
+        Flowgraph(builder)
+
+
+def test_type_mismatch_rejected(tc):
+    # LeafCC cannot follow SplitAB (B outputs vs C inputs)
+    with pytest.raises(GraphError, match="type mismatch|no successor"):
+        Flowgraph(node(SplitAB, tc) >> node(LeafCC, tc) >> node(MergeCA, tc))
+
+
+def test_dropped_out_type_rejected(tc):
+    class SplitBoth(SplitOperation):
+        in_types = (AToken,)
+        out_types = (BToken, CToken)
+
+        def execute(self, tok):
+            pass
+
+    class MergeB(MergeOperation):
+        in_types = (BToken,)
+        out_types = (AToken,)
+
+        def execute(self, tok):
+            yield self.post(AToken())
+
+    # CToken posted by the split has nowhere to go
+    with pytest.raises(GraphError, match="no successor accepts"):
+        Flowgraph(node(SplitBoth, tc) >> node(MergeB, tc))
+
+
+def test_cycle_rejected(tc):
+    a = node(LeafBB, tc)
+    b = node(LeafBB, tc)
+    builder = a >> b
+    with pytest.raises(GraphError, match="cycle|entry"):
+        builder += b >> a
+        Flowgraph(builder)
+
+
+def test_self_loop_rejected(tc):
+    a = node(LeafBB, tc)
+    with pytest.raises(GraphError, match="self-loop"):
+        a >> a
+
+
+def test_merge_without_split_rejected(tc):
+    with pytest.raises(GraphError, match="no enclosing split"):
+        Flowgraph(node(LeafBB, tc) >> node(MergeBA, tc))
+
+
+def test_unmerged_split_rejected(tc):
+    with pytest.raises(GraphError, match="never merged"):
+        Flowgraph(node(SplitAB, tc) >> node(LeafBB, tc))
+
+
+def test_nested_split_merge(tc):
+    class SplitBB(SplitOperation):
+        in_types = (BToken,)
+        out_types = (BToken,)
+
+        def execute(self, tok):
+            pass
+
+    class MergeBB(MergeOperation):
+        in_types = (BToken,)
+        out_types = (BToken,)
+
+        def execute(self, tok):
+            yield self.post(BToken())
+
+    outer_s = node(SplitAB, tc)
+    inner_s = node(SplitBB, tc)
+    inner_m = node(MergeBB, tc)
+    outer_m = node(MergeBA, tc)
+    g = Flowgraph(outer_s >> inner_s >> inner_m >> outer_m, "nested")
+    assert g.matching_merge(0) == 3
+    assert g.matching_merge(1) == 2
+    assert g.group_depth(2) == 2
+
+
+def test_stream_pops_and_pushes(tc):
+    """split >> stream >> merge: stream closes the split's group and
+    opens its own, closed by the final merge."""
+    s = node(SplitAB, tc)
+    st = node(StreamBB, tc)
+    m = node(MergeBA, tc)
+    g = Flowgraph(s >> st >> m, "pipeline")
+    assert g.matching_merge(0) == 1  # split matched by the stream
+    assert g.matching_merge(1) == 2  # stream's group closed by the merge
+
+
+def test_stream_chain(tc):
+    s = node(SplitAB, tc)
+    st1 = node(StreamBB, tc)
+    st2 = node(StreamBB, tc)
+    m = node(MergeBA, tc)
+    g = Flowgraph(s >> st1 >> st2 >> m)
+    assert g.matching_merge(0) == 1
+    assert g.matching_merge(1) == 2
+    assert g.matching_merge(2) == 3
+
+
+def test_multiple_entries_rejected(tc):
+    a = node(SplitAB, tc)
+    b = node(SplitAB, tc)
+    m = node(MergeBA, tc)
+    builder = a >> m
+    builder += b >> m
+    with pytest.raises(GraphError, match="exactly one entry"):
+        Flowgraph(builder)
+
+
+def test_split_matching_two_merges_rejected(tc):
+    class SplitBoth(SplitOperation):
+        in_types = (AToken,)
+        out_types = (BToken, CToken)
+
+        def execute(self, tok):
+            pass
+
+    class MergeCB(MergeOperation):
+        in_types = (CToken,)
+        out_types = (BToken,)
+
+        def execute(self, tok):
+            yield self.post(BToken())
+
+    s = node(SplitBoth, tc)
+    m1 = node(MergeBA, tc)  # consumes B, posts A... both would be exits
+    m2 = node(MergeCB, tc)
+    lb = node(LeafBB, tc)
+    builder = s >> m1
+    builder += s >> m2 >> lb >> m1
+    with pytest.raises(GraphError):
+        Flowgraph(builder)
+
+
+def test_empty_builder_rejected():
+    with pytest.raises(GraphError, match="empty"):
+        Flowgraph(FlowgraphBuilder := __import__(
+            "repro.core", fromlist=["FlowgraphBuilder"]).FlowgraphBuilder())
+
+
+def test_collections_listed(tc):
+    other = ThreadCollection(DpsThread, "workers").map("n1*2")
+    g = Flowgraph(
+        node(SplitAB, tc)
+        >> FlowgraphNode(LeafBB, other, RoundRobinRoute)
+        >> node(MergeBA, tc)
+    )
+    assert g.collections() == [tc, other]
+
+
+def test_dynamic_graph_growth_like_lu(tc):
+    """+= appends repeated graph segments — the LU construction idiom."""
+    class SplitBB2(SplitOperation):
+        in_types = (BToken,)
+        out_types = (BToken,)
+
+        def execute(self, tok):
+            pass
+
+    class MergeBB2(MergeOperation):
+        in_types = (BToken,)
+        out_types = (BToken,)
+
+        def execute(self, tok):
+            yield self.post(BToken())
+
+    head = node(SplitAB, tc)
+    tail = node(MergeBA, tc)
+    stages = []
+    for _ in range(3):
+        stages.append((node(SplitBB2, tc), node(MergeBB2, tc)))
+    builder = head.as_builder()
+    prev = head
+    for s, m in stages:
+        builder += prev >> s >> m
+        prev = m
+    builder += prev >> tail
+    g = Flowgraph(builder, "lu-like")
+    assert len(g.node_ids) == 2 + 2 * 3
+    # nesting: outer split matched by the final merge
+    assert g.matching_merge(0) == g.exit

@@ -1,0 +1,123 @@
+"""Property-based tests of flow-graph validation.
+
+Hypothesis generates random linear op-kind sequences; the validator must
+accept exactly the well-parenthesized ones (split/stream/merge nesting)
+and reject the rest — never crash, never mis-accept.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ConstantRoute,
+    DpsThread,
+    Flowgraph,
+    FlowgraphNode,
+    GraphError,
+    LeafOperation,
+    MergeOperation,
+    SplitOperation,
+    StreamOperation,
+    ThreadCollection,
+)
+from repro.serial import SimpleToken
+
+
+class GToken(SimpleToken):
+    def __init__(self, v=0):
+        self.v = v
+
+
+class GLeaf(LeafOperation):
+    in_types = (GToken,)
+    out_types = (GToken,)
+
+    def execute(self, tok):
+        self.post(GToken(tok.v))
+
+
+class GSplit(SplitOperation):
+    in_types = (GToken,)
+    out_types = (GToken,)
+
+    def execute(self, tok):
+        self.post(GToken(tok.v))
+
+
+class GMerge(MergeOperation):
+    in_types = (GToken,)
+    out_types = (GToken,)
+
+    def execute(self, tok):
+        while tok is not None:
+            tok = yield self.next_token()
+        yield self.post(GToken())
+
+
+class GStream(StreamOperation):
+    in_types = (GToken,)
+    out_types = (GToken,)
+
+    def execute(self, tok):
+        while tok is not None:
+            yield self.post(GToken(tok.v))
+            tok = yield self.next_token()
+
+
+KINDS = {"L": GLeaf, "S": GSplit, "M": GMerge, "T": GStream}
+
+
+def chain_is_valid(kinds: str) -> bool:
+    """Reference implementation of the nesting rule for linear chains."""
+    depth = 0
+    for k in kinds:
+        if k == "S":
+            depth += 1
+        elif k == "M":
+            if depth == 0:
+                return False
+            depth -= 1
+        elif k == "T":
+            if depth == 0:
+                return False
+            # pop + push: depth unchanged
+    return depth == 0
+
+
+def build_chain(kinds: str):
+    tc = ThreadCollection(DpsThread, "g").map("n1")
+    nodes = [FlowgraphNode(KINDS[k], tc, ConstantRoute) for k in kinds]
+    builder = nodes[0].as_builder()
+    for node in nodes[1:]:
+        builder = builder >> node
+    return Flowgraph(builder, "prop-chain")
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.text(alphabet="LSMT", min_size=1, max_size=12))
+def test_linear_chain_validation_matches_reference(kinds):
+    should_pass = chain_is_valid(kinds)
+    try:
+        graph = build_chain(kinds)
+        built = True
+    except GraphError:
+        built = False
+    assert built == should_pass, kinds
+    if built:
+        # every opener has a recorded closer, depths are consistent
+        for i, k in enumerate(kinds):
+            if k in "ST" and i != len(kinds) - 1:
+                closer = graph.matching_merge(i)
+                assert kinds[closer] in "MT"
+                assert closer > i
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(1, 6))
+def test_nested_splits_match_inside_out(depth):
+    kinds = "S" * depth + "L" + "M" * depth
+    graph = build_chain(kinds)
+    for i in range(depth):
+        # opener i matches closer at mirrored position
+        assert graph.matching_merge(i) == len(kinds) - 1 - i
+        assert graph.group_depth(i) == i

@@ -1,0 +1,64 @@
+"""Tests for the flow-graph visualization helpers."""
+
+from repro.apps.strings import build_uppercase_graph
+from repro.apps.video import (
+    VideoFinalMerge,
+    VideoProcessFrame,
+    VideoReadPart,
+    VideoRecomposeStream,
+    VideoSplitRequests,
+    VideoDiskThread,
+    VideoMainThread,
+    VideoProcThread,
+)
+from repro.core import ConstantRoute, Flowgraph, FlowgraphNode, ThreadCollection
+
+
+def stream_graph():
+    main = ThreadCollection(VideoMainThread, "vmain").map("n1")
+    disks = ThreadCollection(VideoDiskThread, "vdisks").map("n2")
+    procs = ThreadCollection(VideoProcThread, "vprocs").map("n3")
+    return Flowgraph(
+        FlowgraphNode(VideoSplitRequests, main)
+        >> FlowgraphNode(VideoReadPart, disks, ConstantRoute)
+        >> FlowgraphNode(VideoRecomposeStream, main)
+        >> FlowgraphNode(VideoProcessFrame, procs, ConstantRoute)
+        >> FlowgraphNode(VideoFinalMerge, main),
+        "viz-video",
+    )
+
+
+def test_to_dot_structure():
+    graph, *_ = build_uppercase_graph("n1", "n2")
+    dot = graph.to_dot()
+    assert dot.startswith('digraph "uppercase"')
+    assert dot.rstrip().endswith("}")
+    assert "SplitString" in dot and "MergeString" in dot
+    assert "trapezium" in dot          # split shape
+    assert "invtrapezium" in dot       # merge shape
+    assert "n0 -> n1;" in dot and "n1 -> n2;" in dot
+    assert dot.count("->") == 2
+
+
+def test_to_dot_stream_shape():
+    dot = stream_graph().to_dot()
+    assert "hexagon" in dot            # stream op
+    assert dot.count("->") == 4
+
+
+def test_describe_lists_all_ops_and_groups():
+    graph, *_ = build_uppercase_graph("n1", "n2")
+    text = graph.describe()
+    assert "flow graph 'uppercase'" in text
+    assert "[split ]" in text and "[leaf  ]" in text and "[merge ]" in text
+    assert "entry=SplitString" in text
+    assert "exit=MergeString" in text
+    assert "group: SplitString ... closed by MergeString" in text
+
+
+def test_describe_shows_nesting_depth():
+    text = stream_graph().describe()
+    # ops inside the split-merge construct are indented one level
+    assert "[stream]" in text
+    assert "group: VideoSplitRequests ... closed by VideoRecomposeStream" in text
+    assert "group: VideoRecomposeStream ... closed by VideoFinalMerge" in text

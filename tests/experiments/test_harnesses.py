@@ -1,0 +1,78 @@
+"""Tests for the experiment harnesses (fast mode) and the CLI."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments import ALL, ExperimentResult, format_table
+from repro.experiments import fig6_throughput, table1_overlap
+
+
+def test_all_registry_complete():
+    assert sorted(ALL) == ["fig15", "fig6", "fig9", "table1", "table2"]
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "2.50" in text and "0.25" in text
+    assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+
+def test_format_table_empty_rows():
+    text = format_table(["x"], [])
+    assert "x" in text
+
+
+def test_experiment_result_report():
+    r = ExperimentResult("t", "a title", ["h"], [[1]], notes="a note")
+    out = r.report()
+    assert "== t: a title ==" in out
+    assert "a note" in out
+
+
+def test_fig6_fast_structure():
+    r = fig6_throughput.run(fast=True)
+    assert r.name == "fig6"
+    assert len(r.rows) == len(fig6_throughput.FAST_SIZES)
+    assert r.data["sockets"] and r.data["dps"]
+    # the core claim holds even in fast mode
+    assert r.data["dps"][0] < r.data["sockets"][0]
+
+
+def test_table1_fast_structure():
+    r = table1_overlap.run(fast=True)
+    assert r.name == "table1"
+    assert all(red > 0 for red in r.data["reductions"].values())
+    assert len(r.rows) == 8  # 4 block sizes x 2 node counts
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_list(capsys):
+    assert cli_main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ALL:
+        assert name in out
+
+
+def test_cli_runs_one_experiment(capsys):
+    assert cli_main(["fig6", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "fig6" in out
+    assert "DPS [MB/s]" in out
+    assert "fast mode" in out
+
+
+def test_cli_demo(capsys):
+    assert cli_main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "DYNAMIC PARALLEL SCHEDULES" in out
+    assert "timeline" in out
+
+
+def test_cli_rejects_unknown():
+    with pytest.raises(SystemExit):
+        cli_main(["nonsense"])

@@ -1,0 +1,187 @@
+"""Cross-engine equivalence: the same application code must produce the
+same *results* on the simulated cluster and on real OS threads.
+
+This is the central guarantee of the two-engine design (DESIGN.md §2):
+operations, graphs, routing and flow control are engine-agnostic; only
+timing semantics differ.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.strings import StringToken, build_uppercase_graph
+from repro.cluster import paper_cluster
+from repro.core import (
+    ConstantRoute,
+    DpsThread,
+    FlowControlPolicy,
+    Flowgraph,
+    FlowgraphNode,
+    LeafOperation,
+    MergeOperation,
+    RoundRobinRoute,
+    SplitOperation,
+    StreamOperation,
+    ThreadCollection,
+    route_fn,
+)
+from repro.runtime import SimEngine
+from repro.runtime.threaded_engine import ThreadedEngine
+from repro.serial import Buffer, ComplexToken, SimpleToken
+
+
+class XJob(SimpleToken):
+    def __init__(self, n=0):
+        self.n = n
+
+
+class XChunk(ComplexToken):
+    def __init__(self, idx=0, data=None):
+        self.idx = idx
+        self.data = Buffer(data if data is not None else [])
+
+
+class XResult(ComplexToken):
+    def __init__(self, total=None):
+        self.total = Buffer(total if total is not None else [])
+
+
+class XMain(DpsThread):
+    pass
+
+
+class XWork(DpsThread):
+    pass
+
+
+class XSplit(SplitOperation):
+    """Fan a job out into numpy chunks."""
+
+    thread_type = XMain
+    in_types = (XJob,)
+    out_types = (XChunk,)
+
+    def execute(self, tok):
+        rng = np.random.default_rng(tok.n)
+        for i in range(tok.n):
+            self.post(XChunk(i, rng.standard_normal(32)))
+
+
+class XSquare(LeafOperation):
+    thread_type = XWork
+    in_types = (XChunk,)
+    out_types = (XChunk,)
+
+    def execute(self, tok):
+        self.post(XChunk(tok.idx, tok.data.array ** 2))
+
+
+class XStream(StreamOperation):
+    """Running prefix sums — order-sensitive per token, not per group."""
+
+    thread_type = XWork
+    in_types = (XChunk,)
+    out_types = (XChunk,)
+
+    def execute(self, tok):
+        while tok is not None:
+            yield self.post(XChunk(tok.idx, np.cumsum(tok.data.array)))
+            tok = yield self.next_token()
+
+
+class XMerge(MergeOperation):
+    thread_type = XMain
+    in_types = (XChunk,)
+    out_types = (XResult,)
+
+    def execute(self, tok):
+        total = np.zeros(32)
+        while tok is not None:
+            total += tok.data.array
+            tok = yield self.next_token()
+        yield self.post(XResult(total))
+
+
+def numeric_graph(suffix):
+    main = ThreadCollection(XMain, f"xmain{suffix}").map("node01")
+    workers = ThreadCollection(XWork, f"xwork{suffix}").map("node02 node03")
+    mids = ThreadCollection(XWork, f"xmid{suffix}").map("node02")
+    return Flowgraph(
+        FlowgraphNode(XSplit, main)
+        >> FlowgraphNode(XSquare, workers, RoundRobinRoute)
+        >> FlowgraphNode(XStream, mids, ConstantRoute)
+        >> FlowgraphNode(XMerge, main),
+        f"xpipeline{suffix}",
+    )
+
+
+def expected_result(n):
+    rng = np.random.default_rng(n)
+    total = np.zeros(32)
+    for _ in range(n):
+        total += np.cumsum(rng.standard_normal(32) ** 2)
+    return total
+
+
+@pytest.mark.parametrize("n", [1, 5, 17])
+def test_numeric_pipeline_identical_across_engines(n):
+    sim_engine = SimEngine(paper_cluster(3))
+    sim_out = sim_engine.run(numeric_graph("s"), XJob(n)).token.total.array
+
+    with ThreadedEngine() as teng:
+        thr_out = teng.run(numeric_graph("t"), XJob(n)).total.array
+
+    reference = expected_result(n)
+    assert np.allclose(sim_out, reference)
+    assert np.allclose(thr_out, reference)
+    assert np.allclose(sim_out, thr_out)
+
+
+def test_uppercase_identical_across_engines():
+    text = "engines must agree on results"
+    g1, *_ = build_uppercase_graph("node01", "node02 node03", name="up-sim")
+    sim_out = SimEngine(paper_cluster(3)).run(g1, StringToken(text)).token.text
+
+    g2, *_ = build_uppercase_graph("hostA", "hostB hostC", name="up-thr")
+    with ThreadedEngine() as teng:
+        thr_out = teng.run(g2, StringToken(text)).text
+    assert sim_out == thr_out == text.upper()
+
+
+def test_flow_control_semantics_match():
+    """Window=1 must complete on both engines (lock-step, no deadlock)."""
+    g1 = numeric_graph("fc-s")
+    sim_engine = SimEngine(paper_cluster(3),
+                           policy=FlowControlPolicy(window=1))
+    sim_out = sim_engine.run(g1, XJob(6)).token.total.array
+
+    g2 = numeric_graph("fc-t")
+    with ThreadedEngine(policy=FlowControlPolicy(window=1)) as teng:
+        thr_out = teng.run(g2, XJob(6)).total.array
+    assert np.allclose(sim_out, thr_out)
+
+
+def test_error_semantics_match():
+    class XBoom(LeafOperation):
+        thread_type = XWork
+        in_types = (XChunk,)
+        out_types = (XChunk,)
+
+        def execute(self, tok):
+            raise ValueError("engine-agnostic crash")
+
+    def graph(suffix):
+        main = ThreadCollection(XMain, f"bmain{suffix}").map("node01")
+        work = ThreadCollection(XWork, f"bwork{suffix}").map("node02")
+        return Flowgraph(
+            FlowgraphNode(XSplit, main)
+            >> FlowgraphNode(XBoom, work, ConstantRoute)
+            >> FlowgraphNode(XMerge, main),
+            f"boom{suffix}",
+        )
+
+    with pytest.raises(ValueError, match="engine-agnostic crash"):
+        SimEngine(paper_cluster(2)).run(graph("s"), XJob(2))
+    with ThreadedEngine() as teng:
+        with pytest.raises(ValueError, match="engine-agnostic crash"):
+            teng.run(graph("t"), XJob(2), timeout=10)

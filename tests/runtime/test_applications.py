@@ -1,0 +1,94 @@
+"""Tests for the Application bundle and engine registration surface."""
+
+import pytest
+
+from repro.apps.strings import StringToken, build_uppercase_graph
+from repro.cluster import paper_cluster
+from repro.runtime import Application, ScheduleError, SimEngine
+from repro.simkernel import SimulationError
+
+
+def test_application_exposes_graphs():
+    app = Application("life-server")
+    g1, *_ = build_uppercase_graph("node01", "node02", name="app-g1")
+    g2, *_ = build_uppercase_graph("node01", "node02", name="app-g2")
+    app.expose(g1)
+    app.expose(g2, name="alias")
+    assert sorted(app.graphs) == ["alias", "app-g1"]
+    assert app.graphs["alias"] is g2
+    assert "life-server" in repr(app)
+
+
+def test_application_name_required():
+    with pytest.raises(ValueError):
+        Application("")
+
+
+def test_application_duplicate_exposure_rejected():
+    app = Application("a")
+    g1, *_ = build_uppercase_graph("node01", "node02", name="dup-g")
+    g2, *_ = build_uppercase_graph("node01", "node02", name="dup-g")
+    app.expose(g1)
+    app.expose(g1)  # same object: fine
+    with pytest.raises(ValueError, match="already exposes"):
+        app.expose(g2)
+
+
+def test_register_app_runs_graphs_by_name():
+    engine = SimEngine(paper_cluster(2))
+    app = Application("svc")
+    g, *_ = build_uppercase_graph("node01", "node02", name="svc.upper")
+    app.expose(g)
+    engine.register_app(app)
+    result = engine.run("svc.upper", StringToken("via app"))
+    assert result.token.text == "VIA APP"
+
+
+def test_engine_rejects_conflicting_graph_names():
+    engine = SimEngine(paper_cluster(2))
+    g1, *_ = build_uppercase_graph("node01", "node02", name="clash")
+    g2, *_ = build_uppercase_graph("node01", "node02", name="clash")
+    engine.register_graph(g1)
+    engine.register_graph(g1)  # idempotent for the same object
+    with pytest.raises(ValueError, match="already registered"):
+        engine.register_graph(g2)
+
+
+def test_run_until_time_limit():
+    engine = SimEngine(paper_cluster(2))
+    never = engine.sim.event()
+
+    def ticker(sim):
+        while True:
+            yield sim.timeout(1.0)
+
+    engine.spawn(ticker(engine.sim))
+    with pytest.raises(ScheduleError, match="time limit"):
+        engine.run_until(never, limit=5.0)
+
+
+def test_run_until_propagates_event_failure():
+    engine = SimEngine(paper_cluster(1))
+    ev = engine.sim.event()
+
+    def failer(sim):
+        yield sim.timeout(1.0)
+        ev.fail(RuntimeError("boom"))
+
+    engine.spawn(failer(engine.sim))
+    with pytest.raises(RuntimeError, match="boom"):
+        engine.run_until(ev)
+
+
+def test_metrics_shape():
+    engine = SimEngine(paper_cluster(2))
+    graph, *_ = build_uppercase_graph("node01", "node02")
+    engine.run(graph, StringToken("abc"))
+    m = engine.metrics()
+    assert set(m) >= {"time", "network_bytes", "network_messages",
+                      "local_messages", "nodes", "window_stalls",
+                      "tokens_posted"}
+    assert set(m["nodes"]) == {"node01", "node02"}
+    for stats in m["nodes"].values():
+        assert stats["compute_time"] >= 0
+        assert 0 <= stats["cpu_utilization"] <= 1

@@ -1,0 +1,161 @@
+"""Property-based tests of the engine: correctness under random shapes.
+
+Hypothesis drives fan-out counts, routing choices, window sizes, nesting
+and payload sizes; the engine must always produce the mathematically
+correct merge result, stay deterministic, and respect the flow-control
+invariant.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import paper_cluster
+from repro.core import (
+    ConstantRoute,
+    DpsThread,
+    FlowControlPolicy,
+    Flowgraph,
+    FlowgraphNode,
+    LeafOperation,
+    LoadBalancedRoute,
+    MergeOperation,
+    RoundRobinRoute,
+    SplitOperation,
+    ThreadCollection,
+    route_fn,
+)
+from repro.runtime import SimEngine
+from repro.serial import SimpleToken
+
+
+class PJob(SimpleToken):
+    def __init__(self, values=()):
+        self.values = list(values)
+
+
+class PItem(SimpleToken):
+    def __init__(self, v=0, idx=0):
+        self.v = v
+        self.idx = idx
+
+
+class PSum(SimpleToken):
+    def __init__(self, total=0, count=0):
+        self.total = total
+        self.count = count
+
+
+class PMain(DpsThread):
+    pass
+
+
+class PWork(DpsThread):
+    pass
+
+
+class PFan(SplitOperation):
+    thread_type = PMain
+    in_types = (PJob,)
+    out_types = (PItem,)
+
+    def execute(self, tok):
+        for i, v in enumerate(tok.values):
+            self.post(PItem(v, i))
+
+
+class PDouble(LeafOperation):
+    thread_type = PWork
+    in_types = (PItem,)
+    out_types = (PItem,)
+
+    def execute(self, tok):
+        self.post(PItem(tok.v * 2, tok.idx))
+
+    def cost(self, tok):
+        return self.charge_seconds(0.001)
+
+
+class PSumUp(MergeOperation):
+    thread_type = PMain
+    in_types = (PItem,)
+    out_types = (PSum,)
+
+    def execute(self, tok):
+        total = count = 0
+        while tok is not None:
+            total += tok.v
+            count += 1
+            tok = yield self.next_token()
+        yield self.post(PSum(total, count))
+
+
+ROUTES = [ConstantRoute, RoundRobinRoute, LoadBalancedRoute,
+          route_fn("PByIdx", lambda tok, n: tok.idx % n)]
+
+
+def build(n_nodes, route_cls, window, suffix):
+    engine = SimEngine(paper_cluster(n_nodes),
+                       policy=FlowControlPolicy(window=window))
+    main = ThreadCollection(PMain, f"pmain{suffix}").map("node01")
+    worker_nodes = " ".join(f"node{i:02d}" for i in range(1, n_nodes + 1))
+    workers = ThreadCollection(PWork, f"pwork{suffix}").map(worker_nodes)
+    graph = Flowgraph(
+        FlowgraphNode(PFan, main)
+        >> FlowgraphNode(PDouble, workers, route_cls)
+        >> FlowgraphNode(PSumUp, main),
+        f"prop{suffix}",
+    )
+    return engine, graph
+
+
+_counter = [0]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(st.integers(-1000, 1000), min_size=1, max_size=40),
+    n_nodes=st.integers(1, 5),
+    route_idx=st.integers(0, len(ROUTES) - 1),
+    window=st.one_of(st.none(), st.integers(1, 12)),
+)
+def test_fan_out_merge_always_correct(values, n_nodes, route_idx, window):
+    _counter[0] += 1
+    engine, graph = build(n_nodes, ROUTES[route_idx], window, _counter[0])
+    result = engine.run(graph, PJob(values))
+    assert result.token.total == 2 * sum(values)
+    assert result.token.count == len(values)
+    engine.check_quiescent()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    values=st.lists(st.integers(-50, 50), min_size=1, max_size=15),
+    window=st.one_of(st.none(), st.integers(1, 6)),
+)
+def test_runs_are_deterministic(values, window):
+    def once(tag):
+        _counter[0] += 1
+        engine, graph = build(3, RoundRobinRoute, window, _counter[0])
+        r = engine.run(graph, PJob(values))
+        return r.makespan, engine.metrics()["network_bytes"]
+
+    assert once("a") == once("b")
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    values=st.lists(st.integers(0, 10), min_size=1, max_size=25),
+    window=st.integers(1, 4),
+)
+def test_flow_control_invariant_holds_at_runtime(values, window):
+    """After the run, every window must be fully drained (posted == acked)
+    and must never have exceeded its bound (checked inside SplitWindow)."""
+    _counter[0] += 1
+    engine, graph = build(2, RoundRobinRoute, window, _counter[0])
+    engine.run(graph, PJob(values))
+    for controller in engine.controllers.values():
+        for w in controller.window_stats().values():
+            assert w.in_flight == 0
+            assert w.total_posted == w.total_acked
+            assert w.total_posted == len(values)

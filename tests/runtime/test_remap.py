@@ -1,0 +1,94 @@
+"""Tests for runtime reshaping: remapping collections with state migration."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gameoflife import DistributedGameOfLife, life_step
+from repro.apps.strings import StringToken, build_uppercase_graph
+from repro.cluster import paper_cluster
+from repro.runtime import ScheduleError, SimEngine
+from repro.trace import Tracer
+
+
+def test_remap_moves_stateless_workers():
+    tracer = Tracer()
+    engine = SimEngine(paper_cluster(4), tracer=tracer)
+    graph, main, workers = build_uppercase_graph("node01", "node02 node03")
+    r1 = engine.run(graph, StringToken("before"))
+    assert r1.token.text == "BEFORE"
+
+    report = engine.remap(workers, "node03 node04")
+    assert report["migrated"] == 2
+    assert workers.placements == ["node03", "node04"]
+
+    tracer.clear()
+    r2 = engine.run(graph, StringToken("after"))
+    assert r2.token.text == "AFTER"
+    # the ops now fire on node03/node04; node02 no longer participates
+    fired_on = {e.node for e in tracer.filter("op_token")
+                if e.op == "ToUpperCase"}
+    assert fired_on == {"node03", "node04"}
+
+
+def test_remap_migrates_distributed_state():
+    """The Game of Life bands follow their threads to the new nodes."""
+    rng = np.random.default_rng(4)
+    world = (rng.random((24, 16)) < 0.4).astype(np.uint8)
+    engine = SimEngine(paper_cluster(4))
+    gol = DistributedGameOfLife(engine, world, ["node01", "node02"])
+    gol.load()
+    gol.step(improved=True)
+
+    r1 = engine.remap(gol._exchange, "node03 node04")
+    r2 = engine.remap(gol._compute, "node03 node04")
+    assert r1["migrated"] == 2
+    # band state (~12*16 bytes per worker plus ghosts) really moved
+    assert r1["bytes"] > 2 * 12 * 16
+    assert r1["duration"] > 0
+    # compute threads hold no band: cheaper migration
+    assert r2["bytes"] < r1["bytes"]
+
+    gol.step(improved=True)
+    expected = life_step(life_step(world))
+    assert np.array_equal(gol.gather(), expected)
+
+
+def test_remap_identity_is_noop():
+    engine = SimEngine(paper_cluster(3))
+    graph, main, workers = build_uppercase_graph("node01", "node02 node03")
+    engine.run(graph, StringToken("x"))
+    report = engine.remap(workers, "node02 node03")
+    assert report["migrated"] == 0
+    assert report["bytes"] == 0
+
+
+def test_remap_rejects_thread_count_change():
+    engine = SimEngine(paper_cluster(3))
+    graph, main, workers = build_uppercase_graph("node01", "node02")
+    engine.run(graph, StringToken("x"))
+    with pytest.raises(ScheduleError, match="thread count"):
+        engine.remap(workers, "node02 node03")
+    # rolled back
+    assert workers.placements == ["node02"]
+
+
+def test_remap_rejects_unknown_node():
+    engine = SimEngine(paper_cluster(2))
+    graph, main, workers = build_uppercase_graph("node01", "node02")
+    engine.run(graph, StringToken("x"))
+    with pytest.raises(ScheduleError, match="unknown node"):
+        engine.remap(workers, "node09")
+
+
+def test_remap_of_never_instantiated_threads():
+    """Threads that never received a token migrate for free (they are
+    created lazily on the new node)."""
+    engine = SimEngine(paper_cluster(3), tracer=Tracer())
+    graph, main, workers = build_uppercase_graph("node01", "node02")
+    report = engine.remap(workers, "node03")
+    assert report["migrated"] == 0
+    result = engine.run(graph, StringToken("lazy"))
+    assert result.token.text == "LAZY"
+    fired_on = {e.node for e in engine.tracer.filter("op_token")
+                if e.op == "ToUpperCase"}
+    assert fired_on == {"node03"}

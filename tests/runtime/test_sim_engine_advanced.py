@@ -1,0 +1,423 @@
+"""Advanced engine tests: nesting, streams, graph calls, load balancing."""
+
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.core import (
+    ConstantRoute,
+    DpsThread,
+    FlowControlPolicy,
+    Flowgraph,
+    FlowgraphNode,
+    LeafOperation,
+    LoadBalancedRoute,
+    MergeOperation,
+    RoundRobinRoute,
+    SplitOperation,
+    StreamOperation,
+    ThreadCollection,
+    route_fn,
+)
+from repro.runtime import ScheduleError, SimEngine
+from repro.serial import SimpleToken
+
+
+class JobToken(SimpleToken):
+    def __init__(self, n=0, tag=0):
+        self.n = n
+        self.tag = tag
+
+
+class ItemToken(SimpleToken):
+    def __init__(self, value=0, worker=-1):
+        self.value = value
+        self.worker = worker
+
+
+class SumToken(SimpleToken):
+    def __init__(self, total=0):
+        self.total = total
+
+
+class MainThread(DpsThread):
+    pass
+
+
+class WorkThread(DpsThread):
+    pass
+
+
+class FanOut(SplitOperation):
+    in_types = (JobToken,)
+    out_types = (ItemToken,)
+
+    def execute(self, tok):
+        for i in range(tok.n):
+            self.post(ItemToken(i))
+
+
+class Square(LeafOperation):
+    in_types = (ItemToken,)
+    out_types = (ItemToken,)
+
+    def execute(self, tok):
+        self.post(ItemToken(tok.value**2, self.thread.index))
+
+    def cost(self, tok):
+        return self.charge_seconds(0.01)
+
+
+class SumUp(MergeOperation):
+    in_types = (ItemToken,)
+    out_types = (SumToken,)
+
+    def execute(self, tok):
+        total = 0
+        while tok is not None:
+            total += tok.value
+            tok = yield self.next_token()
+        yield self.post(SumToken(total))
+
+
+def simple_graph(n_nodes=3, route=RoundRobinRoute, window=8):
+    engine = SimEngine(paper_cluster(n_nodes),
+                       policy=FlowControlPolicy(window=window))
+    main = ThreadCollection(MainThread, "main").map("node01")
+    worker_nodes = " ".join(f"node{i + 1:02d}" for i in range(1, n_nodes)) or "node01"
+    workers = ThreadCollection(WorkThread, "work").map(worker_nodes)
+    g = Flowgraph(
+        FlowgraphNode(FanOut, main)
+        >> FlowgraphNode(Square, workers, route)
+        >> FlowgraphNode(SumUp, main),
+        "sum-squares",
+    )
+    return engine, g
+
+
+def test_sum_of_squares():
+    engine, g = simple_graph()
+    result = engine.run(g, JobToken(10))
+    assert result.token.total == sum(i**2 for i in range(10))
+
+
+def test_leaf_cost_charged_in_virtual_time():
+    engine, g = simple_graph(n_nodes=2)
+    result = engine.run(g, JobToken(20))
+    # 20 squares at 10 ms each on one worker node with 2 cpus >= 100 ms.
+    assert result.makespan >= 0.1
+    # 0.2 s of op cost plus a little serialization CPU time
+    assert 0.2 <= engine.cluster.node("node02").compute_time <= 0.22
+
+
+def test_load_balanced_route_spreads_work():
+    engine, g = simple_graph(n_nodes=4, route=LoadBalancedRoute, window=None)
+    result = engine.run(g, JobToken(30))
+    assert result.token.total == sum(i**2 for i in range(30))
+    # all three worker nodes computed something
+    for name in ("node02", "node03", "node04"):
+        assert engine.cluster.node(name).compute_time > 0
+
+
+# ---------------------------------------------------------------------------
+# nested split-merge
+# ---------------------------------------------------------------------------
+
+class OuterSplit(SplitOperation):
+    in_types = (JobToken,)
+    out_types = (JobToken,)
+
+    def execute(self, tok):
+        for k in range(3):
+            self.post(JobToken(4, tag=k))
+
+
+class InnerSplit(SplitOperation):
+    in_types = (JobToken,)
+    out_types = (ItemToken,)
+
+    def execute(self, tok):
+        for i in range(tok.n):
+            self.post(ItemToken(1, worker=tok.tag))
+
+
+class InnerMerge(MergeOperation):
+    in_types = (ItemToken,)
+    out_types = (ItemToken,)
+
+    def execute(self, tok):
+        count = 0
+        while tok is not None:
+            count += tok.value
+            tok = yield self.next_token()
+        yield self.post(ItemToken(count))
+
+
+class OuterMerge(MergeOperation):
+    in_types = (ItemToken,)
+    out_types = (SumToken,)
+
+    def execute(self, tok):
+        total = 0
+        while tok is not None:
+            total += tok.value
+            tok = yield self.next_token()
+        yield self.post(SumToken(total))
+
+
+def test_nested_split_merge_runs():
+    engine = SimEngine(paper_cluster(3))
+    main = ThreadCollection(MainThread, "main").map("node01")
+    mids = ThreadCollection(WorkThread, "mid").map("node02 node03")
+    # The inner merge routes by the inner job tag, so all tokens of one
+    # inner group land on the same thread (the DPS routing contract).
+    ByTag = route_fn("ByTag", lambda tok, n: tok.worker % n)
+    g = Flowgraph(
+        FlowgraphNode(OuterSplit, main)
+        >> FlowgraphNode(InnerSplit, mids, RoundRobinRoute)
+        >> FlowgraphNode(InnerMerge, mids, ByTag)
+        >> FlowgraphNode(OuterMerge, main),
+        "nested",
+    )
+    result = engine.run(g, JobToken(0))
+    assert result.token.total == 3 * 4
+
+
+# ---------------------------------------------------------------------------
+# stream operations
+# ---------------------------------------------------------------------------
+
+class StreamDouble(StreamOperation):
+    """Forward each item immediately, doubled — pipelining preserved."""
+
+    in_types = (ItemToken,)
+    out_types = (ItemToken,)
+
+    def execute(self, tok):
+        while tok is not None:
+            yield self.post(ItemToken(tok.value * 2))
+            tok = yield self.next_token()
+
+
+def test_stream_operation_values():
+    engine = SimEngine(paper_cluster(3))
+    main = ThreadCollection(MainThread, "main").map("node01")
+    workers = ThreadCollection(WorkThread, "work").map("node02 node03")
+    g = Flowgraph(
+        FlowgraphNode(FanOut, main)
+        >> FlowgraphNode(StreamDouble, workers, ConstantRoute)
+        >> FlowgraphNode(SumUp, main),
+        "streamed",
+    )
+    result = engine.run(g, JobToken(8))
+    assert result.token.total == 2 * sum(range(8))
+
+
+class SlowCollectAndForward(StreamOperation):
+    """Stream variant: forward as received (no barrier)."""
+
+    in_types = (ItemToken,)
+    out_types = (ItemToken,)
+
+    def execute(self, tok):
+        while tok is not None:
+            yield self.post(ItemToken(tok.value))
+            tok = yield self.next_token()
+
+
+class BarrierCollect(MergeOperation):
+    """Merge variant: forward only after the whole group arrived."""
+
+    in_types = (ItemToken,)
+    out_types = (JobToken,)
+
+    def execute(self, tok):
+        values = []
+        while tok is not None:
+            values.append(tok.value)
+            tok = yield self.next_token()
+        yield self.post(JobToken(len(values)))
+
+
+class ReSplit(SplitOperation):
+    in_types = (JobToken,)
+    out_types = (ItemToken,)
+
+    def execute(self, tok):
+        for _ in range(tok.n):
+            self.post(ItemToken(1))
+
+
+class SlowSink(MergeOperation):
+    in_types = (ItemToken,)
+    out_types = (SumToken,)
+
+    def execute(self, tok):
+        total = 0
+        while tok is not None:
+            yield self.charge_seconds(0.05)  # downstream processing
+            total += tok.value
+            tok = yield self.next_token()
+        yield self.post(SumToken(total))
+
+
+class SlowSource(SplitOperation):
+    in_types = (JobToken,)
+    out_types = (ItemToken,)
+
+    def execute(self, tok):
+        for _ in range(tok.n):
+            yield self.charge_seconds(0.05)  # upstream production
+            yield self.post(ItemToken(1))
+
+
+def _pipeline_time(use_stream: bool) -> float:
+    """split(slow) >> [stream | merge>>split] >> merge(slow).
+
+    Source and sink live on *different* DPS threads (a and c) so they can
+    overlap; sharing one thread would serialize them regardless.
+    """
+    engine = SimEngine(paper_cluster(2), policy=FlowControlPolicy(window=None))
+    a = ThreadCollection(MainThread, "a").map("node01")
+    b = ThreadCollection(WorkThread, "b").map("node02")
+    c = ThreadCollection(MainThread, "c").map("node01")
+    src = FlowgraphNode(SlowSource, a)
+    sink = FlowgraphNode(SlowSink, c)
+    if use_stream:
+        mid = FlowgraphNode(SlowCollectAndForward, b)
+        g = Flowgraph(src >> mid >> sink, "with-stream")
+    else:
+        m = FlowgraphNode(BarrierCollect, b)
+        s = FlowgraphNode(ReSplit, b)
+        g = Flowgraph(src >> m >> s >> sink, "with-barrier")
+    engine.register_graph(g)
+    engine.prelaunch()  # steady state: exclude lazy-launch delays
+    result = engine.run(g, JobToken(10))
+    assert result.token.total == 10
+    return result.makespan
+
+
+def test_stream_pipelines_faster_than_merge_split_barrier():
+    """The core claim of the stream construct (paper §3): replacing a
+    merge+split barrier with a stream keeps the pipeline full."""
+    t_stream = _pipeline_time(use_stream=True)
+    t_barrier = _pipeline_time(use_stream=False)
+    assert t_stream < t_barrier
+    # Upstream and downstream 0.05 s stages overlap almost fully with the
+    # stream; with the barrier they serialize: expect a gap of roughly 2x.
+    assert t_barrier / t_stream > 1.5
+
+
+# ---------------------------------------------------------------------------
+# graph calls (parallel services)
+# ---------------------------------------------------------------------------
+
+class AskService(LeafOperation):
+    in_types = (JobToken,)
+    out_types = (SumToken,)
+
+    def execute(self, tok):
+        result = yield self.call_graph("sum-squares", JobToken(tok.n))
+        yield self.post(SumToken(result.total))
+
+
+def test_graph_call_as_leaf_operation():
+    engine, service_graph = simple_graph(n_nodes=3)
+    engine.register_graph(service_graph)
+    client_main = ThreadCollection(MainThread, "client").map("node01")
+    client_graph = Flowgraph(
+        FlowgraphNode(AskService, client_main).as_builder(), "client"
+    )
+    result = engine.run(client_graph, JobToken(6))
+    assert result.token.total == sum(i * i for i in range(6))
+
+
+# ---------------------------------------------------------------------------
+# error paths
+# ---------------------------------------------------------------------------
+
+class BadEarlyReturnMerge(MergeOperation):
+    in_types = (ItemToken,)
+    out_types = (SumToken,)
+
+    def execute(self, tok):
+        yield self.post(SumToken(0))  # returns without draining the group
+
+
+def test_merge_early_return_detected():
+    engine = SimEngine(paper_cluster(2))
+    main = ThreadCollection(MainThread, "main").map("node01")
+    work = ThreadCollection(WorkThread, "w").map("node02")
+    g = Flowgraph(
+        FlowgraphNode(FanOut, main)
+        >> FlowgraphNode(Square, work, ConstantRoute)
+        >> FlowgraphNode(BadEarlyReturnMerge, main),
+        "bad-merge",
+    )
+    with pytest.raises(ScheduleError, match="before consuming"):
+        engine.run(g, JobToken(5))
+
+
+class PlainBodyMerge(MergeOperation):
+    in_types = (ItemToken,)
+    out_types = (SumToken,)
+
+    def execute(self, tok):
+        self.post(SumToken(0))
+
+
+def test_merge_with_plain_body_rejected():
+    engine = SimEngine(paper_cluster(2))
+    main = ThreadCollection(MainThread, "main").map("node01")
+    work = ThreadCollection(WorkThread, "w").map("node02")
+    g = Flowgraph(
+        FlowgraphNode(FanOut, main)
+        >> FlowgraphNode(Square, work, ConstantRoute)
+        >> FlowgraphNode(PlainBodyMerge, main),
+        "plain-merge",
+    )
+    with pytest.raises(ScheduleError, match="must be a generator"):
+        engine.run(g, JobToken(3))
+
+
+class WrongTypePoster(LeafOperation):
+    in_types = (ItemToken,)
+    out_types = (ItemToken,)
+
+    def execute(self, tok):
+        self.post(SumToken(1))  # not declared
+
+
+def test_undeclared_post_type_rejected():
+    engine = SimEngine(paper_cluster(2))
+    main = ThreadCollection(MainThread, "main").map("node01")
+    work = ThreadCollection(WorkThread, "w").map("node02")
+    g = Flowgraph(
+        FlowgraphNode(FanOut, main)
+        >> FlowgraphNode(WrongTypePoster, work, ConstantRoute)
+        >> FlowgraphNode(SumUp, main),
+        "bad-poster",
+    )
+    with pytest.raises(ScheduleError, match="declares out_types"):
+        engine.run(g, JobToken(2))
+
+
+class InconsistentRoute(ConstantRoute):
+    """Routes tokens of one group to different instances (user bug)."""
+
+    def route(self, token):
+        return token.value % 2
+
+
+def test_group_split_across_merge_instances_detected():
+    engine = SimEngine(paper_cluster(3))
+    main = ThreadCollection(MainThread, "main").map("node01")
+    work = ThreadCollection(WorkThread, "w").map("node02")
+    sinks = ThreadCollection(MainThread, "sinks").map("node01 node03")
+    g = Flowgraph(
+        FlowgraphNode(FanOut, main)
+        >> FlowgraphNode(Square, work, ConstantRoute)
+        >> FlowgraphNode(SumUp, sinks, InconsistentRoute),
+        "split-brain",
+    )
+    with pytest.raises(ScheduleError, match="multiple merge instances|did not complete"):
+        engine.run(g, JobToken(6))

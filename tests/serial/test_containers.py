@@ -1,0 +1,113 @@
+"""Unit tests for the Buffer and Vector container types."""
+
+import numpy as np
+import pytest
+
+from repro.serial import Buffer, ComplexToken, Vector, decode, encode
+
+
+class ContainerTestToken(ComplexToken):
+    def __init__(self, payload=None):
+        self.payload = payload
+
+
+# ---------------------------------------------------------------------------
+# Buffer
+# ---------------------------------------------------------------------------
+
+def test_buffer_basic_access():
+    b = Buffer([1, 2, 3], dtype=np.int32)
+    assert len(b) == 3
+    assert b[1] == 2
+    b[1] = 9
+    assert b.array[1] == 9
+    assert list(b) == [1, 9, 3]
+
+
+def test_buffer_properties():
+    b = Buffer(np.zeros((4, 5), np.float32))
+    assert b.nbytes == 4 * 5 * 4
+    assert b.dtype == np.float32
+    assert b.shape == (4, 5)
+
+
+def test_buffer_equality():
+    a = Buffer([1, 2, 3])
+    assert a == Buffer([1, 2, 3])
+    assert a == np.array([1, 2, 3])
+    assert not (a == Buffer([1, 2, 4]))
+    assert not (a == Buffer([1.0, 2.0, 3.0]))  # dtype differs
+    assert not (a == Buffer([[1, 2, 3]]))      # shape differs
+
+
+def test_buffer_rejects_object_dtype():
+    with pytest.raises(TypeError, match="numeric dtype"):
+        Buffer(np.array([object()], dtype=object))
+
+
+def test_buffer_repr():
+    assert "float64" in repr(Buffer(np.zeros(3)))
+
+
+def test_empty_buffer_roundtrip():
+    back = decode(encode(ContainerTestToken(Buffer([]))))
+    assert len(back.payload) == 0
+
+
+# ---------------------------------------------------------------------------
+# Vector
+# ---------------------------------------------------------------------------
+
+def test_vector_basic():
+    v = Vector([1, 2])
+    v.append(3)
+    v.extend([4, 5])
+    assert len(v) == 5
+    assert v[0] == 1
+    assert list(v) == [1, 2, 3, 4, 5]
+
+
+def test_vector_typed_rejects_wrong_elements():
+    class Elem(ComplexToken):
+        def __init__(self, x=0):
+            self.x = x
+
+    v = Vector(element_type=Elem)
+    v.append(Elem(1))
+    with pytest.raises(TypeError, match="cannot hold"):
+        v.append("not an Elem")
+    with pytest.raises(TypeError):
+        v.extend([Elem(2), 42])
+
+
+def test_vector_equality():
+    assert Vector([1, 2]) == Vector([1, 2])
+    assert Vector([1, 2]) == [1, 2]
+    assert not (Vector([1]) == Vector([2]))
+
+
+def test_vector_repr():
+    class Thing(ComplexToken):
+        pass
+
+    assert "Thing" in repr(Vector(element_type=Thing))
+    assert "Any" in repr(Vector())
+
+
+def test_vector_of_buffers_roundtrip():
+    v = Vector([Buffer(np.arange(3)), Buffer(np.arange(5, dtype=np.int16))])
+    back = decode(encode(ContainerTestToken(v)))
+    assert len(back.payload) == 2
+    assert np.array_equal(back.payload[0].array, np.arange(3))
+    assert back.payload[1].dtype == np.int16
+
+
+def test_deeply_nested_containers_roundtrip():
+    payload = Vector([
+        {"inner": [Buffer(np.ones(2)), (1, "two")]},
+        Vector([Vector([Buffer(np.zeros(1, np.uint8))])]),
+    ])
+    back = decode(encode(ContainerTestToken(payload))).payload
+    assert np.array_equal(back[0]["inner"][0].array, np.ones(2))
+    assert back[0]["inner"][1] == (1, "two")
+    assert np.array_equal(back[1][0][0].array, np.zeros(1, np.uint8))

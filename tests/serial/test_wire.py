@@ -1,0 +1,290 @@
+"""Unit tests for the token wire format and class registry."""
+
+import numpy as np
+import pytest
+
+from repro.serial import (
+    Buffer,
+    ComplexToken,
+    SimpleToken,
+    Token,
+    Vector,
+    WireError,
+    decode,
+    encode,
+    encoded_size,
+    registry,
+)
+
+
+class WireCharToken(SimpleToken):
+    """The tutorial token from the paper (a char and its position)."""
+
+    def __init__(self, chr="", pos=0):
+        self.chr = chr
+        self.pos = pos
+
+
+class MatrixToken(ComplexToken):
+    def __init__(self, block=None, row=0, col=0):
+        self.block = Buffer(block if block is not None else [])
+        self.row = row
+        self.col = col
+
+
+class NestedToken(ComplexToken):
+    def __init__(self, children=(), meta=None):
+        self.children = Vector(children)
+        self.meta = meta or {}
+
+
+def roundtrip(tok):
+    data = encode(tok)
+    return decode(data)
+
+
+def test_simple_roundtrip():
+    tok = WireCharToken("a", 7)
+    back = roundtrip(tok)
+    assert isinstance(back, WireCharToken)
+    assert back.chr == "a"
+    assert back.pos == 7
+    assert back == tok
+
+
+def test_magic_header():
+    data = encode(WireCharToken("x", 1))
+    assert data[:4] == b"DPS2"
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(WireError, match="bad magic"):
+        decode(b"NOPE" + b"\x00" * 16)
+
+
+def test_trailing_garbage_rejected():
+    data = encode(WireCharToken("x", 1))
+    with pytest.raises(WireError, match="trailing"):
+        decode(data + b"\x00")
+
+
+def test_scalar_field_types():
+    class ScalarsToken(SimpleToken):
+        def __init__(self):
+            self.n = None
+            self.t = True
+            self.f = False
+            self.i = -123456789
+            self.x = 3.5
+            self.s = "héllo"
+            self.b = b"\x00\x01\xff"
+
+    back = roundtrip(ScalarsToken())
+    assert back.n is None
+    assert back.t is True and back.f is False
+    assert back.i == -123456789
+    assert back.x == 3.5
+    assert back.s == "héllo"
+    assert back.b == b"\x00\x01\xff"
+
+
+def test_big_integers():
+    class BigToken(Token):
+        def __init__(self, v=0):
+            self.v = v
+
+    huge = 2**100 + 12345
+    assert roundtrip(BigToken(huge)).v == huge
+    assert roundtrip(BigToken(-huge)).v == -huge
+    assert roundtrip(BigToken(2**63 - 1)).v == 2**63 - 1
+    assert roundtrip(BigToken(-(2**63))).v == -(2**63)
+
+
+def test_buffer_roundtrip_preserves_dtype_and_shape():
+    block = np.arange(12, dtype=np.float32).reshape(3, 4)
+    tok = MatrixToken(block, row=1, col=2)
+    back = roundtrip(tok)
+    assert isinstance(back.block, Buffer)
+    assert back.block.dtype == np.float32
+    assert back.block.shape == (3, 4)
+    assert np.array_equal(back.block.array, block)
+    assert back.row == 1 and back.col == 2
+
+
+def test_raw_ndarray_field():
+    class ArrToken(ComplexToken):
+        def __init__(self, a):
+            self.a = a
+
+    arr = np.linspace(0, 1, 17)
+    back = roundtrip(ArrToken(arr))
+    assert isinstance(back.a, np.ndarray)
+    assert np.array_equal(back.a, arr)
+
+
+def test_zero_dim_array():
+    class ArrToken2(ComplexToken):
+        def __init__(self, a):
+            self.a = a
+
+    back = roundtrip(ArrToken2(np.array(3.25)))
+    assert back.a.shape == ()
+    assert back.a == 3.25
+
+
+def test_noncontiguous_array_roundtrip():
+    class ArrToken3(ComplexToken):
+        def __init__(self, a):
+            self.a = a
+
+    base = np.arange(100, dtype=np.int32).reshape(10, 10)
+    sliced = base[::2, ::3]
+    back = roundtrip(ArrToken3(sliced))
+    assert np.array_equal(back.a, sliced)
+
+
+def test_vector_of_tokens():
+    kids = [WireCharToken("a", 0), WireCharToken("b", 1)]
+    tok = NestedToken(kids, meta={"k": 5, "name": "x"})
+    back = roundtrip(tok)
+    assert len(back.children) == 2
+    assert isinstance(back.children[0], WireCharToken)
+    assert back.children[1].chr == "b"
+    assert back.meta == {"k": 5, "name": "x"}
+
+
+def test_lists_and_tuples():
+    class SeqToken(ComplexToken):
+        def __init__(self):
+            self.l = [1, "two", 3.0, None]
+            self.t = (True, b"x")
+
+    back = roundtrip(SeqToken())
+    assert back.l == [1, "two", 3.0, None]
+    assert back.t == (True, b"x")
+
+
+def test_nested_token_field():
+    class OuterToken(ComplexToken):
+        def __init__(self, inner):
+            self.inner = inner
+
+    back = roundtrip(OuterToken(WireCharToken("z", 9)))
+    assert isinstance(back.inner, WireCharToken)
+    assert back.inner.chr == "z" and back.inner.pos == 9
+
+
+def test_unserializable_field_rejected():
+    class BadToken(ComplexToken):
+        def __init__(self):
+            self.fn = lambda: None
+
+    with pytest.raises(WireError, match="unserializable"):
+        encode(BadToken())
+
+
+def test_object_dtype_rejected():
+    class ObjToken(ComplexToken):
+        def __init__(self):
+            self.a = Buffer([1, 2, 3])
+
+    tok = ObjToken()
+    with pytest.raises(TypeError):
+        tok.a = Buffer(np.array([object()], dtype=object))
+
+
+def test_non_string_dict_keys_rejected():
+    class DictToken(ComplexToken):
+        def __init__(self):
+            self.d = {1: "x"}
+
+    with pytest.raises(WireError, match="dict keys"):
+        encode(DictToken())
+
+
+def test_encode_requires_token():
+    with pytest.raises(WireError):
+        encode({"not": "a token"})
+
+
+def test_encoded_size_matches_len():
+    tok = MatrixToken(np.zeros((8, 8)), 0, 0)
+    assert encoded_size(tok) == len(encode(tok))
+
+
+def test_numpy_scalars_encode_as_python_scalars():
+    class NpToken(Token):
+        def __init__(self):
+            self.i = np.int32(7)
+            self.f = np.float64(2.5)
+
+    back = roundtrip(NpToken())
+    assert back.i == 7 and isinstance(back.i, int)
+    assert back.f == 2.5 and isinstance(back.f, float)
+
+
+def test_registry_duplicate_name_rejected():
+    class UniqueName1(Token):
+        pass
+
+    with pytest.raises(ValueError, match="already registered"):
+        class UniqueName1(SimpleToken):  # noqa: F811 - deliberate clash
+            pass
+
+
+def test_registry_custom_name():
+    class Custom(Token):
+        _dps_name_ = "my.custom.token"
+
+    assert registry.lookup("my.custom.token") is Custom
+    back = roundtrip(Custom())
+    assert isinstance(back, Custom)
+
+
+def test_registry_unknown_name():
+    with pytest.raises(KeyError, match="unknown token class"):
+        registry.lookup("never-registered")
+
+
+def test_underscore_classes_not_registered():
+    class _AbstractBase(Token):
+        pass
+
+    assert not registry.is_registered("_AbstractBase")
+
+
+def test_simple_token_validate_rejects_containers():
+    class OverweightToken(SimpleToken):
+        def __init__(self):
+            self.data = Buffer([1, 2, 3])
+
+    with pytest.raises(TypeError, match="SimpleToken fields"):
+        OverweightToken().validate()
+
+
+def test_payload_nbytes_reasonable():
+    tok = MatrixToken(np.zeros((16, 16), dtype=np.float64), 0, 0)
+    # 16*16*8 = 2048 payload bytes plus two small ints
+    assert 2048 <= tok.payload_nbytes() <= 2100
+
+
+def test_truncated_messages_raise_not_crash():
+    """Corrupt/truncated wire data must raise WireError/struct errors,
+    never return garbage objects silently."""
+    import struct
+
+    data = encode(MatrixToken(np.arange(16.0).reshape(4, 4), 1, 2))
+    for cut in (3, 5, 7, len(data) // 2, len(data) - 1):
+        with pytest.raises((WireError, ValueError, struct.error, KeyError)):
+            decode(data[:cut])
+
+
+def test_flipped_tag_bytes_raise():
+    data = bytearray(encode(WireCharToken("q", 4)))
+    # flip the first value-tag byte to an invalid tag id
+    # (header: 4 magic + 2 len + name)
+    name_len = data[4] | (data[5] << 8)
+    tag_pos = 6 + name_len
+    data[tag_pos] = 250
+    with pytest.raises(WireError, match="unknown wire tag"):
+        decode(bytes(data))

@@ -1,0 +1,109 @@
+"""Property-based tests: wire round-trip over arbitrary token payload trees."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays, array_shapes
+
+from repro.serial import Buffer, ComplexToken, Vector, decode, encode
+
+
+class PropToken(ComplexToken):
+    """Generic carrier for property-based payloads."""
+
+    def __init__(self, payload=None):
+        self.payload = payload
+
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+
+np_dtypes = st.sampled_from(
+    [np.int8, np.int32, np.int64, np.uint16, np.float32, np.float64, np.bool_]
+)
+
+
+def small_arrays():
+    return np_dtypes.flatmap(
+        lambda dt: arrays(
+            dtype=dt,
+            shape=array_shapes(max_dims=3, max_side=5),
+            elements=st.booleans()
+            if dt is np.bool_
+            else st.integers(min_value=0, max_value=100)
+            if np.issubdtype(dt, np.integer)
+            else st.floats(width=32, allow_nan=False, allow_infinity=False),
+        )
+    )
+
+
+payloads = st.recursive(
+    st.one_of(scalars, small_arrays().map(Buffer), small_arrays()),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.lists(children, max_size=4).map(tuple),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+        st.lists(children, max_size=3).map(Vector),
+    ),
+    max_leaves=12,
+)
+
+
+def assert_payload_equal(a, b):
+    if isinstance(a, Buffer):
+        assert isinstance(b, Buffer)
+        assert a.dtype == b.dtype and a.shape == b.shape
+        assert np.array_equal(a.array, b.array)
+    elif isinstance(a, np.ndarray):
+        assert isinstance(b, np.ndarray)
+        assert a.dtype == b.dtype and a.shape == b.shape
+        assert np.array_equal(a, b)
+    elif isinstance(a, Vector):
+        assert isinstance(b, Vector) and len(a) == len(b)
+        for x, y in zip(a, b):
+            assert_payload_equal(x, y)
+    elif isinstance(a, (list, tuple)):
+        assert type(a) is type(b) and len(a) == len(b)
+        for x, y in zip(a, b):
+            assert_payload_equal(x, y)
+    elif isinstance(a, dict):
+        assert isinstance(b, dict) and a.keys() == b.keys()
+        for k in a:
+            assert_payload_equal(a[k], b[k])
+    elif isinstance(a, float):
+        assert a == b or (a != a and b != b)
+    elif isinstance(a, (bool, int, str, bytes)) or a is None:
+        assert a == b and type(a) is type(b)
+    else:  # pragma: no cover
+        raise AssertionError(f"unexpected payload type {type(a)}")
+
+
+@settings(max_examples=150, deadline=None)
+@given(payloads)
+def test_roundtrip_arbitrary_payload(payload):
+    tok = PropToken(payload)
+    back = decode(encode(tok))
+    assert isinstance(back, PropToken)
+    assert_payload_equal(tok.payload, back.payload)
+
+
+@settings(max_examples=60, deadline=None)
+@given(payloads)
+def test_encode_deterministic(payload):
+    tok = PropToken(payload)
+    assert encode(tok) == encode(tok)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_arrays())
+def test_buffer_roundtrip_exact(arr):
+    back = decode(encode(PropToken(Buffer(arr))))
+    assert back.payload.dtype == arr.dtype
+    assert back.payload.shape == arr.shape
+    assert np.array_equal(back.payload.array, arr)
