@@ -2,8 +2,9 @@
 
 These guard the usability of the reproduction itself: wire-format
 throughput, simulation-kernel event rate, and end-to-end engine token
-rate.  Thresholds are deliberately loose (CI machines vary); the
-benchmark table is the real signal.
+rate.  Each test also asserts a hard wall-clock ceiling (~10x the
+measured post-optimization times on a developer laptop) so a gross
+regression fails CI outright; the benchmark table is the finer signal.
 """
 
 import numpy as np
@@ -13,6 +14,22 @@ from repro.cluster import paper_cluster
 from repro.runtime import SimEngine
 from repro.serial import Buffer, ComplexToken, decode, encode
 from repro.simkernel import Simulator
+
+# Hard ceilings in seconds on the *best* observed round.  Post-optimization
+# best times are ~0.8 ms / 15 ms / 10 ms / 50 ms respectively; 10-20x slack
+# absorbs slow shared CI machines while still catching order-of-magnitude
+# regressions (e.g. the wire path silently falling back to per-field copies).
+CEILING_WIRE_1MB = 0.020
+CEILING_SMALL_BURST = 0.300
+CEILING_EVENT_RATE = 0.150
+CEILING_ENGINE_RATE = 0.800
+
+
+def _best_seconds(benchmark):
+    stats = getattr(benchmark, "stats", None)
+    if stats is None:  # --benchmark-disable: nothing was timed
+        return 0.0
+    return stats.stats.min
 
 
 class MicroToken(ComplexToken):
@@ -31,6 +48,7 @@ def test_wire_encode_decode_throughput(benchmark):
     out = benchmark(roundtrip)
     assert out.seq == 7
     assert np.array_equal(out.payload.array, tok.payload.array)
+    assert _best_seconds(benchmark) < CEILING_WIRE_1MB
 
 
 def test_wire_small_token_rate(benchmark):
@@ -42,6 +60,7 @@ def test_wire_small_token_rate(benchmark):
             decode(encode(tok))
 
     benchmark(burst)
+    assert _best_seconds(benchmark) < CEILING_SMALL_BURST
 
 
 def test_simkernel_event_rate(benchmark):
@@ -61,6 +80,7 @@ def test_simkernel_event_rate(benchmark):
 
     now = benchmark(run_events)
     assert now == 1000.0
+    assert _best_seconds(benchmark) < CEILING_EVENT_RATE
 
 
 def test_engine_token_rate(benchmark):
@@ -74,3 +94,4 @@ def test_engine_token_rate(benchmark):
 
     text = benchmark.pedantic(run_schedule, rounds=3, iterations=1)
     assert text == "A" * 300
+    assert _best_seconds(benchmark) < CEILING_ENGINE_RATE

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from ..simkernel import Event, Simulator
+from ..simkernel import Event, Process, Simulator
 from .node import Node
 
 __all__ = ["NetworkSpec", "Network", "Message"]
@@ -88,16 +88,24 @@ class NetworkSpec:
         )
 
 
-@dataclass
 class Message:
     """A payload in flight between two nodes."""
 
-    src: str
-    dst: str
-    nbytes: int
-    payload: Any = None
-    sent_at: float = 0.0
-    delivered_at: float = 0.0
+    __slots__ = ("src", "dst", "nbytes", "payload", "sent_at", "delivered_at")
+
+    def __init__(self, src: str, dst: str, nbytes: int, payload: Any = None,
+                 sent_at: float = 0.0, delivered_at: float = 0.0):
+        self.src = src
+        self.dst = dst
+        self.nbytes = nbytes
+        self.payload = payload
+        self.sent_at = sent_at
+        self.delivered_at = delivered_at
+
+    def __repr__(self) -> str:
+        return (f"Message(src={self.src!r}, dst={self.dst!r}, "
+                f"nbytes={self.nbytes}, payload={self.payload!r}, "
+                f"sent_at={self.sent_at}, delivered_at={self.delivered_at})")
 
 
 class Network:
@@ -137,19 +145,13 @@ class Network:
         """
         if nbytes < 0:
             raise ValueError("message size must be >= 0")
-        msg = Message(src.name, dst.name, nbytes, payload, sent_at=self.sim.now)
-        done = self.sim.event()
+        sim = self.sim
+        msg = Message(src.name, dst.name, nbytes, payload, sent_at=sim.now)
+        done = Event(sim)
         if src is dst:
             self.local_messages += 1
-
-            def local(sim=self.sim):
-                yield sim.timeout(self.spec.local_delay)
-                msg.delivered_at = sim.now
-                if on_delivered:
-                    on_delivered(msg)
-                done.succeed(msg)
-
-            self.sim.spawn(local(), name=f"local:{src.name}")
+            Process(sim, _local_xfer(sim, self.spec.local_delay, msg,
+                                     on_delivered, done), "local")
             return done
 
         self.messages_sent += 1
@@ -167,25 +169,36 @@ class Network:
             recv_oh = self.spec.recv_overhead
             latency = self.spec.latency
             wire = self.spec.wire_time(nbytes)
-
-        def remote(sim=self.sim):
-            tx = src.nic_tx.request()
-            yield tx
-            try:
-                yield sim.timeout(send_oh + tx_extra + wire)
-            finally:
-                tx.release()
-            yield sim.timeout(latency)
-            rx = dst.nic_rx.request()
-            yield rx
-            try:
-                yield sim.timeout(recv_oh + rx_extra + wire)
-            finally:
-                rx.release()
-            msg.delivered_at = sim.now
-            if on_delivered:
-                on_delivered(msg)
-            done.succeed(msg)
-
-        self.sim.spawn(remote(), name=f"xfer:{src.name}->{dst.name}")
+        Process(sim, _remote_xfer(sim, src, dst, send_oh + tx_extra + wire,
+                                  latency, recv_oh + rx_extra + wire, msg,
+                                  on_delivered, done), "xfer")
         return done
+
+
+def _local_xfer(sim, delay, msg, on_delivered, done):
+    yield sim.timeout(delay)
+    msg.delivered_at = sim.now
+    if on_delivered:
+        on_delivered(msg)
+    done.succeed(msg)
+
+
+def _remote_xfer(sim, src, dst, tx_time, latency, rx_time, msg,
+                 on_delivered, done):
+    tx = src.nic_tx.request()
+    yield tx
+    try:
+        yield sim.timeout(tx_time)
+    finally:
+        tx.release()
+    yield sim.timeout(latency)
+    rx = dst.nic_rx.request()
+    yield rx
+    try:
+        yield sim.timeout(rx_time)
+    finally:
+        rx.release()
+    msg.delivered_at = sim.now
+    if on_delivered:
+        on_delivered(msg)
+    done.succeed(msg)

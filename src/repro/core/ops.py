@@ -251,7 +251,8 @@ class Operation:
 
     @classmethod
     def accepts(cls, token_type: Type[Token]) -> bool:
-        return any(issubclass(token_type, t) for t in cls.in_types)
+        # issubclass takes the tuple directly — no generator per check.
+        return issubclass(token_type, cls.in_types)
 
 
 class LeafOperation(Operation):

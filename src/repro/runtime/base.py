@@ -18,7 +18,7 @@ Small control messages implement the feedback machinery:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..core.graph import Flowgraph
@@ -62,7 +62,7 @@ class GroupFrame:
     routed_instance: int
 
 
-@dataclass
+@dataclass(slots=True)
 class DataEnvelope:
     """A token in flight towards (graph, node_id, instance)."""
 
@@ -72,6 +72,11 @@ class DataEnvelope:
     instance: int
     ctx_id: int
     frames: Tuple[GroupFrame, ...] = ()
+    #: Memoized wire size of ``token`` (payload only, without the data
+    #: header), filled in by the engine the first time the envelope is
+    #: priced at the NIC so later hops don't re-measure it.  Must be
+    #: reset to ``None`` whenever ``token`` is replaced.
+    wire_nbytes: Optional[int] = None
 
     def top_frame(self) -> GroupFrame:
         if not self.frames:

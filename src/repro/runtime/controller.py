@@ -41,7 +41,6 @@ from ..core.ops import (
 from ..core.routing import Route, RoutingContext
 from ..core.threads import ThreadCollection
 from ..serial.token import Token
-from ..serial.wire import decode, encode
 from ..simkernel import Event, Store
 from .base import (
     ACK_BYTES,
@@ -61,6 +60,19 @@ __all__ = ["SimController", "ScheduleError"]
 #: Bound on remembered group totals for groups this instance never saw
 #: (stale broadcast entries); oldest entries are pruned beyond this.
 MAX_STALE_GROUPS = 10_000
+
+_genfunc_cache: Dict[Any, bool] = {}
+
+
+def _is_generator_body(op) -> bool:
+    """Cached inspect.isgeneratorfunction(op.execute) (hot per-token path)."""
+    fn = op.execute
+    key = getattr(fn, "__func__", fn)
+    flag = _genfunc_cache.get(key)
+    if flag is None:
+        flag = inspect.isgeneratorfunction(fn)
+        _genfunc_cache[key] = flag
+    return flag
 
 
 class ScheduleError(RuntimeError):
@@ -317,8 +329,9 @@ class SimController:
     def _handle_data(self, ts: _ThreadState, env: DataEnvelope):
         node = env.graph.node(env.node_id)
         kind = node.kind
-        self.engine.trace("op_token", node=self.node_name,
-                          op=node.name, graph=env.graph.name)
+        if self.engine.tracer is not None:
+            self.engine.trace("op_token", node=self.node_name,
+                              op=node.name, graph=env.graph.name)
         if kind in (OpKind.LEAF, OpKind.SPLIT):
             body = self._make_body(env, ts)
             yield from self._drive(body, env.token)
@@ -415,7 +428,7 @@ class SimController:
             if not isinstance(first_value, Token):
                 raise ScheduleError("operation started without a token")
             self._check_in_type(body, first_value)
-            if not inspect.isgeneratorfunction(op.execute):
+            if not _is_generator_body(op):
                 if body.kind in (OpKind.MERGE, OpKind.STREAM):
                     raise ScheduleError(
                         f"{type(op).__name__}.execute must be a generator "
@@ -521,14 +534,15 @@ class SimController:
             )
 
     def _finish_body(self, body: _BodyState) -> None:
-        self.engine.trace(
-            "op_done",
-            node=self.node_name,
-            op=body.graph.node(body.node_id).name,
-            graph=body.graph.name,
-            duration=self.engine.sim.now - body.started_at,
-            posted=body.posted,
-        )
+        if self.engine.tracer is not None:
+            self.engine.trace(
+                "op_done",
+                node=self.node_name,
+                op=body.graph.node(body.node_id).name,
+                graph=body.graph.name,
+                duration=self.engine.sim.now - body.started_at,
+                posted=body.posted,
+            )
         group = body.group
         if group is not None:
             if not group.completed:
@@ -552,7 +566,7 @@ class SimController:
     def _emit(self, body: _BodyState, req: PostRequest) -> None:
         token = req.token
         node = body.graph.node(body.node_id)
-        if not any(isinstance(token, t) for t in node.op_class.out_types):
+        if not isinstance(token, node.op_class.out_types):
             raise ScheduleError(
                 f"{node.op_class.__name__} posted {type(token).__name__}, "
                 f"declares out_types "

@@ -32,8 +32,8 @@ from ..cluster.costs import dps_wire_overhead_seconds
 from ..core.flowcontrol import FlowControlPolicy
 from ..core.graph import Flowgraph
 from ..serial.token import Token
-from ..serial.wire import decode, encode
-from ..simkernel import Event, Simulator
+from ..serial.wire import decode, encode_segments, gather, measure
+from ..simkernel import Event, Process, Simulator
 from .base import (
     ACK_BYTES,
     DATA_HEADER_BYTES,
@@ -62,6 +62,34 @@ class _Activation:
     delivered: int = 0
     total: Optional[int] = None
     graph_name: str = ""
+
+
+def _local_post(engine: "SimEngine", env: DataEnvelope, src_node, dest_node,
+                dest: str):
+    yield engine.cluster.network.transfer(src_node, dest_node, 0)
+    engine.controllers[dest].receive(env)
+
+
+def _remote_send(engine: "SimEngine", env: DataEnvelope, payload, src: str,
+                 dest: str, src_node, dest_node, nbytes: int, extra: float,
+                 connect: float):
+    yield engine.cluster.network.transfer(
+        src_node, dest_node, nbytes,
+        tx_extra=extra + connect, rx_extra=extra,
+    )
+    if payload is not None:
+        # The replacement token is a round-trip through this very buffer,
+        # so the memoized wire size stays exact.
+        env.token = decode(payload, copy=False)
+    if engine.tracer is not None:
+        engine.trace("msg", src=src, dest=dest, nbytes=nbytes)
+    engine.controllers[dest].receive(env)
+
+
+def _ctl_send(engine: "SimEngine", src_node, dest_node, nbytes: int,
+              dest: str, message: Any):
+    yield engine.cluster.network.transfer(src_node, dest_node, nbytes)
+    engine.controllers[dest].receive(message)
 
 
 class SimEngine:
@@ -332,7 +360,10 @@ class SimEngine:
     # ------------------------------------------------------------------
     def _wire_size(self, token: Token) -> int:
         if self.serialize_payloads:
-            return len(encode(token))
+            # Size-only visitor: O(fields) arithmetic, never serializes
+            # the payload (a multi-MB Buffer costs the same to price as
+            # a scalar token).
+            return measure(token)
         return token.payload_nbytes()
 
     def transmit(self, env: DataEnvelope, src: str, dest: str) -> None:
@@ -341,16 +372,23 @@ class SimEngine:
         dest_node = self.cluster.node(dest)
         if src == dest:
             # Zero-copy pointer pass (paper §4): negligible local cost.
-            def local():
-                yield self.cluster.network.transfer(src_node, dest_node, 0)
-                self.controllers[dest].receive(env)
-
-            self.sim.spawn(local(), name=f"post:{src}")
+            Process(self.sim, _local_post(self, env, src_node, dest_node, dest),
+                    "post")
             return
 
-        payload = encode(env.token) if self.serialize_payloads else None
-        nbytes = (len(payload) if payload is not None
-                  else env.token.payload_nbytes()) + DATA_HEADER_BYTES
+        if self.serialize_payloads:
+            # Single-copy wire path: scatter-gather serialize into one
+            # owned buffer (large ndarray payloads are borrowed views
+            # until the gather) and let the receiver borrow payloads
+            # straight out of it — no defensive copies anywhere.
+            payload = gather(encode_segments(env.token))
+            if env.wire_nbytes is None:
+                env.wire_nbytes = len(payload)
+        else:
+            payload = None
+            if env.wire_nbytes is None:
+                env.wire_nbytes = env.token.payload_nbytes()
+        nbytes = env.wire_nbytes + DATA_HEADER_BYTES
         # The DPS communication layer builds/parses control structures and
         # runs the (near-zero-copy) serializer inline on each side.
         extra = dps_wire_overhead_seconds(nbytes) if self.charge_serialization else 0.0
@@ -361,29 +399,18 @@ class SimEngine:
         if conn_key not in self._connected:
             self._connected.add(conn_key)
             connect = self.cluster.network.spec.connect_overhead
-
-        def remote():
-            yield self.cluster.network.transfer(
-                src_node, dest_node, nbytes,
-                tx_extra=extra + connect, rx_extra=extra,
-            )
-            if payload is not None:
-                env.token = decode(payload)
-            self.trace("msg", src=src, dest=dest, nbytes=nbytes)
-            self.controllers[dest].receive(env)
-
-        self.sim.spawn(remote(), name=f"send:{src}->{dest}")
+        Process(self.sim,
+                _remote_send(self, env, payload, src, dest, src_node,
+                             dest_node, nbytes, extra, connect),
+                "send")
 
     def send_control(self, src: str, dest: str, nbytes: int, message: Any) -> None:
         """Move a small control message (ack / group total)."""
         src_node = self.cluster.node(src)
         dest_node = self.cluster.node(dest)
-
-        def proc():
-            yield self.cluster.network.transfer(src_node, dest_node, nbytes)
-            self.controllers[dest].receive(message)
-
-        self.sim.spawn(proc(), name=f"ctl:{src}->{dest}")
+        Process(self.sim,
+                _ctl_send(self, src_node, dest_node, nbytes, dest, message),
+                "ctl")
 
     # ------------------------------------------------------------------
     # driving

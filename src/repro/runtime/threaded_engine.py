@@ -39,7 +39,7 @@ from ..core.ops import (
 from ..core.routing import Route, RoutingContext
 from ..core.threads import ThreadCollection
 from ..serial.token import Token
-from ..serial.wire import decode, encode
+from ..serial.wire import decode, encode_segments, gather
 from .base import Application, DataEnvelope, GroupFrame
 from .controller import ScheduleError
 
@@ -314,7 +314,13 @@ class ThreadedEngine:
         worker = self._worker_for(node.collection, env.instance)
         if self.serialize_transfers and node.collection.node_of(env.instance) != \
                 self._placement_of_current_thread():
-            env.token = decode(encode(env.token))
+            # Single-buffer wire round-trip: scatter-gather encode into
+            # one owned buffer and let the receiving thread borrow
+            # payloads from it (the buffer is owned solely by the
+            # decoded token, so no defensive copy is needed).
+            wire = gather(encode_segments(env.token))
+            env.token = decode(wire, copy=False)
+            env.wire_nbytes = None
         worker.inbox.put(env)
 
     def _placement_of_current_thread(self) -> Optional[str]:

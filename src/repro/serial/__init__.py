@@ -3,7 +3,17 @@
 from .containers import Buffer, Vector
 from .registry import TokenRegistry, registry
 from .token import ComplexToken, SimpleToken, Token, TokenMeta
-from .wire import MAGIC, WireError, decode, encode, encoded_size
+from .wire import (
+    MAGIC,
+    WireError,
+    decode,
+    encode,
+    encode_into,
+    encode_segments,
+    encoded_size,
+    gather,
+    measure,
+)
 
 __all__ = [
     "Buffer",
@@ -17,6 +27,10 @@ __all__ = [
     "WireError",
     "decode",
     "encode",
+    "encode_into",
+    "encode_segments",
     "encoded_size",
+    "gather",
+    "measure",
     "registry",
 ]

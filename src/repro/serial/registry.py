@@ -19,6 +19,10 @@ class TokenRegistry:
 
     def __init__(self) -> None:
         self._classes: Dict[str, type] = {}
+        # Encoded wire names, cached per class: the serializer stamps the
+        # name on every message, so recomputing ``name.encode()`` per
+        # token would dominate small-message encode cost.
+        self._name_bytes: Dict[type, bytes] = {}
 
     def register(self, cls: type, name: str | None = None) -> None:
         """Register *cls* under *name* (default: the class ``__name__``).
@@ -52,6 +56,14 @@ class TokenRegistry:
         if self._classes.get(key) is not cls:
             raise KeyError(f"{cls!r} is not registered")
         return key
+
+    def name_bytes_of(self, cls: type) -> bytes:
+        """UTF-8 encoded registered name of *cls* (cached)."""
+        raw = self._name_bytes.get(cls)
+        if raw is None:
+            raw = self.name_of(cls).encode("utf-8")
+            self._name_bytes[cls] = raw
+        return raw
 
     def is_registered(self, name: str) -> bool:
         return name in self._classes

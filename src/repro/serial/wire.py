@@ -14,13 +14,33 @@ Layout::
     ndarray  := u8 dtype_len | dtype | u8 ndim | u32 dims... | raw bytes
 
 The format is intentionally versioned via the magic string.
+
+Zero-copy wire path
+-------------------
+
+The codec separates the *cost model* of a message from the message itself
+(the HPVM separation: pricing a transfer must not perform it):
+
+- :func:`measure` computes the exact encoded size arithmetically — no
+  bytearray is built and no ndarray bytes are touched, so sizing a token
+  carrying a multi-MB block is O(fields), not O(bytes).
+- :func:`encode_segments` produces a scatter-gather list of buffer
+  segments in which large contiguous ndarray payloads appear as borrowed
+  ``memoryview``\\ s of the arrays' own storage (zero copies).
+- :func:`encode` joins those segments (exactly one copy of the payload),
+  and :func:`encode_into` writes them into a caller-preallocated buffer
+  sized by :func:`measure` (one copy, no intermediate allocations).
+- :func:`decode` with ``copy=False`` borrows ndarray/Buffer payloads
+  straight out of the source buffer instead of copying them; the caller
+  must own the buffer and keep it immutable for the tokens' lifetime
+  (arrays decoded from a writable buffer alias it and stay writable).
 """
 
 from __future__ import annotations
 
 import struct
 from enum import IntEnum
-from typing import Any
+from typing import Any, List, Union
 
 import numpy as np
 
@@ -28,7 +48,17 @@ from .containers import Buffer, Vector
 from .registry import TokenRegistry, registry
 from .token import Token
 
-__all__ = ["encode", "decode", "encoded_size", "WireError", "MAGIC"]
+__all__ = [
+    "encode",
+    "encode_into",
+    "encode_segments",
+    "decode",
+    "encoded_size",
+    "gather",
+    "measure",
+    "WireError",
+    "MAGIC",
+]
 
 MAGIC = b"DPS2"
 
@@ -37,6 +67,10 @@ _U16 = struct.Struct("<H")
 _U32 = struct.Struct("<I")
 _I64 = struct.Struct("<q")
 _F64 = struct.Struct("<d")
+
+#: ndarray payloads at least this large are emitted as borrowed
+#: memoryview segments instead of being copied into the header stream.
+_SEGMENT_THRESHOLD = 1024
 
 
 class WireError(ValueError):
@@ -64,217 +98,451 @@ class Tag(IntEnum):
 _INT64_MIN = -(2**63)
 _INT64_MAX = 2**63 - 1
 
+# Single-byte tag constants (hoisted so the hot visitors skip both the
+# enum attribute lookup and the struct.pack call per value).
+_TAG_INT64 = bytes((Tag.INT64,))
+_TAG_FLOAT64 = bytes((Tag.FLOAT64,))
+_TAG_STR = bytes((Tag.STR,))
+_TAG_BYTES = bytes((Tag.BYTES,))
+_TAG_BIGINT = bytes((Tag.BIGINT,))
+_TAG_NDARRAY = bytes((Tag.NDARRAY,))
+_TAG_BUFFER = bytes((Tag.BUFFER,))
+_TAG_VECTOR = bytes((Tag.VECTOR,))
+_TAG_LIST = bytes((Tag.LIST,))
+_TAG_TUPLE = bytes((Tag.TUPLE,))
+_TAG_DICT = bytes((Tag.DICT,))
+_TAG_TOKEN = bytes((Tag.TOKEN,))
+
+# Plain-int tag values for the decode dispatch (int == int, no enum).
+_T_NONE = int(Tag.NONE)
+_T_FALSE = int(Tag.FALSE)
+_T_TRUE = int(Tag.TRUE)
+_T_INT64 = int(Tag.INT64)
+_T_FLOAT64 = int(Tag.FLOAT64)
+_T_STR = int(Tag.STR)
+_T_BYTES = int(Tag.BYTES)
+_T_BIGINT = int(Tag.BIGINT)
+_T_NDARRAY = int(Tag.NDARRAY)
+_T_BUFFER = int(Tag.BUFFER)
+_T_VECTOR = int(Tag.VECTOR)
+_T_LIST = int(Tag.LIST)
+_T_TUPLE = int(Tag.TUPLE)
+_T_DICT = int(Tag.DICT)
+_T_TOKEN = int(Tag.TOKEN)
+
+Segment = Union[bytearray, memoryview]
+
+
+# ---------------------------------------------------------------------------
+# public API
+# ---------------------------------------------------------------------------
 
 def encode(token: Token, reg: TokenRegistry = registry) -> bytes:
     """Serialize *token* (a registered :class:`Token`) to bytes."""
+    segments = encode_segments(token, reg)
+    if len(segments) == 1:
+        return bytes(segments[0])
+    return b"".join(segments)
+
+
+def encode_segments(token: Token, reg: TokenRegistry = registry) -> List[Segment]:
+    """Scatter-gather serialization: a list of buffer segments.
+
+    Concatenating the segments yields exactly :func:`encode`'s output.
+    Large contiguous ndarray payloads appear as ``memoryview`` segments
+    *borrowing* the arrays' storage — mutating those arrays before the
+    segments are consumed changes the message.
+    """
     if not isinstance(token, Token):
         raise WireError(f"can only encode Token instances, got {type(token).__name__}")
-    name = reg.name_of(type(token)).encode("utf-8")
-    out = bytearray(MAGIC)
-    out += _U16.pack(len(name))
-    out += name
-    _encode_value(out, token.fields())
-    return bytes(out)
+    name = reg.name_bytes_of(type(token))
+    head = bytearray(MAGIC)
+    head += _U16.pack(len(name))
+    head += name
+    parts: List[Segment] = []
+    tail = _encode_value(parts, head, token.fields())
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def gather(segments: List[Segment]) -> bytearray:
+    """Concatenate :func:`encode_segments` output into one writable buffer.
+
+    One tree walk + one payload copy: the single-buffer flavour of the
+    scatter-gather path, for callers that need an owned, writable wire
+    message (e.g. to decode with ``copy=False``).
+
+    A single ``bytearray`` segment (the whole-message tail produced for
+    payloads below the scatter threshold) is returned as-is, zero-copy —
+    the caller takes ownership of it.
+    """
+    if len(segments) == 1:
+        seg = segments[0]
+        return seg if type(seg) is bytearray else bytearray(seg)
+    total = 0
+    for seg in segments:
+        total += seg.nbytes if type(seg) is memoryview else len(seg)
+    out = bytearray(total)
+    offset = 0
+    for seg in segments:
+        n = seg.nbytes if type(seg) is memoryview else len(seg)
+        out[offset : offset + n] = seg
+        offset += n
+    return out
+
+
+def encode_into(token: Token, buf, reg: TokenRegistry = registry) -> int:
+    """Encode *token* into preallocated writable *buf*; returns bytes written.
+
+    Size *buf* with :func:`measure`.  Raises :class:`WireError` when the
+    buffer is too small.
+    """
+    out = buf if isinstance(buf, memoryview) else memoryview(buf)
+    offset = 0
+    try:
+        for seg in encode_segments(token, reg):
+            n = seg.nbytes if isinstance(seg, memoryview) else len(seg)
+            out[offset : offset + n] = seg
+            offset += n
+    except ValueError as exc:
+        raise WireError(f"encode_into buffer too small: {exc}") from None
+    return offset
+
+
+def measure(token: Token, reg: TokenRegistry = registry) -> int:
+    """Exact wire size of *token* in bytes, computed arithmetically.
+
+    Never serializes the payload: ndarray/Buffer fields contribute
+    ``size * itemsize`` without their bytes being touched, so measuring
+    a token is O(number of fields) regardless of payload volume.
+    Validates serializability exactly like :func:`encode`.
+    """
+    if not isinstance(token, Token):
+        raise WireError(f"can only encode Token instances, got {type(token).__name__}")
+    name = reg.name_bytes_of(type(token))
+    return 6 + len(name) + _measure_value(token.fields())
 
 
 def encoded_size(token: Token, reg: TokenRegistry = registry) -> int:
-    """Authoritative wire size of *token* in bytes."""
-    return len(encode(token, reg))
+    """Authoritative wire size of *token* in bytes (alias of :func:`measure`)."""
+    return measure(token, reg)
 
 
-def decode(data: bytes | memoryview, reg: TokenRegistry = registry) -> Token:
-    """Rebuild a token from bytes produced by :func:`encode`."""
+def decode(
+    data: bytes | bytearray | memoryview,
+    reg: TokenRegistry = registry,
+    *,
+    copy: bool = True,
+) -> Token:
+    """Rebuild a token from bytes produced by :func:`encode`.
+
+    With ``copy=False`` ndarray/Buffer payloads *borrow* the source
+    buffer instead of copying it: the caller must own *data* and keep it
+    alive and unmodified for as long as the decoded token lives.  Arrays
+    borrowed from a read-only source (e.g. ``bytes``) are read-only;
+    borrowing from a ``bytearray`` yields writable aliasing arrays.
+    """
     view = memoryview(data)
-    if bytes(view[:4]) != MAGIC:
+    if view[:4] != MAGIC:
         raise WireError("bad magic; not a DPS wire message")
     (name_len,) = _U16.unpack_from(view, 4)
     offset = 6
     name = bytes(view[offset : offset + name_len]).decode("utf-8")
     offset += name_len
     cls = reg.lookup(name)
-    fields, offset = _decode_value(view, offset)
+    fields, offset = _decode_value(view, offset, copy)
     if offset != len(view):
         raise WireError(f"trailing garbage: {len(view) - offset} bytes")
     obj = cls.__new__(cls)
-    obj.__dict__.update(fields)
+    # The fields dict is freshly built by the decoder — adopt it outright.
+    obj.__dict__ = fields
     return obj
 
 
 # ---------------------------------------------------------------------------
-# value encoding
+# size measurement (arithmetic, allocation-free on payload bytes)
 # ---------------------------------------------------------------------------
 
-def _encode_value(out: bytearray, value: Any) -> None:
-    if value is None:
-        out += _U8.pack(Tag.NONE)
-    elif value is False:
-        out += _U8.pack(Tag.FALSE)
-    elif value is True:
-        out += _U8.pack(Tag.TRUE)
-    elif isinstance(value, (int, np.integer)) and not isinstance(value, bool):
+def _utf8_len(s: str) -> int:
+    return len(s) if s.isascii() else len(s.encode("utf-8"))
+
+
+def _measure_ndarray(arr: np.ndarray) -> int:
+    if arr.dtype.hasobject:
+        raise WireError("object-dtype arrays are not serializable")
+    # u8 dtype_len | dtype | u8 ndim | u32 dims... | raw bytes
+    return 2 + len(arr.dtype.str) + 4 * arr.ndim + arr.size * arr.dtype.itemsize
+
+
+def _measure_value(value: Any) -> int:
+    if value is None or value is False or value is True:
+        return 1
+    if isinstance(value, (int, np.integer)) and not isinstance(value, bool):
         iv = int(value)
         if _INT64_MIN <= iv <= _INT64_MAX:
-            out += _U8.pack(Tag.INT64)
-            out += _I64.pack(iv)
-        else:
-            raw = str(iv).encode("ascii")
-            out += _U8.pack(Tag.BIGINT)
-            out += _U32.pack(len(raw))
-            out += raw
-    elif isinstance(value, (float, np.floating)):
-        out += _U8.pack(Tag.FLOAT64)
-        out += _F64.pack(float(value))
-    elif isinstance(value, str):
+            return 9
+        return 5 + len(str(iv))
+    if isinstance(value, (float, np.floating)):
+        return 9
+    if isinstance(value, str):
+        return 5 + _utf8_len(value)
+    if isinstance(value, (bytes, bytearray)):
+        return 5 + len(value)
+    if isinstance(value, memoryview):
+        return 5 + value.nbytes
+    if isinstance(value, Buffer):
+        return 1 + _measure_ndarray(value.array)
+    if isinstance(value, np.ndarray):
+        return 1 + _measure_ndarray(value)
+    if isinstance(value, (Vector, list, tuple)):
+        items = value.items if isinstance(value, Vector) else value
+        total = 5
+        for item in items:
+            total += _measure_value(item)
+        return total
+    if isinstance(value, dict):
+        total = 5
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise WireError(f"dict keys must be str, got {type(key).__name__}")
+            total += 2 + _utf8_len(key) + _measure_value(item)
+        return total
+    if isinstance(value, Token):
+        name = registry.name_bytes_of(type(value))
+        return 3 + len(name) + _measure_value(value.fields())
+    raise WireError(
+        f"unserializable value of type {type(value).__name__}; token "
+        f"fields must be scalars, Buffer, Vector, ndarray, containers "
+        f"or nested Tokens"
+    )
+
+
+# ---------------------------------------------------------------------------
+# value encoding (scatter-gather)
+# ---------------------------------------------------------------------------
+#
+# ``parts`` collects finished segments; ``tail`` is the bytearray currently
+# being appended to (not yet in ``parts``).  Small data extends ``tail``;
+# large ndarray payloads flush ``tail`` and append a borrowed memoryview,
+# so the array bytes are never copied into an intermediate buffer.
+
+def _encode_value(parts: List[Segment], tail: bytearray, value: Any) -> bytearray:
+    # Exact-type fast paths for the overwhelmingly common field types;
+    # subclasses and numpy scalars fall through to the isinstance chain
+    # below with identical semantics.
+    cls = type(value)
+    if cls is str:
         raw = value.encode("utf-8")
-        out += _U8.pack(Tag.STR)
-        out += _U32.pack(len(raw))
-        out += raw
-    elif isinstance(value, (bytes, bytearray, memoryview)):
-        raw = bytes(value)
-        out += _U8.pack(Tag.BYTES)
-        out += _U32.pack(len(raw))
-        out += raw
-    elif isinstance(value, Buffer):
-        out += _U8.pack(Tag.BUFFER)
-        _encode_ndarray(out, value.array)
-    elif isinstance(value, np.ndarray):
-        out += _U8.pack(Tag.NDARRAY)
-        _encode_ndarray(out, value)
-    elif isinstance(value, Vector):
-        out += _U8.pack(Tag.VECTOR)
-        out += _U32.pack(len(value.items))
-        for item in value.items:
-            _encode_value(out, item)
-    elif isinstance(value, list):
-        out += _U8.pack(Tag.LIST)
-        out += _U32.pack(len(value))
-        for item in value:
-            _encode_value(out, item)
-    elif isinstance(value, tuple):
-        out += _U8.pack(Tag.TUPLE)
-        out += _U32.pack(len(value))
-        for item in value:
-            _encode_value(out, item)
-    elif isinstance(value, dict):
-        out += _U8.pack(Tag.DICT)
-        out += _U32.pack(len(value))
+        tail += _TAG_STR
+        tail += _U32.pack(len(raw))
+        tail += raw
+        return tail
+    if cls is int:
+        if _INT64_MIN <= value <= _INT64_MAX:
+            tail += _TAG_INT64
+            tail += _I64.pack(value)
+        else:
+            raw = str(value).encode("ascii")
+            tail += _TAG_BIGINT
+            tail += _U32.pack(len(raw))
+            tail += raw
+        return tail
+    if cls is float:
+        tail += _TAG_FLOAT64
+        tail += _F64.pack(value)
+        return tail
+    if cls is dict:
+        tail += _TAG_DICT
+        tail += _U32.pack(len(value))
         for key, item in value.items():
             if not isinstance(key, str):
                 raise WireError(f"dict keys must be str, got {type(key).__name__}")
             raw = key.encode("utf-8")
-            out += _U16.pack(len(raw))
-            out += raw
-            _encode_value(out, item)
+            tail += _U16.pack(len(raw))
+            tail += raw
+            tail = _encode_value(parts, tail, item)
+        return tail
+    if value is None:
+        tail += b"\x00"
+    elif value is False:
+        tail += b"\x01"
+    elif value is True:
+        tail += b"\x02"
+    elif isinstance(value, (int, np.integer)) and not isinstance(value, bool):
+        iv = int(value)
+        if _INT64_MIN <= iv <= _INT64_MAX:
+            tail += _TAG_INT64
+            tail += _I64.pack(iv)
+        else:
+            raw = str(iv).encode("ascii")
+            tail += _TAG_BIGINT
+            tail += _U32.pack(len(raw))
+            tail += raw
+    elif isinstance(value, (float, np.floating)):
+        tail += _TAG_FLOAT64
+        tail += _F64.pack(float(value))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        tail += _TAG_STR
+        tail += _U32.pack(len(raw))
+        tail += raw
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        tail += _TAG_BYTES
+        tail += _U32.pack(len(raw))
+        tail += raw
+    elif isinstance(value, Buffer):
+        tail += _TAG_BUFFER
+        tail = _encode_ndarray(parts, tail, value.array)
+    elif isinstance(value, np.ndarray):
+        tail += _TAG_NDARRAY
+        tail = _encode_ndarray(parts, tail, value)
+    elif isinstance(value, Vector):
+        tail += _TAG_VECTOR
+        tail += _U32.pack(len(value.items))
+        for item in value.items:
+            tail = _encode_value(parts, tail, item)
+    elif isinstance(value, list):
+        tail += _TAG_LIST
+        tail += _U32.pack(len(value))
+        for item in value:
+            tail = _encode_value(parts, tail, item)
+    elif isinstance(value, tuple):
+        tail += _TAG_TUPLE
+        tail += _U32.pack(len(value))
+        for item in value:
+            tail = _encode_value(parts, tail, item)
+    elif isinstance(value, dict):
+        tail += _TAG_DICT
+        tail += _U32.pack(len(value))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise WireError(f"dict keys must be str, got {type(key).__name__}")
+            raw = key.encode("utf-8")
+            tail += _U16.pack(len(raw))
+            tail += raw
+            tail = _encode_value(parts, tail, item)
     elif isinstance(value, Token):
-        name = registry.name_of(type(value)).encode("utf-8")
-        out += _U8.pack(Tag.TOKEN)
-        out += _U16.pack(len(name))
-        out += name
-        _encode_value(out, value.fields())
+        name = registry.name_bytes_of(type(value))
+        tail += _TAG_TOKEN
+        tail += _U16.pack(len(name))
+        tail += name
+        tail = _encode_value(parts, tail, value.fields())
     else:
         raise WireError(
             f"unserializable value of type {type(value).__name__}; token "
             f"fields must be scalars, Buffer, Vector, ndarray, containers "
             f"or nested Tokens"
         )
+    return tail
 
 
-def _encode_ndarray(out: bytearray, arr: np.ndarray) -> None:
-    if arr.dtype == object:
-        raise WireError("object-dtype arrays are not serializable")
+def _encode_ndarray(parts: List[Segment], tail: bytearray, arr: np.ndarray) -> bytearray:
     if arr.dtype.hasobject:
-        raise WireError("arrays containing objects are not serializable")
-    # ascontiguousarray promotes 0-d arrays to 1-d; preserve the shape.
-    contiguous = np.ascontiguousarray(arr).reshape(arr.shape)
+        raise WireError("object-dtype arrays are not serializable")
+    contiguous = arr if arr.flags.c_contiguous else np.ascontiguousarray(arr)
     dtype_str = contiguous.dtype.str.encode("ascii")
-    out += _U8.pack(len(dtype_str))
-    out += dtype_str
-    out += _U8.pack(contiguous.ndim)
-    for dim in contiguous.shape:
-        out += _U32.pack(dim)
-    out += contiguous.tobytes()
+    tail += _U8.pack(len(dtype_str))
+    tail += dtype_str
+    tail += _U8.pack(arr.ndim)
+    for dim in arr.shape:
+        tail += _U32.pack(dim)
+    if contiguous.nbytes >= _SEGMENT_THRESHOLD:
+        # Zero-copy: borrow the array's storage as a raw-byte view.  The
+        # memoryview keeps ``contiguous`` alive, so a compacting copy made
+        # for a non-contiguous input survives until the segment is used.
+        if tail:
+            parts.append(tail)
+            tail = bytearray()
+        parts.append(memoryview(contiguous.reshape(-1).view(np.uint8)))
+    else:
+        tail += contiguous.tobytes()
+    return tail
 
 
 # ---------------------------------------------------------------------------
 # value decoding
 # ---------------------------------------------------------------------------
 
-def _decode_value(view: memoryview, offset: int) -> tuple[Any, int]:
+def _decode_value(view: memoryview, offset: int, copy: bool = True) -> tuple[Any, int]:
+    # Dispatch on plain ints, most frequent tags first (tag values are
+    # distinct, so reordering the comparisons cannot change semantics).
     tag = view[offset]
     offset += 1
-    if tag == Tag.NONE:
-        return None, offset
-    if tag == Tag.FALSE:
-        return False, offset
-    if tag == Tag.TRUE:
-        return True, offset
-    if tag == Tag.INT64:
+    if tag == _T_STR:
+        (n,) = _U32.unpack_from(view, offset)
+        offset += 4
+        return str(view[offset : offset + n], "utf-8"), offset + n
+    if tag == _T_INT64:
         (v,) = _I64.unpack_from(view, offset)
         return v, offset + 8
-    if tag == Tag.FLOAT64:
+    if tag == _T_FLOAT64:
         (v,) = _F64.unpack_from(view, offset)
         return v, offset + 8
-    if tag == Tag.STR:
-        (n,) = _U32.unpack_from(view, offset)
-        offset += 4
-        return bytes(view[offset : offset + n]).decode("utf-8"), offset + n
-    if tag == Tag.BYTES:
-        (n,) = _U32.unpack_from(view, offset)
-        offset += 4
-        return bytes(view[offset : offset + n]), offset + n
-    if tag == Tag.BIGINT:
-        (n,) = _U32.unpack_from(view, offset)
-        offset += 4
-        return int(bytes(view[offset : offset + n]).decode("ascii")), offset + n
-    if tag == Tag.NDARRAY:
-        return _decode_ndarray(view, offset)
-    if tag == Tag.BUFFER:
-        arr, offset = _decode_ndarray(view, offset)
-        buf = Buffer.__new__(Buffer)
-        buf.array = arr
-        return buf, offset
-    if tag == Tag.VECTOR:
-        (n,) = _U32.unpack_from(view, offset)
-        offset += 4
-        vec = Vector()
-        for _ in range(n):
-            item, offset = _decode_value(view, offset)
-            vec.items.append(item)
-        return vec, offset
-    if tag in (Tag.LIST, Tag.TUPLE):
-        (n,) = _U32.unpack_from(view, offset)
-        offset += 4
-        items = []
-        for _ in range(n):
-            item, offset = _decode_value(view, offset)
-            items.append(item)
-        return (tuple(items) if tag == Tag.TUPLE else items), offset
-    if tag == Tag.DICT:
+    if tag == _T_DICT:
         (n,) = _U32.unpack_from(view, offset)
         offset += 4
         result: dict[str, Any] = {}
         for _ in range(n):
             (klen,) = _U16.unpack_from(view, offset)
             offset += 2
-            key = bytes(view[offset : offset + klen]).decode("utf-8")
+            key = str(view[offset : offset + klen], "utf-8")
             offset += klen
-            value, offset = _decode_value(view, offset)
+            value, offset = _decode_value(view, offset, copy)
             result[key] = value
         return result, offset
-    if tag == Tag.TOKEN:
+    if tag == _T_NONE:
+        return None, offset
+    if tag == _T_FALSE:
+        return False, offset
+    if tag == _T_TRUE:
+        return True, offset
+    if tag == _T_BYTES:
+        (n,) = _U32.unpack_from(view, offset)
+        offset += 4
+        return bytes(view[offset : offset + n]), offset + n
+    if tag == _T_BIGINT:
+        (n,) = _U32.unpack_from(view, offset)
+        offset += 4
+        return int(bytes(view[offset : offset + n]).decode("ascii")), offset + n
+    if tag == _T_NDARRAY:
+        return _decode_ndarray(view, offset, copy)
+    if tag == _T_BUFFER:
+        arr, offset = _decode_ndarray(view, offset, copy)
+        buf = Buffer.__new__(Buffer)
+        buf.array = arr
+        return buf, offset
+    if tag == _T_VECTOR:
+        (n,) = _U32.unpack_from(view, offset)
+        offset += 4
+        vec = Vector()
+        for _ in range(n):
+            item, offset = _decode_value(view, offset, copy)
+            vec.items.append(item)
+        return vec, offset
+    if tag == _T_LIST or tag == _T_TUPLE:
+        (n,) = _U32.unpack_from(view, offset)
+        offset += 4
+        items = []
+        for _ in range(n):
+            item, offset = _decode_value(view, offset, copy)
+            items.append(item)
+        return (tuple(items) if tag == _T_TUPLE else items), offset
+    if tag == _T_TOKEN:
         (nlen,) = _U16.unpack_from(view, offset)
         offset += 2
-        name = bytes(view[offset : offset + nlen]).decode("utf-8")
+        name = str(view[offset : offset + nlen], "utf-8")
         offset += nlen
         cls = registry.lookup(name)
-        fields, offset = _decode_value(view, offset)
+        fields, offset = _decode_value(view, offset, copy)
         obj = cls.__new__(cls)
-        obj.__dict__.update(fields)
+        obj.__dict__ = fields
         return obj, offset
     raise WireError(f"unknown wire tag {tag}")
 
 
-def _decode_ndarray(view: memoryview, offset: int) -> tuple[np.ndarray, int]:
+def _decode_ndarray(view: memoryview, offset: int, copy: bool = True) -> tuple[np.ndarray, int]:
     dlen = view[offset]
     offset += 1
     dtype = np.dtype(bytes(view[offset : offset + dlen]).decode("ascii"))
@@ -282,11 +550,14 @@ def _decode_ndarray(view: memoryview, offset: int) -> tuple[np.ndarray, int]:
     ndim = view[offset]
     offset += 1
     shape = []
+    count = 1
     for _ in range(ndim):
         (dim,) = _U32.unpack_from(view, offset)
         offset += 4
         shape.append(dim)
-    count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        count *= dim
     nbytes = count * dtype.itemsize
-    arr = np.frombuffer(view[offset : offset + nbytes], dtype=dtype).reshape(shape).copy()
+    arr = np.frombuffer(view[offset : offset + nbytes], dtype=dtype).reshape(shape)
+    if copy:
+        arr = arr.copy()
     return arr, offset + nbytes

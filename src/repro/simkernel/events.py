@@ -10,6 +10,16 @@ Determinism: every scheduled callback is keyed by ``(time, priority, seq)``
 where ``seq`` is a monotonically increasing counter, so simultaneous events
 always fire in the order they were scheduled.  Runs are fully reproducible.
 
+The event loop is on an allocation diet — per-message bookkeeping is the
+scheduling overhead pipeline frameworks live or die on:
+
+- single-waiter events (the overwhelming case: every ``transfer`` yield)
+  store their sole callback inline instead of allocating a list;
+- :meth:`Simulator.spawn` starts generators through a slotted
+  :class:`_Resume` heap entry rather than a bootstrap :class:`Event`;
+- triggered-and-delivered :class:`Timeout` objects are recycled through a
+  small pool when (and only when) nothing else references them.
+
 The DPS runtime (:mod:`repro.runtime.sim_engine`) builds node controllers,
 network links and operation executions on top of these primitives.
 """
@@ -17,6 +27,8 @@ network links and operation executions on top of these primitives.
 from __future__ import annotations
 
 import heapq
+import sys
+from types import GeneratorType
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -36,6 +48,11 @@ _PENDING = object()
 NORMAL = 1
 #: Priority used for urgent (kernel-internal) events.
 URGENT = 0
+
+#: Maximum number of recycled Timeout objects kept per simulator.
+_TIMEOUT_POOL_CAP = 256
+
+_getrefcount = getattr(sys, "getrefcount", None)
 
 
 class SimulationError(RuntimeError):
@@ -60,16 +77,21 @@ class Event:
     :meth:`fail` and then delivered to its callbacks at the current
     simulation time (in scheduling order).  Processes wait on an event by
     yielding it.
+
+    ``_callbacks`` holds ``None`` (no waiters), a single callable (the
+    dominant case — one waiting process) or a list; ``_processed`` flips
+    once delivery has happened.  This avoids a list allocation per event.
     """
 
-    __slots__ = ("sim", "_callbacks", "_value", "_ok", "_scheduled")
+    __slots__ = ("sim", "_callbacks", "_value", "_ok", "_scheduled", "_processed")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self._callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._callbacks: Any = None
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
         self._scheduled = False
+        self._processed = False
 
     # -- state -----------------------------------------------------------
     @property
@@ -80,7 +102,7 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once callbacks have run."""
-        return self._callbacks is None
+        return self._processed
 
     @property
     def ok(self) -> bool:
@@ -101,7 +123,12 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule(0.0, self, priority)
+        # Inlined _schedule: the pending-value guard above already rules
+        # out double scheduling for plain events.
+        self._scheduled = True
+        sim = self.sim
+        sim._seq += 1
+        heapq.heappush(sim._heap, (sim._now, priority, sim._seq, self))
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
@@ -112,7 +139,10 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
-        self.sim._schedule(0.0, self, priority)
+        self._scheduled = True
+        sim = self.sim
+        sim._seq += 1
+        heapq.heappush(sim._heap, (sim._now, priority, sim._seq, self))
         return self
 
     # -- subscription ----------------------------------------------------
@@ -122,16 +152,28 @@ class Event:
         If the event has already been processed the callback runs
         immediately (still at the current simulation time).
         """
-        if self._callbacks is None:
+        if self._processed:
             fn(self)
+            return
+        cbs = self._callbacks
+        if cbs is None:
+            self._callbacks = fn
+        elif type(cbs) is list:
+            cbs.append(fn)
         else:
-            self._callbacks.append(fn)
+            self._callbacks = [cbs, fn]
 
     def _process_callbacks(self) -> None:
-        callbacks, self._callbacks = self._callbacks, None
-        if callbacks:
-            for fn in callbacks:
+        cbs = self._callbacks
+        self._callbacks = None
+        self._processed = True
+        if cbs is None:
+            return
+        if type(cbs) is list:
+            for fn in cbs:
                 fn(self)
+        else:
+            cbs(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "pending" if not self.triggered else ("ok" if self._ok else "failed")
@@ -146,10 +188,39 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self._ok = True
+        # Inlined Event.__init__ + Simulator._schedule: a timeout is born
+        # triggered, so it goes straight onto the heap.
+        self.sim = sim
+        self._callbacks = None
         self._value = value
-        sim._schedule(delay, self, NORMAL)
+        self._ok = True
+        self._scheduled = True
+        self._processed = False
+        sim._seq += 1
+        heapq.heappush(sim._heap, (sim._now + delay, NORMAL, sim._seq, self))
+
+
+class _Resume:
+    """A slotted heap entry that resumes a process directly.
+
+    Used for the spawn bootstrap and for interrupts: it duck-types the
+    slice of the :class:`Event` interface that :meth:`Process._resume`
+    and the scheduler touch, without the callback machinery or the heap
+    bookkeeping of a full event.
+    """
+
+    __slots__ = ("_proc", "_ok", "_value", "_scheduled")
+
+    _callbacks = None
+
+    def __init__(self, proc: "Process", ok: bool, value: Any):
+        self._proc = proc
+        self._ok = ok
+        self._value = value
+        self._scheduled = False
+
+    def _process_callbacks(self) -> None:
+        self._proc._resume(self)
 
 
 class Process(Event):
@@ -160,21 +231,28 @@ class Process(Event):
     return value becomes the event value, an uncaught exception fails it.
     """
 
-    __slots__ = ("name", "_gen", "_waiting_on")
+    __slots__ = ("name", "_gen", "_waiting_on", "_bound_resume")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
-        if not hasattr(gen, "send"):
+        if type(gen) is not GeneratorType and not hasattr(gen, "send"):
             raise TypeError(f"Process requires a generator, got {type(gen).__name__}")
-        super().__init__(sim)
+        self.sim = sim
+        self._callbacks = None
+        self._value = _PENDING
+        self._ok = None
+        self._scheduled = False
+        self._processed = False
         self.name = name or getattr(gen, "__name__", "process")
         self._gen = gen
         self._waiting_on: Optional[Event] = None
-        # Bootstrap: start the generator at the current time.
-        init = Event(sim)
-        init._ok = True
-        init._value = None
-        init.add_callback(self._resume)
-        sim._schedule(0.0, init, URGENT)
+        # One bound method for the process's whole life instead of one
+        # allocation per yield.
+        self._bound_resume = self._resume
+        # Bootstrap fast path: start the generator at the current time
+        # without allocating a full Event (inlined _schedule).
+        sim._seq += 1
+        heapq.heappush(sim._heap, (sim._now, URGENT, sim._seq,
+                                   _Resume(self, True, None)))
 
     @property
     def is_alive(self) -> bool:
@@ -189,18 +267,15 @@ class Process(Event):
         """
         if not self.is_alive:
             raise SimulationError(f"cannot interrupt terminated process {self.name!r}")
-        hit = Event(self.sim)
-        hit._ok = False
-        hit._value = Interrupt(cause)
-        hit.add_callback(self._resume)
-        self.sim._schedule(0.0, hit, URGENT)
+        self.sim._schedule(0.0, _Resume(self, False, Interrupt(cause)), URGENT)
 
     def _resume(self, event: Event) -> None:
         if not self.is_alive:  # e.g. interrupted then event fired anyway
             return
         waited = self._waiting_on
         self._waiting_on = None
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
         try:
             if event._ok:
                 target = self._gen.send(event._value)
@@ -209,40 +284,53 @@ class Process(Event):
                 if isinstance(exc, Interrupt) and waited is not None:
                     # Detach from the event we were waiting on so a later
                     # trigger does not resume us twice.
-                    _discard_callback(waited, self._resume)
+                    _discard_callback(waited, self._bound_resume)
                 target = self._gen.throw(exc)
         except StopIteration as stop:
-            self.sim._active_process = None
+            sim._active_process = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
-            self.sim._active_process = None
+            sim._active_process = None
             self.fail(exc)
             return
-        self.sim._active_process = None
-        if not isinstance(target, Event):
-            self._gen.close()
-            self.fail(
-                SimulationError(
-                    f"process {self.name!r} yielded {target!r}; processes "
-                    f"must yield Event instances"
-                )
+        sim._active_process = None
+        tcls = type(target)
+        if tcls is Timeout or tcls is Event or isinstance(target, Event):
+            if target.sim is not sim:
+                self._gen.close()
+                self.fail(SimulationError("yielded event belongs to another simulator"))
+                return
+            self._waiting_on = target
+            # Inlined single-waiter subscription (the hot path: every
+            # transfer/timeout yield has exactly this one waiter).
+            if target._processed:
+                self._resume(target)
+            elif target._callbacks is None:
+                target._callbacks = self._bound_resume
+            else:
+                target.add_callback(self._bound_resume)
+            return
+        self._gen.close()
+        self.fail(
+            SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes "
+                f"must yield Event instances"
             )
-            return
-        if target.sim is not self.sim:
-            self._gen.close()
-            self.fail(SimulationError("yielded event belongs to another simulator"))
-            return
-        self._waiting_on = target
-        target.add_callback(self._resume)
+        )
 
 
 def _discard_callback(event: Event, fn: Callable) -> None:
-    if event._callbacks is not None:
+    cbs = event._callbacks
+    if cbs is None:
+        return
+    if type(cbs) is list:
         try:
-            event._callbacks.remove(fn)
+            cbs.remove(fn)
         except ValueError:
             pass
+    elif cbs == fn:
+        event._callbacks = None
 
 
 class _Condition(Event):
@@ -321,6 +409,7 @@ class Simulator:
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        self._timeout_pool: list[Timeout] = []
 
     # -- clock -----------------------------------------------------------
     @property
@@ -340,6 +429,19 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that succeeds after *delay* time units."""
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative timeout delay: {delay}")
+            t = pool.pop()
+            t._callbacks = None
+            t._value = value
+            t._ok = True
+            t._scheduled = True
+            t._processed = False
+            self._seq += 1
+            heapq.heappush(self._heap, (self._now + delay, NORMAL, self._seq, t))
+            return t
         return Timeout(self, delay, value)
 
     def spawn(self, gen: Generator, name: str = "") -> Process:
@@ -360,6 +462,23 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
 
+    def _recycle(self, event: Event) -> None:
+        """Pool a delivered Timeout iff nothing else references it.
+
+        Callers pass the freshly-popped, already-processed heap event.
+        The refcount check (this frame's local + getrefcount's argument
+        = 2) proves no process or user code still holds the object, so
+        reuse can never be observed.  CPython-specific; a no-op
+        elsewhere.
+        """
+        if (
+            type(event) is Timeout
+            and _getrefcount is not None
+            and len(self._timeout_pool) < _TIMEOUT_POOL_CAP
+            and _getrefcount(event) == 3  # caller local + our arg + getrefcount arg
+        ):
+            self._timeout_pool.append(event)
+
     def step(self) -> bool:
         """Process the next event. Returns False when the queue is empty.
 
@@ -372,11 +491,27 @@ class Simulator:
         if time < self._now:  # pragma: no cover - defensive
             raise SimulationError("time went backwards")
         self._now = time
-        unobserved_failure = (
-            isinstance(event, Process) and not event._ok and not event._callbacks
-        )
-        event._process_callbacks()
-        if unobserved_failure:
+        cls = type(event)
+        if cls is Timeout:
+            event._process_callbacks()
+            self._recycle(event)
+            return True
+        if cls is _Resume:
+            event._proc._resume(event)
+            return True
+        # Inlined _process_callbacks (no subclass overrides it).  A falsy
+        # cbs (no waiters) on a failed process means nobody will see the
+        # exception — surface it here.
+        cbs = event._callbacks
+        event._callbacks = None
+        event._processed = True
+        if cbs:
+            if type(cbs) is list:
+                for fn in cbs:
+                    fn(event)
+            else:
+                cbs(event)
+        elif isinstance(event, Process) and not event._ok:
             raise event._value
         return True
 
@@ -387,22 +522,46 @@ class Simulator:
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queue drains or the clock reaches *until*.
 
-        Returns the final simulation time.  If a process fails with an
-        uncaught exception the exception propagates out of :meth:`run`
-        unless some other process was joined on it.
+        Returns the final simulation time — with *until* set, always
+        ``max(until, now)``: the clock advances to *until* even when the
+        event queue drains early.  If a process fails with an uncaught
+        exception the exception propagates out of :meth:`run` unless
+        some other process was joined on it.
         """
-        while self._heap:
-            if until is not None and self.peek() > until:
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            if until is not None and heap[0][0] > until:
                 self._now = until
-                break
-            time, _prio, _seq, event = heapq.heappop(self._heap)
+                return self._now
+            time, _prio, _seq, event = pop(heap)
             self._now = time
-            unobserved_failure = (
-                isinstance(event, Process) and not event._ok and not event._callbacks
-            )
-            event._process_callbacks()
-            if unobserved_failure:
+            cls = type(event)
+            if cls is Timeout:
+                # Fast path: timeouts cannot be unobserved failures.
+                event._process_callbacks()
+                self._recycle(event)
+                continue
+            if cls is _Resume:
+                # Fast path: spawn bootstraps and interrupts resume their
+                # process directly — no callback machinery to run.
+                event._proc._resume(event)
+                continue
+            # Inlined _process_callbacks (no subclass overrides it).
+            cbs = event._callbacks
+            event._callbacks = None
+            event._processed = True
+            if cbs:
+                if type(cbs) is list:
+                    for fn in cbs:
+                        fn(event)
+                else:
+                    cbs(event)
+            elif isinstance(event, Process) and not event._ok:
                 # A process died with no waiter to deliver the exception to;
                 # surface it instead of silently swallowing the crash.
                 raise event._value
+        if until is not None and until > self._now:
+            # The heap drained before the horizon: idle time still passes.
+            self._now = until
         return self._now

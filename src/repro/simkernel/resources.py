@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Optional
 
-from .events import Event, SimulationError, Simulator
+from .events import _PENDING, Event, SimulationError, Simulator
 
 __all__ = ["Store", "Resource"]
 
@@ -25,7 +25,13 @@ class StorePut(Event):
     __slots__ = ("item",)
 
     def __init__(self, sim: Simulator, item: Any):
-        super().__init__(sim)
+        # Inlined Event.__init__ (hot path: one per queued token).
+        self.sim = sim
+        self._callbacks = None
+        self._value = _PENDING
+        self._ok = None
+        self._scheduled = False
+        self._processed = False
         self.item = item
 
 
@@ -35,7 +41,12 @@ class StoreGet(Event):
     __slots__ = ("filter",)
 
     def __init__(self, sim: Simulator, filter: Optional[Callable[[Any], bool]] = None):
-        super().__init__(sim)
+        self.sim = sim
+        self._callbacks = None
+        self._value = _PENDING
+        self._ok = None
+        self._scheduled = False
+        self._processed = False
         self.filter = filter
 
 
@@ -75,6 +86,14 @@ class Store:
     def put(self, item: Any) -> StorePut:
         """Queue *item*; returns an event that succeeds once stored."""
         ev = StorePut(self.sim, item)
+        # Fast path: nobody queued on either side — store and (maybe)
+        # hand straight to a waiting getter, same order _dispatch gives.
+        if not self._putters and len(self.items) < self.capacity:
+            self.items.append(item)
+            ev.succeed()
+            if self._getters:
+                self._dispatch()
+            return ev
         self._putters.append(ev)
         self._dispatch()
         return ev
@@ -82,6 +101,12 @@ class Store:
     def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
         """Request an item; returns an event succeeding with the item."""
         ev = StoreGet(self.sim, filter)
+        # Fast path: unfiltered get with stock on hand and no queue to
+        # respect — pop directly (identical to what _dispatch would do).
+        if (filter is None and not self._getters and not self._putters
+                and self.items):
+            ev.succeed(self.items.popleft())
+            return ev
         self._getters.append(ev)
         self._dispatch()
         return ev
@@ -143,7 +168,12 @@ class Request(Event):
     __slots__ = ("resource", "released")
 
     def __init__(self, sim: Simulator, resource: "Resource"):
-        super().__init__(sim)
+        self.sim = sim
+        self._callbacks = None
+        self._value = _PENDING
+        self._ok = None
+        self._scheduled = False
+        self._processed = False
         self.resource = resource
         self.released = False
 
@@ -190,6 +220,13 @@ class Resource:
     def request(self) -> Request:
         """Ask for a slot; the returned event succeeds when granted."""
         req = Request(self.sim, self)
+        # Fast path: free slot and an empty queue — grant immediately
+        # (exactly what _grant would do after the append).
+        if not self._queue and len(self._users) < self.capacity:
+            self._users.add(req)
+            self._busy_since[req] = self.sim.now
+            req.succeed(req)
+            return req
         self._queue.append(req)
         self._grant()
         return req

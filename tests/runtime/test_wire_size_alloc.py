@@ -1,0 +1,51 @@
+"""The engine's wire-size cost model must never materialize payloads.
+
+``SimEngine._wire_size`` prices a token for the network model.  With the
+size-only ``measure`` visitor it is pure arithmetic: sizing a token that
+carries a multi-megabyte Buffer must allocate O(1) bytes, not a copy of
+the payload.
+"""
+
+import tracemalloc
+
+import numpy as np
+
+from repro.cluster import paper_cluster
+from repro.runtime.sim_engine import SimEngine
+from repro.serial import Buffer, ComplexToken
+
+PAYLOAD_BYTES = 4 * 1024 * 1024  # 4 MB
+ALLOC_CEILING = 16 * 1024        # "O(1)" budget, generous vs. 4 MB
+
+
+class BigPayloadToken(ComplexToken):
+    def __init__(self, block=None):
+        self.block = Buffer(block if block is not None else [])
+
+
+def _traced_wire_size(engine, tok):
+    engine._wire_size(tok)  # warm caches (registry name bytes, interning)
+    tracemalloc.start()
+    try:
+        before, _ = tracemalloc.get_traced_memory()
+        nbytes = engine._wire_size(tok)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return nbytes, peak - before
+
+
+def test_wire_size_allocates_o1_for_large_buffer():
+    engine = SimEngine(paper_cluster(2))
+    tok = BigPayloadToken(np.zeros(PAYLOAD_BYTES // 8, dtype=np.float64))
+    nbytes, allocated = _traced_wire_size(engine, tok)
+    assert nbytes > PAYLOAD_BYTES  # prices the full payload ...
+    assert allocated < ALLOC_CEILING  # ... without materializing it
+
+
+def test_wire_size_o1_without_serialization():
+    engine = SimEngine(paper_cluster(2), serialize_payloads=False)
+    tok = BigPayloadToken(np.zeros(PAYLOAD_BYTES // 8, dtype=np.float64))
+    nbytes, allocated = _traced_wire_size(engine, tok)
+    assert nbytes >= PAYLOAD_BYTES
+    assert allocated < ALLOC_CEILING

@@ -12,7 +12,11 @@ from repro.serial import (
     WireError,
     decode,
     encode,
+    encode_into,
+    encode_segments,
     encoded_size,
+    gather,
+    measure,
     registry,
 )
 
@@ -288,3 +292,103 @@ def test_flipped_tag_bytes_raise():
     data[tag_pos] = 250
     with pytest.raises(WireError, match="unknown wire tag"):
         decode(bytes(data))
+
+
+# ---------------------------------------------------------------------------
+# zero-copy wire path: measure / encode_segments / gather / borrow decode
+# ---------------------------------------------------------------------------
+
+class ArrCarrierToken(ComplexToken):
+    def __init__(self, a=None):
+        self.a = a
+
+
+def test_empty_array_roundtrip():
+    back = roundtrip(ArrCarrierToken(np.empty((0, 3), dtype=np.float64)))
+    assert back.a.shape == (0, 3)
+    assert back.a.dtype == np.float64
+    assert back.a.size == 0
+
+
+def test_measure_matches_len_scalar_token():
+    tok = WireCharToken("q", 3)
+    assert measure(tok) == len(encode(tok))
+
+
+def test_measure_matches_len_large_buffer():
+    block = np.arange(256 * 256, dtype=np.float64).reshape(256, 256)
+    tok = MatrixToken(block, 1, 2)
+    assert measure(tok) == len(encode(tok))
+
+
+def test_measure_matches_len_nested_tree():
+    kids = [WireCharToken(c, i) for i, c in enumerate("abc")]
+    tok = NestedToken(kids, meta={"deep": [1, (2.5, None), b"xy"]})
+    assert measure(tok) == len(encode(tok))
+
+
+def test_encode_segments_concatenation_matches_encode():
+    tok = MatrixToken(np.arange(1024, dtype=np.float64), 0, 0)  # 8 KB payload
+    segs = encode_segments(tok)
+    assert len(segs) > 1  # large array borrowed as its own segment
+    assert any(isinstance(s, memoryview) for s in segs)
+    assert b"".join(bytes(s) for s in segs) == encode(tok)
+
+
+def test_encode_segments_small_token_single_segment():
+    tok = WireCharToken("a", 1)
+    segs = encode_segments(tok)
+    assert len(segs) == 1
+    assert bytes(segs[0]) == encode(tok)
+
+
+def test_gather_matches_encode():
+    for tok in (WireCharToken("z", 5),
+                MatrixToken(np.arange(2048, dtype=np.float32), 3, 4)):
+        buf = gather(encode_segments(tok))
+        assert isinstance(buf, bytearray)
+        assert bytes(buf) == encode(tok)
+
+
+def test_gather_single_segment_passthrough():
+    # Documented contract: a lone bytearray tail is handed over as-is.
+    segs = encode_segments(WireCharToken("a", 1))
+    buf = gather(segs)
+    assert buf is segs[0]
+
+
+def test_encode_into_exact_fit():
+    tok = MatrixToken(np.arange(512, dtype=np.int32), 0, 1)
+    buf = bytearray(measure(tok))
+    written = encode_into(tok, buf)
+    assert written == len(buf)
+    assert bytes(buf) == encode(tok)
+
+
+def test_encode_into_undersized_buffer_raises():
+    tok = MatrixToken(np.arange(512, dtype=np.int32), 0, 1)
+    with pytest.raises(WireError):
+        encode_into(tok, bytearray(measure(tok) - 1))
+
+
+def test_decode_borrow_from_bytearray_is_writable_alias():
+    wire = bytearray(encode(MatrixToken(np.arange(64, dtype=np.float64), 0, 0)))
+    back = decode(wire, copy=False)
+    assert back.block.array.flags.writeable
+    before = bytes(wire)
+    back.block.array[0] = -1.0  # borrowed storage: writes hit the buffer
+    assert bytes(wire) != before
+
+
+def test_decode_borrow_from_bytes_is_readonly():
+    wire = encode(MatrixToken(np.arange(64, dtype=np.float64), 0, 0))
+    back = decode(wire, copy=False)
+    assert not back.block.array.flags.writeable
+    assert np.array_equal(back.block.array, np.arange(64, dtype=np.float64))
+
+
+def test_decode_copy_default_is_independent():
+    wire = bytearray(encode(MatrixToken(np.arange(8, dtype=np.float64), 0, 0)))
+    back = decode(wire)
+    wire[-1] ^= 0xFF  # corrupt the buffer after a copying decode
+    assert back.block.array[-1] == 7.0

@@ -5,7 +5,15 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays, array_shapes
 
-from repro.serial import Buffer, ComplexToken, Vector, decode, encode
+from repro.serial import (
+    Buffer,
+    ComplexToken,
+    Vector,
+    decode,
+    encode,
+    encode_segments,
+    measure,
+)
 
 
 class PropToken(ComplexToken):
@@ -107,3 +115,30 @@ def test_buffer_roundtrip_exact(arr):
     assert back.payload.dtype == arr.dtype
     assert back.payload.shape == arr.shape
     assert np.array_equal(back.payload.array, arr)
+
+
+@settings(max_examples=100, deadline=None)
+@given(payloads)
+def test_measure_matches_encoded_length(payload):
+    """The size-only visitor prices every payload tree exactly."""
+    tok = PropToken(payload)
+    assert measure(tok) == len(encode(tok))
+
+
+@settings(max_examples=60, deadline=None)
+@given(payloads)
+def test_segments_concatenate_to_encode(payload):
+    """Scatter-gather output joins to the canonical single-buffer wire."""
+    tok = PropToken(payload)
+    segs = encode_segments(tok)
+    assert b"".join(bytes(s) for s in segs) == encode(tok)
+
+
+@settings(max_examples=60, deadline=None)
+@given(payloads)
+def test_borrow_decode_equals_copy_decode(payload):
+    """decode(copy=False) yields the same token tree as a copying decode."""
+    wire = bytearray(encode(PropToken(payload)))
+    copied = decode(bytes(wire))
+    borrowed = decode(wire, copy=False)
+    assert_payload_equal(copied.payload, borrowed.payload)

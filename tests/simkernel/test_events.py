@@ -259,6 +259,27 @@ def test_run_until_stops_clock():
     assert sim.now == 3.5
 
 
+def test_run_until_advances_clock_when_heap_drains_early():
+    """Regression: a workload that finishes before *until* must still
+    leave the clock at *until*, not at the last event time."""
+    sim = Simulator()
+
+    def short(sim):
+        yield sim.timeout(1.0)
+
+    sim.spawn(short(sim))
+    final = sim.run(until=5.0)
+    assert final == 5.0
+    assert sim.now == 5.0
+
+
+def test_run_until_advances_clock_with_empty_heap():
+    sim = Simulator()
+    final = sim.run(until=2.0)
+    assert final == 2.0
+    assert sim.now == 2.0
+
+
 def test_any_of_first_wins():
     sim = Simulator()
     got = []
