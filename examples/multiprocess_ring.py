@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Multiprocess ring: real kernel processes forwarding tokens over TCP.
+
+The paper's communication experiment (Figure 6) sends payload blocks
+around a ring of machines.  This example runs the same flow graph —
+``split >> forward >> forward >> forward >> merge`` — on the
+:class:`~repro.runtime.MultiprocessEngine`: one OS *process* per ring
+node, a TCP name server for discovery, and lazy peer connections carrying
+tokens in the zero-copy wire format.  Every block really crosses four
+process boundaries per round trip.
+
+Run:  python examples/multiprocess_ring.py
+"""
+
+import time
+
+from repro.apps.ring import RingJobToken, build_ring_graph
+from repro.runtime import MultiprocessEngine
+
+BLOCK_BYTES = 64 * 1024
+N_BLOCKS = 64
+NODES = ["node01", "node02", "node03", "node04"]
+
+
+def main() -> None:
+    graph = build_ring_graph(NODES)
+    with MultiprocessEngine() as engine:
+        engine.register_graph(graph)
+
+        # First activation pays the cluster start-up: forking the kernel
+        # processes, name-server registration and lazy TCP dialing.
+        t0 = time.perf_counter()
+        engine.run(graph, RingJobToken(1024, 4))
+        print(f"cluster up (kernels: {', '.join(engine.kernel_names)}) "
+              f"in {time.perf_counter() - t0:.2f} s")
+
+        # Steady state: the measured transfer.
+        t0 = time.perf_counter()
+        done = engine.run(graph, RingJobToken(BLOCK_BYTES, N_BLOCKS))
+        wall = time.perf_counter() - t0
+
+    total_mb = done.received_bytes / 1e6
+    print(f"forwarded {done.blocks} x {BLOCK_BYTES // 1024} KiB blocks "
+          f"around {len(NODES)} kernel processes")
+    print(f"{total_mb:.1f} MB in {wall:.2f} s "
+          f"= {total_mb / wall:.1f} MB/s per hop")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,7 @@ CPU time is charged via :func:`repro.cluster.costs.gol_band_flops`.
 from __future__ import annotations
 
 import itertools
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -40,7 +41,7 @@ from ..core import (
     ThreadCollection,
     route_fn,
 )
-from ..runtime import RunResult, SimEngine
+from ..runtime import RunResult, coerce_run_result
 from ..serial import Buffer, ComplexToken, SimpleToken
 
 __all__ = ["life_step", "DistributedGameOfLife"]
@@ -537,16 +538,20 @@ class GolImpCollect(MergeOperation):
 # ---------------------------------------------------------------------------
 
 class DistributedGameOfLife:
-    """A running distributed Game of Life on a simulated cluster.
+    """A running distributed Game of Life.
 
     Builds the load, gather and per-iteration graphs over *worker_nodes*
     (one band per node) with the master on *master_node* (default: the
     first worker node, as in the paper's single-cluster runs).
+
+    *engine* may be any of the three engines — the simulated cluster
+    (virtual timing), the threaded engine or the multiprocess engine
+    (wall-clock timing); the graphs are identical.
     """
 
     def __init__(
         self,
-        engine: SimEngine,
+        engine,
         world: np.ndarray,
         worker_nodes: List[str],
         master_node: Optional[str] = None,
@@ -636,24 +641,30 @@ class DistributedGameOfLife:
         builder += collect >> done
         return Flowgraph(builder, f"gol{uid}.improved")
 
+    def _run(self, graph: Flowgraph, token) -> RunResult:
+        """Engine-agnostic run: normalize the outcome to a RunResult."""
+        started = time.monotonic()
+        outcome = self.engine.run(graph, token)
+        return coerce_run_result(outcome, started, time.monotonic())
+
     # -- public API ----------------------------------------------------------
     def load(self) -> RunResult:
         """Distribute the initial world to the workers."""
-        result = self.engine.run(self.load_graph, GolWorldToken(self.world0))
+        result = self._run(self.load_graph, GolWorldToken(self.world0))
         self._loaded = True
         return result
 
     def step(self, improved: bool = True) -> RunResult:
-        """Run one iteration; returns its RunResult (virtual timing)."""
+        """Run one iteration; returns its RunResult (virtual or wall time)."""
         if not self._loaded:
             raise RuntimeError("call load() before step()")
         graph = self.improved_graph if improved else self.standard_graph
         self.iteration += 1
-        return self.engine.run(graph, GolIterToken(self.iteration))
+        return self._run(graph, GolIterToken(self.iteration))
 
     def gather(self) -> np.ndarray:
         """Collect the current world back to the master."""
         if not self._loaded:
             raise RuntimeError("call load() before gather()")
-        result = self.engine.run(self.gather_graph, GolIterToken(self.iteration))
+        result = self._run(self.gather_graph, GolIterToken(self.iteration))
         return result.token.world.array

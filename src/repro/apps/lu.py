@@ -31,6 +31,7 @@ timing of the paper's 4096² runs; see DESIGN.md §2).
 from __future__ import annotations
 
 import itertools
+import time
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -50,7 +51,7 @@ from ..core import (
     ThreadCollection,
     route_fn,
 )
-from ..runtime import RunResult, SimEngine
+from ..runtime import RunResult, coerce_run_result
 from ..serial import Buffer, ComplexToken, SimpleToken, Vector
 
 __all__ = ["DistributedLU", "factor_panel"]
@@ -654,7 +655,8 @@ class DistributedLU:
     Parameters
     ----------
     engine:
-        the simulated-cluster engine to run on.
+        the engine to run on — simulated cluster (virtual timing),
+        threaded or multiprocess (wall-clock timing).
     a:
         the (n, n) matrix to factor; n must be divisible by *s*.
     s:
@@ -671,7 +673,7 @@ class DistributedLU:
 
     def __init__(
         self,
-        engine: SimEngine,
+        engine,
         a: np.ndarray,
         s: int,
         worker_nodes: List[str],
@@ -794,22 +796,29 @@ class DistributedLU:
         builder += prev >> last_flip >> final_merge
         return Flowgraph(builder, f"lu{uid}.factor")
 
+    def _run(self, graph: Flowgraph, token) -> RunResult:
+        """Engine-agnostic run: normalize the outcome to a RunResult."""
+        started = time.monotonic()
+        outcome = self.engine.run(graph, token)
+        return coerce_run_result(outcome, started, time.monotonic())
+
     # -- public API ----------------------------------------------------------
     def load(self) -> RunResult:
         """Distribute the block columns to the workers."""
-        result = self.engine.run(self.load_graph, LULoadToken(self.a0))
+        result = self._run(self.load_graph, LULoadToken(self.a0))
         self._loaded = True
         return result
 
     def run(self) -> RunResult:
-        """Run the factorization; returns its RunResult (virtual timing)."""
+        """Run the factorization; returns its RunResult (virtual or wall
+        time, depending on the engine)."""
         if not self._loaded:
             raise RuntimeError("call load() before run()")
-        return self.engine.run(self.lu_graph, LUStartToken(self.n))
+        return self._run(self.lu_graph, LUStartToken(self.n))
 
     def gather(self) -> tuple[np.ndarray, List[np.ndarray]]:
         """Collect the factored matrix and the per-stage pivot vectors."""
-        result = self.engine.run(self.gather_graph, LUStartToken(self.n))
+        result = self._run(self.gather_graph, LUStartToken(self.n))
         tok = result.token
         pivots = [p.array for p in tok.pivots]
         return tok.a.array, pivots

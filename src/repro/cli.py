@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli fig6 [--fast]
     python -m repro.cli all --fast
     python -m repro.cli demo            # quickstart: parallel uppercase
+    python -m repro.cli demo --engine multiprocess   # real OS processes
 
 Each experiment prints its measured table next to the paper's reference
 values; ``--fast`` shrinks sweeps for a quick look.
@@ -35,24 +36,52 @@ def _run_experiment(name: str, fast: bool) -> None:
     print()
 
 
-def _demo() -> None:
+def _demo(engine_kind: str = "sim") -> None:
     from .apps.strings import StringToken, build_uppercase_graph
-    from .cluster import paper_cluster
-    from .runtime import SimEngine
-    from .trace import Tracer, activity_timeline, op_summary
 
-    tracer = Tracer()
-    engine = SimEngine(paper_cluster(4), tracer=tracer)
-    graph, *_ = build_uppercase_graph("node01", "node02 node03 node04")
     text = "dynamic parallel schedules"
-    result = engine.run(graph, StringToken(text))
+    graph, *_ = build_uppercase_graph("node01", "node02 node03 node04")
+    if engine_kind == "sim":
+        from .cluster import paper_cluster
+        from .runtime import SimEngine
+        from .trace import Tracer, activity_timeline, op_summary
+
+        tracer = Tracer()
+        engine = SimEngine(paper_cluster(4), tracer=tracer)
+        result = engine.run(graph, StringToken(text))
+        print(f"input : {text!r}")
+        print(f"output: {result.token.text!r}")
+        print(f"virtual time: {result.makespan * 1e3:.2f} ms on 4 nodes")
+        print()
+        print(op_summary(tracer))
+        print()
+        print(activity_timeline(tracer, width=60))
+        return
+
+    if engine_kind == "threaded":
+        from .runtime import ThreadedEngine
+
+        t0 = time.perf_counter()
+        with ThreadedEngine() as engine:
+            out = engine.run(graph, StringToken(text))
+        wall = time.perf_counter() - t0
+        print(f"input : {text!r}")
+        print(f"output: {out.text!r}")
+        print(f"wall time: {wall * 1e3:.1f} ms on OS threads (1 process)")
+        return
+
+    from .runtime import MultiprocessEngine
+
+    t0 = time.perf_counter()
+    with MultiprocessEngine() as engine:
+        engine.register_graph(graph)
+        out = engine.run(graph, StringToken(text))
+        wall = time.perf_counter() - t0
+        kernels = ", ".join(engine.kernel_names)
     print(f"input : {text!r}")
-    print(f"output: {result.token.text!r}")
-    print(f"virtual time: {result.makespan * 1e3:.2f} ms on 4 nodes")
-    print()
-    print(op_summary(tracer))
-    print()
-    print(activity_timeline(tracer, width=60))
+    print(f"output: {out.text!r}")
+    print(f"wall time: {wall * 1e3:.1f} ms across kernel processes "
+          f"[{kernels}] + name server")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -70,6 +99,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--fast", action="store_true",
         help="shrunk parameter sweeps (seconds instead of minutes)",
     )
+    parser.add_argument(
+        "--engine", choices=["sim", "threaded", "multiprocess"],
+        default="sim",
+        help="engine for 'demo': simulated cluster (default), OS threads, "
+             "or one OS process per node over TCP",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -78,7 +113,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{name:8} {doc}")
         return 0
     if args.experiment == "demo":
-        _demo()
+        _demo(args.engine)
         return 0
     names = sorted(ALL) if args.experiment == "all" else [args.experiment]
     for name in names:

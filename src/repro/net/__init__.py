@@ -1,0 +1,46 @@
+"""Real distributed runtime substrate: framing, discovery, kernels.
+
+This package carries DPS tokens between OS processes over TCP: framed
+scatter-gather socket I/O (:mod:`~repro.net.framing`), the kernel-to-
+kernel message protocol (:mod:`~repro.net.protocol`), name-server
+discovery with lazy connection establishment
+(:mod:`~repro.net.nameserver`, :mod:`~repro.net.connections`) and the
+distributed kernel itself (:mod:`~repro.net.kernel`).
+"""
+
+from .connections import ConnectionPool, DialError, PeerConnection, dial_kernel
+from .framing import MAX_SENDMSG_SEGMENTS, recv_message, send_message
+from .kernel import (
+    CONSOLE_KERNEL,
+    KERNEL_ORDINAL_SHIFT,
+    DistributedKernel,
+    run_kernel_process,
+)
+from .nameserver import (
+    DuplicateRegistration,
+    NameServer,
+    NameServerClient,
+    NameServerError,
+    UnknownKernel,
+    run_name_server,
+)
+
+__all__ = [
+    "CONSOLE_KERNEL",
+    "ConnectionPool",
+    "DialError",
+    "DistributedKernel",
+    "DuplicateRegistration",
+    "KERNEL_ORDINAL_SHIFT",
+    "MAX_SENDMSG_SEGMENTS",
+    "NameServer",
+    "NameServerClient",
+    "NameServerError",
+    "PeerConnection",
+    "UnknownKernel",
+    "dial_kernel",
+    "recv_message",
+    "run_kernel_process",
+    "run_name_server",
+    "send_message",
+]

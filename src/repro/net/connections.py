@@ -1,0 +1,173 @@
+"""Lazy peer connections between kernels (paper §4).
+
+"Connections between kernels are established lazily": a kernel does not
+dial a peer until the first token routed to it, and the peer may not even
+be listening yet when the cluster is still starting up.  The dial path
+therefore resolves the peer through the name server and retries with
+exponential backoff both the lookup (``UnknownKernel`` — the peer has not
+registered yet) and the TCP connect (connection refused — the peer
+registered between listen() and our connect losing a race, or the
+directory is briefly stale).
+
+Each peer gets one unidirectional send channel: an outbox queue drained
+by a writer thread that owns all blocking socket I/O, so posting a token
+to a remote kernel is a queue append — never a network wait under the
+engine lock — and per-peer FIFO ordering is preserved (acks must not
+overtake the data tokens they answer).
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..serial.wire import Segment
+from .framing import send_message
+from .nameserver import NameServerClient, NameServerError, UnknownKernel
+from .protocol import encode_hello
+
+__all__ = ["dial_kernel", "PeerConnection", "ConnectionPool", "DialError"]
+
+_CLOSE = object()
+
+
+class DialError(ConnectionError):
+    """A peer kernel could not be reached before the deadline."""
+
+
+def dial_kernel(ns: NameServerClient, name: str, *,
+                hello_from: Optional[str] = None,
+                deadline: float = 15.0,
+                base_delay: float = 0.02,
+                max_delay: float = 0.5) -> socket.socket:
+    """Resolve *name* through the name server and connect to it.
+
+    Retries lookup failures (peer not yet registered) and refused
+    connections with exponential backoff until *deadline* seconds have
+    elapsed.  When *hello_from* is given, a HELLO message identifying the
+    dialing kernel is sent before the socket is returned.
+    """
+    give_up_at = time.monotonic() + deadline
+    delay = base_delay
+    last_error: Optional[Exception] = None
+    while True:
+        try:
+            host, port = ns.lookup(name)
+            sock = socket.create_connection(
+                (host, port), timeout=max(0.1, give_up_at - time.monotonic()))
+            break
+        except UnknownKernel as exc:
+            last_error = exc
+        except OSError as exc:
+            last_error = exc
+        if time.monotonic() + delay > give_up_at:
+            raise DialError(
+                f"could not reach kernel {name!r} within {deadline}s"
+            ) from last_error
+        time.sleep(delay)
+        delay = min(delay * 2, max_delay)
+    sock.settimeout(None)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    if hello_from is not None:
+        send_message(sock, encode_hello(hello_from))
+    return sock
+
+
+class PeerConnection:
+    """Send-only channel to one peer kernel.
+
+    Messages are segment lists queued by any thread; a dedicated writer
+    thread dials the peer lazily on the first message and then drains the
+    outbox with vectored sends.  Transport errors are reported once
+    through *on_error* and the connection stops accepting messages.
+    """
+
+    def __init__(self, peer_name: str, ns: NameServerClient, *,
+                 hello_from: str,
+                 on_error: Callable[[str, Exception], None],
+                 dial_deadline: float = 15.0):
+        self.peer_name = peer_name
+        self._ns = ns
+        self._hello_from = hello_from
+        self._on_error = on_error
+        self._dial_deadline = dial_deadline
+        self._outbox: "queue.Queue" = queue.Queue()
+        self._sock: Optional[socket.socket] = None
+        self._failed = False
+        self._writer = threading.Thread(
+            target=self._drain, name=f"dps-send:{peer_name}", daemon=True)
+        self._writer.start()
+
+    def send(self, segments: List[Segment]) -> None:
+        self._outbox.put(segments)
+
+    def close(self, flush_timeout: float = 5.0) -> None:
+        self._outbox.put(_CLOSE)
+        self._writer.join(timeout=flush_timeout)
+        sock = self._sock
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # -- writer thread ---------------------------------------------------
+    def _drain(self) -> None:
+        while True:
+            item = self._outbox.get()
+            if item is _CLOSE:
+                return
+            if self._failed:
+                continue  # drop: the engine already knows this peer is gone
+            try:
+                if self._sock is None:
+                    self._sock = dial_kernel(
+                        self._ns, self.peer_name,
+                        hello_from=self._hello_from,
+                        deadline=self._dial_deadline)
+                send_message(self._sock, item)
+            except (OSError, NameServerError, DialError) as exc:
+                self._failed = True
+                self._on_error(self.peer_name, exc)
+
+
+class ConnectionPool:
+    """All of one kernel's outgoing peer connections."""
+
+    def __init__(self, ns: NameServerClient, *, hello_from: str,
+                 on_error: Callable[[str, Exception], None],
+                 dial_deadline: float = 15.0):
+        self._ns = ns
+        self._hello_from = hello_from
+        self._on_error = on_error
+        self._dial_deadline = dial_deadline
+        self._lock = threading.Lock()
+        self._peers: Dict[str, PeerConnection] = {}
+
+    def peer(self, name: str) -> PeerConnection:
+        with self._lock:
+            conn = self._peers.get(name)
+            if conn is None:
+                conn = PeerConnection(
+                    name, self._ns, hello_from=self._hello_from,
+                    on_error=self._on_error,
+                    dial_deadline=self._dial_deadline)
+                self._peers[name] = conn
+            return conn
+
+    def send(self, name: str, segments: List[Segment]) -> None:
+        self.peer(name).send(segments)
+
+    def peer_names(self) -> List[str]:
+        with self._lock:
+            return list(self._peers)
+
+    def close_all(self) -> None:
+        with self._lock:
+            peers = list(self._peers.values())
+            self._peers.clear()
+        for conn in peers:
+            conn.close()

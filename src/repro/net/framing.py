@@ -1,0 +1,104 @@
+"""Framed message I/O over stream sockets (zero-copy send path).
+
+One *message* on the wire is a :func:`repro.serial.wire.frame` header
+(length prefix + protocol-version byte) followed by the payload bytes.
+:func:`send_message` transmits the payload as a scatter-gather segment
+list via vectored ``sendmsg`` calls, so large
+:func:`~repro.serial.wire.encode_segments` payloads (borrowed ndarray
+memoryviews) go from the array's own storage to the kernel socket buffer
+without ever being coalesced into an intermediate Python buffer — the
+"pointer-arithmetic serializer straight onto the wire" behaviour of the
+C++ library.  :func:`recv_message` reads exactly one message and returns
+an *owned* ``bytearray``, suitable for ``decode(copy=False)``.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import List, Optional, Union
+
+from ..serial.wire import (
+    FRAME_HEADER_BYTES,
+    FRAME_VERSION,
+    Segment,
+    WireError,
+    frame,
+)
+from ..serial.wire import _FRAME_HEADER  # shared header layout
+
+__all__ = ["send_message", "recv_message", "MAX_SENDMSG_SEGMENTS"]
+
+#: Cap on buffers per ``sendmsg`` call, below every platform's IOV_MAX.
+MAX_SENDMSG_SEGMENTS = 512
+
+
+def _as_byte_views(segments: List[Segment]) -> List[memoryview]:
+    views = []
+    for seg in segments:
+        view = seg if type(seg) is memoryview else memoryview(seg)
+        if view.format != "B" or view.ndim != 1:
+            view = view.cast("B")
+        views.append(view)
+    return views
+
+
+def send_message(sock: socket.socket,
+                 payload: Union[bytes, bytearray, memoryview, List[Segment]],
+                 ) -> int:
+    """Send one framed message; returns total bytes written.
+
+    *payload* is the message body — a single buffer or a scatter-gather
+    segment list (e.g. a protocol header followed by
+    ``encode_segments()`` output).  Segments are never coalesced; partial
+    sends are resumed with sliced views.
+    """
+    views = _as_byte_views(frame(payload))
+    total = sum(v.nbytes for v in views)
+    while views:
+        sent = sock.sendmsg(views[:MAX_SENDMSG_SEGMENTS])
+        while views and sent >= views[0].nbytes:
+            sent -= views[0].nbytes
+            views.pop(0)
+        if sent and views:
+            views[0] = views[0][sent:]
+    return total
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytearray]:
+    """Read exactly *n* bytes; ``None`` on clean EOF before any byte."""
+    buf = bytearray(n)
+    view = memoryview(buf)
+    got = 0
+    while got < n:
+        received = sock.recv_into(view[got:], n - got)
+        if received == 0:
+            if got == 0:
+                return None
+            raise WireError(
+                f"connection closed mid-message: got {got} of {n} bytes"
+            )
+        got += received
+    return buf
+
+
+def recv_message(sock: socket.socket) -> Optional[bytearray]:
+    """Read one framed message; returns its payload, or ``None`` on EOF.
+
+    The returned ``bytearray`` is freshly allocated and owned by the
+    caller, so tokens may be decoded out of it with ``copy=False``.
+    Raises :class:`~repro.serial.wire.WireError` on a version mismatch or
+    a connection that dies mid-message.
+    """
+    header = _recv_exact(sock, FRAME_HEADER_BYTES)
+    if header is None:
+        return None
+    length, version = _FRAME_HEADER.unpack(bytes(header))
+    if version != FRAME_VERSION:
+        raise WireError(
+            f"frame protocol version mismatch: got {version}, "
+            f"expected {FRAME_VERSION}"
+        )
+    payload = _recv_exact(sock, length)
+    if payload is None and length > 0:
+        raise WireError("connection closed between header and payload")
+    return payload if payload is not None else bytearray()

@@ -1,0 +1,282 @@
+"""Distributed DPS kernel: the ThreadedEngine dispatch loop over TCP.
+
+One :class:`DistributedKernel` runs in each OS process and hosts the DPS
+threads whose collections are mapped onto its node name (kernel names
+*are* logical node names, matching the paper's "kernels are named so that
+applications do not need to be aware of the machines they are running
+on").  It reuses the entire controller/operation dispatch machinery of
+:class:`~repro.runtime.threaded_engine.ThreadedEngine` and overrides only
+the points where the single-process engine assumes shared memory:
+
+====================  =================================================
+hook                  distributed behaviour
+====================  =================================================
+``_deliver``          envelopes for instances on another kernel are
+                      protocol-encoded and queued on that peer's lazy
+                      TCP connection (scatter-gather, zero-copy)
+``_send_ack``         merge→split acks travel to the group frame's
+                      ``origin_node`` kernel
+``_announce_group_total``  totals are broadcast to every kernel hosting
+                      instances of the matching merge collection
+``_final_result`` / ``_scatter_result`` / ``_announce_scatter_total``
+                      depth-0 results and scatter outputs are routed to
+                      the activation's ``ctx_origin`` kernel
+``_propagate_failure``  local worker exceptions are broadcast so every
+                      kernel's callers fail fast instead of hanging
+====================  =================================================
+
+Activation and group ids are made globally unique by starting each
+kernel's counters at ``ordinal << 40`` — two kernels can never mint the
+same id, which matters because group ids key merge state everywhere.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.flowcontrol import FlowControlPolicy
+from ..core.graph import Flowgraph
+from ..runtime.threaded_engine import ThreadedEngine, _Body
+from ..runtime.base import DataEnvelope
+from ..serial.token import Token
+from ..serial.wire import WireError
+from .connections import ConnectionPool
+from .framing import recv_message
+from .nameserver import NameServerClient
+from . import protocol as P
+
+__all__ = ["DistributedKernel", "CONSOLE_KERNEL", "KERNEL_ORDINAL_SHIFT",
+           "run_kernel_process"]
+
+#: The driver-process kernel: initiates runs, hosts no thread instances.
+CONSOLE_KERNEL = "__driver__"
+
+#: Per-kernel id-space partition for ctx and group counters.
+KERNEL_ORDINAL_SHIFT = 40
+
+
+class DistributedKernel(ThreadedEngine):
+    """A ThreadedEngine whose peers live in other processes."""
+
+    def __init__(self, name: str, ordinal: int,
+                 ns_address: Tuple[str, int],
+                 peers: Iterable[str] = (),
+                 policy: FlowControlPolicy = FlowControlPolicy(),
+                 host: str = "127.0.0.1",
+                 dial_deadline: float = 15.0):
+        super().__init__(policy=policy, serialize_transfers=False)
+        if ordinal < 0:
+            raise ValueError("kernel ordinal must be >= 0")
+        self.name = name
+        self.ordinal = ordinal
+        self._origin_name = name
+        # Partition the id spaces so no two kernels mint the same
+        # activation or group id (group ids key merge state globally).
+        self._ctx_counter = ordinal << KERNEL_ORDINAL_SHIFT
+        self._group_counter = ordinal << KERNEL_ORDINAL_SHIFT
+        #: Every kernel in the cluster (failure-broadcast fan-out).
+        self._peer_names = [p for p in peers if p != name]
+        self._shutdown_requested = threading.Event()
+
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, 0))
+        self._listener.listen(64)
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+
+        self._ns = NameServerClient(ns_address)
+        self._pool = ConnectionPool(
+            self._ns, hello_from=name, on_error=self._on_peer_error,
+            dial_deadline=dial_deadline)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"dps-accept:{name}", daemon=True)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "DistributedKernel":
+        """Register with the name server and begin accepting peers."""
+        self._ns.register(self.name, *self.address)
+        self._accept_thread.start()
+        return self
+
+    def wait_for_shutdown(self) -> None:
+        """Block until a peer (normally the console) orders shutdown."""
+        self._shutdown_requested.wait()
+
+    def request_shutdown(self, peer: str) -> None:
+        """Ask *peer* to shut down (part of the console's exit barrier)."""
+        self._pool.send(peer, P.encode_shutdown())
+
+    def shutdown(self) -> None:
+        self._shutdown_requested.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._pool.close_all()
+        self._ns.close()
+        super().shutdown()
+
+    # ------------------------------------------------------------------
+    # sending side: the ThreadedEngine distribution hooks
+    # ------------------------------------------------------------------
+    def _deliver(self, env: DataEnvelope) -> None:
+        node = env.graph.node(env.node_id)
+        target = node.collection.node_of(env.instance)
+        if target == self.name:
+            self._worker_for(node.collection, env.instance).inbox.put(env)
+        else:
+            self._pool.send(target, P.encode_data(env))
+
+    def _send_ack(self, graph_name: str, opener: int, opener_instance: int,
+                  origin_node: str, routed_instance: int) -> None:
+        if origin_node == self.name:
+            self._apply_ack(graph_name, opener, opener_instance,
+                            routed_instance)
+        else:
+            # Queue append only — the caller holds the engine lock.
+            self._pool.send(origin_node, P.encode_ack(
+                graph_name, opener, opener_instance, routed_instance))
+
+    def _announce_group_total(self, body: _Body, merge_id: int) -> None:
+        # The opener cannot know which merge instance the group landed on,
+        # so the total goes to every kernel hosting instances of the merge
+        # collection; kernels that never see the group keep a placeholder
+        # group record (bounded by group count, reclaimed at shutdown).
+        merge_nodes = set(body.graph.node(merge_id).collection.placements)
+        message = None
+        for kernel in merge_nodes:
+            if kernel == self.name:
+                self._apply_group_total(body.out_group_id, body.posted)
+            else:
+                if message is None:
+                    message = P.encode_group_total(body.out_group_id,
+                                                   body.posted)
+                self._pool.send(kernel, message)
+
+    def _final_result(self, body: _Body, token: Token) -> None:
+        origin = body.ctx_origin
+        if origin is None or origin == self.name:
+            super()._final_result(body, token)
+        else:
+            self._pool.send(origin, P.encode_result(
+                P.MSG_RESULT, body.ctx_id, token))
+
+    def _scatter_result(self, body: _Body, token: Token) -> None:
+        origin = body.ctx_origin
+        if origin is None or origin == self.name:
+            super()._scatter_result(body, token)
+        else:
+            self._pool.send(origin, P.encode_result(
+                P.MSG_SCATTER_RESULT, body.ctx_id, token))
+
+    def _announce_scatter_total(self, body: _Body) -> None:
+        origin = body.ctx_origin
+        if origin is None or origin == self.name:
+            super()._announce_scatter_total(body)
+        else:
+            self._pool.send(origin, P.encode_scatter_total(
+                body.ctx_id, body.posted))
+
+    def _propagate_failure(self, exc: BaseException) -> None:
+        message = P.encode_failure(exc)
+        for peer in self._peer_names:
+            try:
+                self._pool.send(peer, message)
+            except Exception:
+                pass  # best effort: the peer may already be gone
+
+    def _on_peer_error(self, peer: str, exc: Exception) -> None:
+        if self._shutdown_requested.is_set():
+            return
+        self._record_failure(
+            ConnectionError(f"kernel {self.name!r} lost peer {peer!r}: {exc}"))
+
+    # ------------------------------------------------------------------
+    # receiving side
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed during shutdown
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            threading.Thread(target=self._reader_loop, args=(conn,),
+                             name=f"dps-recv:{self.name}",
+                             daemon=True).start()
+
+    def _reader_loop(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                payload = recv_message(conn)
+                if payload is None:
+                    return  # peer closed cleanly
+                kind, value = P.decode_message(payload, self._graphs)
+                self._dispatch_message(kind, value)
+        except (OSError, WireError) as exc:
+            if not self._shutdown_requested.is_set():
+                self._record_failure(ConnectionError(
+                    f"kernel {self.name!r} receive path failed: {exc}"))
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _dispatch_message(self, kind: int, value) -> None:
+        if kind == P.MSG_DATA:
+            env: DataEnvelope = value
+            node = env.graph.node(env.node_id)
+            self._worker_for(node.collection, env.instance).inbox.put(env)
+        elif kind == P.MSG_ACK:
+            with self._lock:
+                self._apply_ack(value.graph_name, value.opener,
+                                value.opener_instance, value.routed_instance)
+        elif kind == P.MSG_GROUP_TOTAL:
+            group_id, total = value
+            self._apply_group_total(group_id, total)
+        elif kind == P.MSG_RESULT:
+            ctx_id, token = value
+            with self._lock:
+                result_q = self._results.get(ctx_id)
+            if result_q is not None:
+                result_q.put(token)
+        elif kind == P.MSG_SCATTER_RESULT:
+            ctx_id, token = value
+            self._scatter_token(ctx_id, token)
+        elif kind == P.MSG_SCATTER_TOTAL:
+            ctx_id, total = value
+            self.scatter_total(ctx_id, total)
+        elif kind == P.MSG_FAILURE:
+            self._record_failure(value, propagate=False)
+        elif kind == P.MSG_SHUTDOWN:
+            self._shutdown_requested.set()
+        elif kind == P.MSG_HELLO:
+            pass  # informational; connections are identified lazily
+        else:  # pragma: no cover - decode_message already validates
+            raise WireError(f"unhandled message kind {kind}")
+
+
+def run_kernel_process(name: str, ordinal: int,
+                       ns_address: Tuple[str, int],
+                       peers: List[str],
+                       graphs: List[Flowgraph],
+                       policy: Optional[FlowControlPolicy] = None,
+                       ready=None) -> None:
+    """Child-process main for one kernel (forked by MultiprocessEngine)."""
+    kernel = DistributedKernel(
+        name, ordinal, ns_address, peers,
+        policy=policy if policy is not None else FlowControlPolicy())
+    for graph in graphs:
+        kernel.register_graph(graph)
+    kernel.start()
+    if ready is not None:
+        ready.set()
+    try:
+        kernel.wait_for_shutdown()
+    finally:
+        kernel.shutdown()

@@ -1,0 +1,249 @@
+"""TCP name server for kernel discovery (paper §4).
+
+The DPS runtime names kernels independently of the hosts they run on; a
+central name server maps kernel names to listening addresses so peers can
+establish connections lazily, on the first token they need to ship.  This
+module provides both halves:
+
+- :class:`NameServer` — a small threaded TCP directory service speaking a
+  JSON-lines request/response protocol (one JSON object per ``\\n``-
+  terminated line).  Registrations are *owned by the registering
+  connection*: when that connection drops, its names are removed.  A
+  kernel that crashes therefore frees its name automatically, and a
+  restarted kernel may re-register; a second registration while the first
+  owner is still alive is refused.
+- :class:`NameServerClient` — a blocking client used by kernels to
+  register themselves and resolve peers.
+
+Both are deliberately boring: discovery is on the control path only
+(once per peer pair), so clarity wins over throughput here.  The data
+path uses :mod:`repro.net.framing` instead.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "NameServer",
+    "NameServerClient",
+    "NameServerError",
+    "DuplicateRegistration",
+    "UnknownKernel",
+    "run_name_server",
+]
+
+
+class NameServerError(RuntimeError):
+    """Protocol or transport failure talking to the name server."""
+
+
+class DuplicateRegistration(NameServerError):
+    """The kernel name is already registered by a live connection."""
+
+
+class UnknownKernel(NameServerError):
+    """Lookup for a name no live kernel has registered."""
+
+
+class NameServer:
+    """Threaded JSON-lines directory service.
+
+    Construct with either a pre-bound listening socket (so the parent
+    process can pick the port before forking the server) or a
+    ``(host, port)`` pair; ``port=0`` asks the OS for a free port.
+    """
+
+    def __init__(self, sock: Optional[socket.socket] = None,
+                 host: str = "127.0.0.1", port: int = 0):
+        if sock is None:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, port))
+            sock.listen(64)
+        self._sock = sock
+        self.address: Tuple[str, int] = sock.getsockname()[:2]
+        self._lock = threading.Lock()
+        #: name -> (host, port, owning connection)
+        self._registry: Dict[str, Tuple[str, int, socket.socket]] = {}
+        self._accept_thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "NameServer":
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="dps-nameserver", daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Accept clients on the calling thread until the socket closes."""
+        self._accept_loop()
+
+    def stop(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "NameServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- server internals ------------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return  # listener closed
+            threading.Thread(target=self._serve_client, args=(conn,),
+                             name="dps-nameserver-client",
+                             daemon=True).start()
+
+    def _serve_client(self, conn: socket.socket) -> None:
+        try:
+            reader = conn.makefile("r", encoding="utf-8", newline="\n")
+            for line in reader:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                    reply = self._handle(conn, request)
+                except Exception as exc:
+                    reply = {"ok": False, "error": f"bad request: {exc}"}
+                conn.sendall((json.dumps(reply) + "\n").encode("utf-8"))
+        except OSError:
+            pass
+        finally:
+            self._drop_owner(conn)
+            try:
+                reader.close()
+            except (OSError, UnboundLocalError):
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _handle(self, conn: socket.socket, request: dict) -> dict:
+        op = request.get("op")
+        if op == "register":
+            name = request["name"]
+            host, port = request["host"], int(request["port"])
+            with self._lock:
+                existing = self._registry.get(name)
+                if existing is not None and existing[2] is not conn:
+                    return {"ok": False, "error": "duplicate",
+                            "detail": f"kernel {name!r} is already registered"}
+                self._registry[name] = (host, port, conn)
+            return {"ok": True}
+        if op == "lookup":
+            name = request["name"]
+            with self._lock:
+                entry = self._registry.get(name)
+            if entry is None:
+                return {"ok": False, "error": "unknown",
+                        "detail": f"no kernel registered as {name!r}"}
+            return {"ok": True, "host": entry[0], "port": entry[1]}
+        if op == "list":
+            with self._lock:
+                names = sorted(self._registry)
+            return {"ok": True, "names": names}
+        if op == "ping":
+            return {"ok": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def _drop_owner(self, conn: socket.socket) -> None:
+        with self._lock:
+            dead = [name for name, entry in self._registry.items()
+                    if entry[2] is conn]
+            for name in dead:
+                del self._registry[name]
+
+
+def run_name_server(sock: socket.socket) -> None:
+    """Child-process main: serve the directory on a pre-bound socket."""
+    NameServer(sock=sock).serve_forever()
+
+
+class NameServerClient:
+    """Blocking JSON-lines client; one per kernel, thread-safe.
+
+    The client's TCP connection *is* the lease on every name it
+    registers — keep it open for the kernel's lifetime.
+    """
+
+    def __init__(self, address: Tuple[str, int], timeout: float = 10.0):
+        self.address = address
+        self._sock = socket.create_connection(address, timeout=timeout)
+        self._reader = self._sock.makefile("r", encoding="utf-8", newline="\n")
+        self._lock = threading.Lock()
+
+    def _call(self, request: dict) -> dict:
+        with self._lock:
+            try:
+                self._sock.sendall(
+                    (json.dumps(request) + "\n").encode("utf-8"))
+                line = self._reader.readline()
+            except OSError as exc:
+                raise NameServerError(f"name server unreachable: {exc}") from exc
+        if not line:
+            raise NameServerError("name server closed the connection")
+        reply = json.loads(line)
+        if reply.get("ok"):
+            return reply
+        error = reply.get("error", "")
+        detail = reply.get("detail", error)
+        if error == "duplicate":
+            raise DuplicateRegistration(detail)
+        if error == "unknown":
+            raise UnknownKernel(detail)
+        raise NameServerError(detail or "name server refused the request")
+
+    def register(self, name: str, host: str, port: int) -> None:
+        self._call({"op": "register", "name": name,
+                    "host": host, "port": port})
+
+    def lookup(self, name: str) -> Tuple[str, int]:
+        reply = self._call({"op": "lookup", "name": name})
+        return reply["host"], int(reply["port"])
+
+    def list(self) -> List[str]:
+        return list(self._call({"op": "list"})["names"])
+
+    def ping(self) -> bool:
+        self._call({"op": "ping"})
+        return True
+
+    def close(self) -> None:
+        # The makefile() reader holds a reference on the fd — close it
+        # too, or the server never sees EOF and the lease never expires.
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "NameServerClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,245 @@
+"""Kernel-to-kernel message protocol (paper §4).
+
+Every message is one :mod:`~repro.net.framing` frame whose payload starts
+with a one-byte message kind.  Data messages carry the DPS control
+structures — target graph node, instance, activation id, group-frame
+stack — followed by the token in the standard wire format, appended as
+borrowed :func:`~repro.serial.wire.encode_segments` segments so the
+payload is never copied on the sending side.
+
+Control messages mirror the feedback machinery of the single-process
+engines: merge→split acknowledgements (flow control and load balancing),
+split→merge group totals, depth-0 results routed back to the activation's
+origin kernel, scatter-call results/totals, failure propagation and the
+shutdown barrier.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from ..core.graph import Flowgraph
+from ..runtime.base import DataEnvelope, GroupFrame
+from ..serial.registry import TokenRegistry, registry
+from ..serial.token import Token
+from ..serial.wire import Segment, WireError, decode, encode_segments
+
+__all__ = [
+    "MSG_HELLO",
+    "MSG_DATA",
+    "MSG_ACK",
+    "MSG_GROUP_TOTAL",
+    "MSG_RESULT",
+    "MSG_SCATTER_RESULT",
+    "MSG_SCATTER_TOTAL",
+    "MSG_FAILURE",
+    "MSG_SHUTDOWN",
+    "AckWire",
+    "encode_hello",
+    "encode_data",
+    "encode_ack",
+    "encode_group_total",
+    "encode_result",
+    "encode_scatter_total",
+    "encode_failure",
+    "encode_shutdown",
+    "decode_message",
+    "RemoteFailure",
+]
+
+MSG_HELLO = 0
+MSG_DATA = 1
+MSG_ACK = 2
+MSG_GROUP_TOTAL = 3
+MSG_RESULT = 4
+MSG_SCATTER_RESULT = 5
+MSG_SCATTER_TOTAL = 6
+MSG_FAILURE = 7
+MSG_SHUTDOWN = 8
+
+_U8 = struct.Struct("<B")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+_FRAME_FIELDS = struct.Struct("<QIIII")  # group_id, index, opener, opener_instance, routed_instance
+
+
+class RemoteFailure(RuntimeError):
+    """Stand-in for a remote exception that could not be unpickled."""
+
+
+@dataclass(frozen=True)
+class AckWire:
+    """Decoded merge→split acknowledgement."""
+
+    graph_name: str
+    opener: int
+    opener_instance: int
+    routed_instance: int
+
+
+# ---------------------------------------------------------------------------
+# encoding
+# ---------------------------------------------------------------------------
+
+def _pack_str(out: bytearray, s: str) -> None:
+    raw = s.encode("utf-8")
+    out += _U16.pack(len(raw))
+    out += raw
+
+
+def encode_hello(kernel_name: str) -> List[Segment]:
+    head = bytearray(_U8.pack(MSG_HELLO))
+    _pack_str(head, kernel_name)
+    return [head]
+
+
+def encode_data(env: DataEnvelope, reg: TokenRegistry = registry) -> List[Segment]:
+    """Serialize a :class:`DataEnvelope` header + token, zero-copy payload."""
+    head = bytearray(_U8.pack(MSG_DATA))
+    _pack_str(head, env.graph.name)
+    head += _U32.pack(env.node_id)
+    head += _U32.pack(env.instance)
+    head += _U64.pack(env.ctx_id)
+    _pack_str(head, env.ctx_origin or "")
+    head += _U16.pack(len(env.frames))
+    for f in env.frames:
+        head += _FRAME_FIELDS.pack(f.group_id, f.index, f.opener,
+                                   f.opener_instance, f.routed_instance)
+        _pack_str(head, f.origin_node)
+    return [head, *encode_segments(env.token, reg)]
+
+
+def encode_ack(graph_name: str, opener: int, opener_instance: int,
+               routed_instance: int) -> List[Segment]:
+    head = bytearray(_U8.pack(MSG_ACK))
+    _pack_str(head, graph_name)
+    head += _U32.pack(opener)
+    head += _U32.pack(opener_instance)
+    head += _U32.pack(routed_instance)
+    return [head]
+
+
+def encode_group_total(group_id: int, total: int) -> List[Segment]:
+    head = bytearray(_U8.pack(MSG_GROUP_TOTAL))
+    head += _U64.pack(group_id)
+    head += _U64.pack(total)
+    return [head]
+
+
+def encode_result(kind: int, ctx_id: int, token: Token,
+                  reg: TokenRegistry = registry) -> List[Segment]:
+    """A depth-0 result (MSG_RESULT) or scatter output (MSG_SCATTER_RESULT)."""
+    if kind not in (MSG_RESULT, MSG_SCATTER_RESULT):
+        raise ValueError(f"not a result message kind: {kind}")
+    head = bytearray(_U8.pack(kind))
+    head += _U64.pack(ctx_id)
+    return [head, *encode_segments(token, reg)]
+
+
+def encode_scatter_total(ctx_id: int, total: int) -> List[Segment]:
+    head = bytearray(_U8.pack(MSG_SCATTER_TOTAL))
+    head += _U64.pack(ctx_id)
+    head += _U64.pack(total)
+    return [head]
+
+
+def encode_failure(exc: BaseException) -> List[Segment]:
+    head = bytearray(_U8.pack(MSG_FAILURE))
+    try:
+        raw = pickle.dumps(exc)
+        pickle.loads(raw)  # ensure the receiving side can rebuild it
+    except Exception:
+        raw = pickle.dumps(RemoteFailure(f"{type(exc).__name__}: {exc}"))
+    head += raw
+    return [head]
+
+
+def encode_shutdown() -> List[Segment]:
+    return [bytearray(_U8.pack(MSG_SHUTDOWN))]
+
+
+# ---------------------------------------------------------------------------
+# decoding
+# ---------------------------------------------------------------------------
+
+def _unpack_str(view: memoryview, offset: int) -> Tuple[str, int]:
+    (n,) = _U16.unpack_from(view, offset)
+    offset += 2
+    return str(view[offset:offset + n], "utf-8"), offset + n
+
+
+def decode_message(payload: "bytes | bytearray | memoryview",
+                   graphs: Dict[str, Flowgraph],
+                   reg: TokenRegistry = registry) -> Tuple[int, Any]:
+    """Decode one message payload into ``(kind, value)``.
+
+    ``value`` depends on the kind: a :class:`DataEnvelope` (token borrowed
+    from *payload* — the caller must own the buffer), an :class:`AckWire`,
+    ``(group_id, total)``, ``(ctx_id, token)``, ``(ctx_id, total)``, an
+    exception instance, a kernel name (hello), or ``None`` (shutdown).
+    """
+    view = memoryview(payload)
+    if view.nbytes < 1:
+        raise WireError("empty protocol message")
+    kind = view[0]
+    offset = 1
+    if kind == MSG_DATA:
+        graph_name, offset = _unpack_str(view, offset)
+        graph = graphs.get(graph_name)
+        if graph is None:
+            raise WireError(f"data message for unknown graph {graph_name!r}")
+        (node_id,) = _U32.unpack_from(view, offset)
+        (instance,) = _U32.unpack_from(view, offset + 4)
+        (ctx_id,) = _U64.unpack_from(view, offset + 8)
+        offset += 16
+        ctx_origin, offset = _unpack_str(view, offset)
+        (n_frames,) = _U16.unpack_from(view, offset)
+        offset += 2
+        frames = []
+        for _ in range(n_frames):
+            group_id, index, opener, opener_instance, routed_instance = \
+                _FRAME_FIELDS.unpack_from(view, offset)
+            offset += _FRAME_FIELDS.size
+            origin_node, offset = _unpack_str(view, offset)
+            frames.append(GroupFrame(group_id, index, opener,
+                                     opener_instance, origin_node,
+                                     routed_instance))
+        token = decode(view[offset:], reg, copy=False)
+        return MSG_DATA, DataEnvelope(token, graph, node_id, instance,
+                                      ctx_id, tuple(frames),
+                                      ctx_origin=ctx_origin or None)
+    if kind == MSG_ACK:
+        graph_name, offset = _unpack_str(view, offset)
+        opener, opener_instance, routed_instance = struct.unpack_from(
+            "<III", view, offset)
+        return MSG_ACK, AckWire(graph_name, opener, opener_instance,
+                                routed_instance)
+    if kind == MSG_GROUP_TOTAL:
+        group_id, total = struct.unpack_from("<QQ", view, offset)
+        return MSG_GROUP_TOTAL, (group_id, total)
+    if kind in (MSG_RESULT, MSG_SCATTER_RESULT):
+        (ctx_id,) = _U64.unpack_from(view, offset)
+        token = decode(view[offset + 8:], reg, copy=False)
+        return kind, (ctx_id, token)
+    if kind == MSG_SCATTER_TOTAL:
+        ctx_id, total = struct.unpack_from("<QQ", view, offset)
+        return MSG_SCATTER_TOTAL, (ctx_id, total)
+    if kind == MSG_FAILURE:
+        try:
+            exc = pickle.loads(bytes(view[offset:]))
+        except Exception as err:
+            exc = RemoteFailure(f"undecodable remote failure: {err}")
+        if not isinstance(exc, BaseException):
+            exc = RemoteFailure(f"remote failure payload {exc!r}")
+        return MSG_FAILURE, exc
+    if kind == MSG_SHUTDOWN:
+        return MSG_SHUTDOWN, None
+    if kind == MSG_HELLO:
+        name, _ = _unpack_str(view, offset)
+        return MSG_HELLO, name
+    raise WireError(f"unknown protocol message kind {kind}")

@@ -10,11 +10,14 @@ from .base import (
     GroupFrame,
     GroupTotalMessage,
     RunResult,
+    coerce_run_result,
 )
 from .checkpoint import Checkpoint, CheckpointManager, fail_node
 from .controller import ScheduleError, SimController
 from .kernel import KernelEnvironment, KernelSpec, NameServer
+from .multiprocess_engine import MultiprocessEngine
 from .sim_engine import SimEngine
+from .threaded_engine import ThreadedEngine
 
 __all__ = [
     "ACK_BYTES",
@@ -31,8 +34,11 @@ __all__ = [
     "GROUP_TOTAL_BYTES",
     "GroupFrame",
     "GroupTotalMessage",
+    "MultiprocessEngine",
     "RunResult",
     "ScheduleError",
     "SimController",
     "SimEngine",
+    "ThreadedEngine",
+    "coerce_run_result",
 ]

@@ -34,6 +34,7 @@ __all__ = [
     "DATA_HEADER_BYTES",
     "ACK_BYTES",
     "GROUP_TOTAL_BYTES",
+    "coerce_run_result",
 ]
 
 #: Wire overhead of the DPS control structures on each data token.
@@ -77,6 +78,11 @@ class DataEnvelope:
     #: priced at the NIC so later hops don't re-measure it.  Must be
     #: reset to ``None`` whenever ``token`` is replaced.
     wire_nbytes: Optional[int] = None
+    #: Kernel that owns the activation's result queue.  ``None`` means the
+    #: activation is local to the engine handling the envelope (the only
+    #: case on the single-process engines); the multiprocess runtime sets
+    #: it so depth-0 result tokens find their way back across the wire.
+    ctx_origin: Optional[str] = None
 
     def top_frame(self) -> GroupFrame:
         if not self.frames:
@@ -149,3 +155,16 @@ class RunResult:
     @property
     def makespan(self) -> float:
         return self.finished_at - self.started_at
+
+
+def coerce_run_result(outcome, started_at: float, finished_at: float) -> RunResult:
+    """Normalize an engine ``run()`` outcome into a :class:`RunResult`.
+
+    :class:`~repro.runtime.sim_engine.SimEngine` returns a
+    :class:`RunResult` with virtual timestamps; the real-execution engines
+    return the bare result token.  Application wrappers that must work on
+    any engine wrap the outcome with their own wall-clock timestamps.
+    """
+    if isinstance(outcome, RunResult):
+        return outcome
+    return RunResult(outcome, started_at, finished_at)

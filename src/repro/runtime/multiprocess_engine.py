@@ -1,0 +1,234 @@
+"""Multiprocess execution engine: real parallel DPS kernels over TCP.
+
+:class:`MultiprocessEngine` is the third engine flavour (after the
+simulated and threaded ones) and the closest to the C++ runtime the
+paper describes: it forks **one OS process per logical node** named in
+the thread-collection mappings, each running a
+:class:`~repro.net.kernel.DistributedKernel` — the full ThreadedEngine
+controller/operation dispatch loop — plus a TCP name-server process for
+discovery.  Kernels find each other through the name server and dial
+lazily on the first token they ship; tokens travel in the zero-copy wire
+format over framed scatter-gather sockets.
+
+The driver process hosts a *console kernel* (``"__driver__"``) that owns
+no thread instances; it only initiates activations and collects their
+results, so ``engine.run(graph, token)`` behaves exactly like the other
+engines and the example applications run unmodified.
+
+Because each kernel is a separate interpreter, CPython's GIL no longer
+serializes compute: CPU-bound operations genuinely run in parallel
+(see ``benchmarks/test_mp_throughput.py``).
+
+Child processes are created with the ``fork`` start method so that
+graphs, operation classes and thread classes defined anywhere (including
+test function scopes) are inherited without pickling; the engine
+therefore requires a platform with ``fork`` (Linux, macOS under the fork
+method) and must fork the kernels *before* the console kernel starts its
+service threads.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import threading
+from typing import Dict, List, Optional, Union
+
+from ..core.flowcontrol import FlowControlPolicy
+from ..core.graph import Flowgraph
+from ..net.kernel import CONSOLE_KERNEL, DistributedKernel, run_kernel_process
+from ..net.nameserver import run_name_server
+from ..serial.token import Token
+from .base import Application
+from .controller import ScheduleError
+
+__all__ = ["MultiprocessEngine"]
+
+
+class MultiprocessEngine:
+    """Run DPS schedules on one OS process per logical node."""
+
+    def __init__(self, policy: FlowControlPolicy = FlowControlPolicy(),
+                 dial_deadline: float = 15.0,
+                 startup_timeout: float = 30.0):
+        try:
+            self._mp = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+            raise ScheduleError(
+                "MultiprocessEngine requires the 'fork' start method; "
+                "use ThreadedEngine on this platform"
+            ) from exc
+        self.policy = policy
+        self.dial_deadline = dial_deadline
+        self.startup_timeout = startup_timeout
+        self._graphs: Dict[str, Flowgraph] = {}
+        self._console: Optional[DistributedKernel] = None
+        self._kernel_procs: Dict[str, multiprocessing.process.BaseProcess] = {}
+        self._ns_proc: Optional[multiprocessing.process.BaseProcess] = None
+        self._closing = threading.Event()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register_graph(self, graph: Flowgraph, app_name: str = "app") -> None:
+        if self._console is not None:
+            raise ScheduleError(
+                "cannot register graphs after the kernel processes have "
+                "been forked; register everything before the first run()"
+            )
+        existing = self._graphs.get(graph.name)
+        if existing is not None and existing is not graph:
+            raise ValueError(f"graph name {graph.name!r} already registered")
+        self._graphs[graph.name] = graph
+
+    def register_app(self, app: Application) -> None:
+        for graph in app.graphs.values():
+            self.register_graph(graph)
+
+    def graph(self, name: str) -> Flowgraph:
+        try:
+            return self._graphs[name]
+        except KeyError:
+            raise KeyError(f"unknown graph {name!r}") from None
+
+    @property
+    def kernel_names(self) -> List[str]:
+        """Logical node names the registered graphs are mapped onto."""
+        names = set()
+        for graph in self._graphs.values():
+            for collection in graph.collections():
+                names.update(collection.placements)
+        return sorted(names)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_started(self) -> DistributedKernel:
+        if self._closed:
+            raise ScheduleError("engine has been shut down")
+        if self._console is not None:
+            return self._console
+        if not self._graphs:
+            raise ScheduleError("no graphs registered")
+        kernels = self.kernel_names
+        if not kernels:
+            raise ScheduleError("registered graphs map no thread collections")
+
+        import socket as _socket
+        ns_sock = _socket.socket(_socket.AF_INET, _socket.SOCK_STREAM)
+        ns_sock.setsockopt(_socket.SOL_SOCKET, _socket.SO_REUSEADDR, 1)
+        ns_sock.bind(("127.0.0.1", 0))
+        ns_sock.listen(64)
+        ns_address = ns_sock.getsockname()[:2]
+        # Bind in the parent, serve in the child: the port is known before
+        # any kernel starts, so there is no registration race to retry.
+        self._ns_proc = self._mp.Process(
+            target=run_name_server, args=(ns_sock,),
+            name="dps-nameserver", daemon=True)
+        self._ns_proc.start()
+        ns_sock.close()
+
+        graphs = list(self._graphs.values())
+        peers = [CONSOLE_KERNEL, *kernels]
+        ready_events = []
+        # Fork the kernels BEFORE the console kernel spins up its service
+        # threads — forking a multi-threaded parent is where the dragons
+        # live.  Ordinal 0 is the console; workers start at 1.
+        for ordinal, name in enumerate(kernels, start=1):
+            ready = self._mp.Event()
+            proc = self._mp.Process(
+                target=run_kernel_process,
+                args=(name, ordinal, ns_address, peers, graphs,
+                      self.policy, ready),
+                name=f"dps-kernel:{name}", daemon=True)
+            proc.start()
+            self._kernel_procs[name] = proc
+            ready_events.append((name, ready))
+        for name, ready in ready_events:
+            if not ready.wait(timeout=self.startup_timeout):
+                self.shutdown()
+                raise ScheduleError(
+                    f"kernel process {name!r} failed to start within "
+                    f"{self.startup_timeout}s")
+
+        console = DistributedKernel(
+            CONSOLE_KERNEL, 0, ns_address, peers,
+            policy=self.policy, dial_deadline=self.dial_deadline)
+        for graph in graphs:
+            console.register_graph(graph)
+        console.start()
+        self._console = console
+
+        threading.Thread(target=self._monitor_children,
+                         name="dps-kernel-monitor", daemon=True).start()
+        return console
+
+    def _monitor_children(self) -> None:
+        sentinels = {proc.sentinel: name
+                     for name, proc in self._kernel_procs.items()}
+        while sentinels and not self._closing.is_set():
+            ready = multiprocessing.connection.wait(
+                list(sentinels), timeout=0.5)
+            if self._closing.is_set():
+                return
+            for sentinel in ready:
+                name = sentinels.pop(sentinel)
+                proc = self._kernel_procs[name]
+                proc.join(timeout=1)
+                console = self._console
+                if console is not None:
+                    console._record_failure(
+                        ScheduleError(
+                            f"kernel process {name!r} died unexpectedly "
+                            f"(exitcode {proc.exitcode})"),
+                        propagate=False)
+
+    def shutdown(self) -> None:
+        """Tear the cluster down: shutdown barrier, then the processes."""
+        if self._closed:
+            return
+        self._closed = True
+        self._closing.set()
+        console = self._console
+        if console is not None:
+            # Stop treating peer errors as failures; we are leaving anyway.
+            console._shutdown_requested.set()
+            for name in self._kernel_procs:
+                try:
+                    console.request_shutdown(name)
+                except Exception:
+                    pass
+        for name, proc in self._kernel_procs.items():
+            proc.join(timeout=5)
+        for name, proc in self._kernel_procs.items():
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2)
+        if console is not None:
+            console.shutdown()
+            self._console = None
+        if self._ns_proc is not None:
+            self._ns_proc.terminate()
+            self._ns_proc.join(timeout=2)
+            self._ns_proc = None
+
+    def __enter__(self) -> "MultiprocessEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(self, graph: Union[Flowgraph, str], token: Token,
+            timeout: float = 60.0) -> Token:
+        """Run one activation across the kernel cluster; returns the
+        result token delivered back to the console kernel."""
+        if isinstance(graph, str):
+            graph = self.graph(graph)
+        elif graph.name not in self._graphs:
+            self.register_graph(graph)
+        console = self._ensure_started()
+        return console.run(graph, token, timeout=timeout)

@@ -110,9 +110,10 @@ class _Group:
 
 class _Body:
     __slots__ = ("op", "graph", "node_id", "worker", "ctx_id", "base_frames",
-                 "out_group_id", "posted", "group")
+                 "out_group_id", "posted", "group", "ctx_origin")
 
-    def __init__(self, op, graph, node_id, worker, ctx_id, base_frames, group=None):
+    def __init__(self, op, graph, node_id, worker, ctx_id, base_frames,
+                 group=None, ctx_origin=None):
         self.op = op
         self.graph = graph
         self.node_id = node_id
@@ -122,6 +123,9 @@ class _Body:
         self.out_group_id: Optional[int] = None
         self.posted = 0
         self.group = group
+        #: Kernel owning the activation's result queue (multiprocess
+        #: runtime); ``None`` on the single-process engines.
+        self.ctx_origin = ctx_origin
 
     @property
     def kind(self):
@@ -156,11 +160,15 @@ class ThreadedEngine:
         self._scatters: Dict[int, list] = {}
         self._failure: Optional[BaseException] = None
         self._closed = False
+        #: Kernel name stamped on activations this engine starts; ``None``
+        #: keeps results local (the multiprocess kernel overrides it).
+        self._origin_name: Optional[str] = None
 
     # ------------------------------------------------------------------
     # registration / lifecycle
     # ------------------------------------------------------------------
-    def register_graph(self, graph: Flowgraph) -> None:
+    def register_graph(self, graph: Flowgraph, app_name: str = "app") -> None:
+        """Register *graph*; *app_name* is accepted for SimEngine parity."""
         existing = self._graphs.get(graph.name)
         if existing is not None and existing is not graph:
             raise ValueError(f"graph name {graph.name!r} already registered")
@@ -215,6 +223,13 @@ class ThreadedEngine:
                 f"graph {graph.name!r} entry does not accept "
                 f"{type(token).__name__}"
             )
+        failure = self._failure
+        if failure is not None:
+            # A worker (or remote kernel) already died; every subsequent
+            # activation would hang on its queue — fail fast instead.
+            raise ScheduleError(
+                "engine has failed; shut it down and create a new one"
+            ) from failure
         with self._lock:
             self._ctx_counter += 1
             ctx_id = self._ctx_counter
@@ -222,7 +237,8 @@ class ThreadedEngine:
             self._results[ctx_id] = result_q
             route = self._route_for(graph, graph.entry, entry, None)
             instance = route(token)
-        env = DataEnvelope(token, graph, graph.entry, instance, ctx_id, ())
+        env = DataEnvelope(token, graph, graph.entry, instance, ctx_id, (),
+                           ctx_origin=self._origin_name)
         self._deliver(env)
         try:
             outcome = result_q.get(timeout=timeout)
@@ -260,9 +276,13 @@ class ThreadedEngine:
             route = self._route_for(graph, graph.entry, entry, None)
             instance = route(request.token)
         env = DataEnvelope(request.token, graph, graph.entry, instance,
-                           ctx_id, ())
+                           ctx_id, (), ctx_origin=self._origin_name)
         self._deliver(env)
-        if not done.wait(timeout=60):
+        completed = done.wait(timeout=60)
+        failure = self._failure
+        if failure is not None:
+            raise failure
+        if not completed:
             raise ScheduleError(
                 f"scatter call {request.graph_name!r} did not complete"
             )
@@ -290,12 +310,24 @@ class ThreadedEngine:
             if state[1] >= total:
                 state[3].set()
 
-    def _record_failure(self, exc: BaseException) -> None:
+    def _record_failure(self, exc: BaseException,
+                        propagate: bool = True) -> None:
         with self._lock:
-            self._failure = exc
+            if self._failure is None:
+                self._failure = exc
             queues = list(self._results.values())
+            scatter_events = [state[3] for state in self._scatters.values()]
         for q in queues:
             q.put(exc)
+        # Wake scatter callers parked on their done events; they re-check
+        # self._failure after the wait and re-raise.
+        for event in scatter_events:
+            event.set()
+        if propagate:
+            self._propagate_failure(exc)
+
+    def _propagate_failure(self, exc: BaseException) -> None:
+        """Hook: forward a local failure to remote kernels (no-op here)."""
 
     # ------------------------------------------------------------------
     # transport
@@ -405,7 +437,8 @@ class ThreadedEngine:
             )
         base = env.frames if node.kind in (OpKind.LEAF, OpKind.SPLIT) \
             else env.frames[:-1]
-        body = _Body(op, env.graph, env.node_id, worker, env.ctx_id, base, group)
+        body = _Body(op, env.graph, env.node_id, worker, env.ctx_id, base,
+                     group, env.ctx_origin)
         import time as _time
         op.bind(worker.thread_obj, lambda req, b=body: self._emit(b, req),
                 now=_time.monotonic)
@@ -505,13 +538,9 @@ class ThreadedEngine:
         if succ is None:
             body.posted += 1
             if body.graph.scatter:
-                self._scatter_token(body.ctx_id, token)
+                self._scatter_result(body, token)
                 return
-            with self._lock:
-                result_q = self._results.get(body.ctx_id)
-            if result_q is None:
-                raise ScheduleError(f"result for unknown activation {body.ctx_id}")
-            result_q.put(token)
+            self._final_result(body, token)
             return
         with self._lock:
             window = self._window_for(body) if body.opens_group else None
@@ -554,7 +583,8 @@ class ThreadedEngine:
         if window is not None:
             window.on_post(instance)
         return DataEnvelope(token, body.graph, succ, instance,
-                            body.ctx_id, frames)
+                            body.ctx_id, frames,
+                            ctx_origin=body.ctx_origin)
 
     def _window_for(self, body: _Body) -> SplitWindow:
         key = (body.graph.name, body.node_id, body.worker.index)
@@ -582,16 +612,49 @@ class ThreadedEngine:
         return route
 
     # ------------------------------------------------------------------
+    # results (hooks the multiprocess kernel overrides for remote ctxs)
+    # ------------------------------------------------------------------
+    def _final_result(self, body: _Body, token: Token) -> None:
+        """Deliver a depth-0 result token to its activation's caller."""
+        with self._lock:
+            result_q = self._results.get(body.ctx_id)
+        if result_q is None:
+            raise ScheduleError(f"result for unknown activation {body.ctx_id}")
+        result_q.put(token)
+
+    def _scatter_result(self, body: _Body, token: Token) -> None:
+        """Deliver a scatter-graph output token to the calling split."""
+        self._scatter_token(body.ctx_id, token)
+
+    def _announce_scatter_total(self, body: _Body) -> None:
+        """Tell the scatter caller how many tokens its group contains."""
+        self.scatter_total(body.ctx_id, body.posted)
+
+    # ------------------------------------------------------------------
     # feedback
     # ------------------------------------------------------------------
     def _ack(self, env: DataEnvelope) -> None:
         """Consume-side ack (caller holds the lock)."""
         frame = env.top_frame()
-        key = (env.graph.name, frame.opener, frame.opener_instance)
+        self._send_ack(env.graph.name, frame.opener, frame.opener_instance,
+                       frame.origin_node, frame.routed_instance)
+
+    def _send_ack(self, graph_name: str, opener: int, opener_instance: int,
+                  origin_node: str, routed_instance: int) -> None:
+        """Hook: route the ack to the opener's window (local here)."""
+        self._apply_ack(graph_name, opener, opener_instance, routed_instance)
+
+    def _apply_ack(self, graph_name: str, opener: int, opener_instance: int,
+                   routed_instance: int) -> None:
+        """Feed an ack into the opener's window; release stalled posts.
+
+        Caller must hold the lock.
+        """
+        key = (graph_name, opener, opener_instance)
         window = self._windows.get(key)
         if window is None:
             return  # opener used no window (policy None at post time)
-        window.on_ack(frame.routed_instance)
+        window.on_ack(routed_instance)
         pending = self._pending.get(key)
         to_deliver = []
         while pending and window.can_send:
@@ -608,19 +671,27 @@ class ThreadedEngine:
     def _close_group(self, body: _Body) -> None:
         graph = body.graph
         if graph.scatter and body.node_id == graph.scatter_opener:
-            self.scatter_total(body.ctx_id, body.posted)
+            self._announce_scatter_total(body)
             return
         merge_id = graph.matching_merge(body.node_id)
+        self._announce_group_total(body, merge_id)
+
+    def _announce_group_total(self, body: _Body, merge_id: int) -> None:
+        """Hook: tell the merge's kernel(s) the group's token count."""
+        self._apply_group_total(body.out_group_id, body.posted)
+
+    def _apply_group_total(self, group_id: int, total: int) -> None:
+        """Record a group's total; resume its merge body if parked."""
         with self._lock:
-            group = self._groups.get(body.out_group_id)
+            group = self._groups.get(group_id)
             if group is None:
-                group = _Group(body.out_group_id)
-                self._groups[body.out_group_id] = group
-            group.total = body.posted
+                group = _Group(group_id)
+                self._groups[group_id] = group
+            group.total = total
             worker = group.worker
             parked = group.parked
         if worker is not None and parked:
-            worker.inbox.put(("resume", body.out_group_id))
+            worker.inbox.put(("resume", group_id))
         elif worker is None:
             # no token has arrived yet; the total will be found when the
             # first token creates the body

@@ -4,6 +4,8 @@ from .containers import Buffer, Vector
 from .registry import TokenRegistry, registry
 from .token import ComplexToken, SimpleToken, Token, TokenMeta
 from .wire import (
+    FRAME_HEADER_BYTES,
+    FRAME_VERSION,
     MAGIC,
     WireError,
     decode,
@@ -11,13 +13,17 @@ from .wire import (
     encode_into,
     encode_segments,
     encoded_size,
+    frame,
     gather,
     measure,
+    unframe,
 )
 
 __all__ = [
     "Buffer",
     "ComplexToken",
+    "FRAME_HEADER_BYTES",
+    "FRAME_VERSION",
     "MAGIC",
     "SimpleToken",
     "Token",
@@ -30,7 +36,9 @@ __all__ = [
     "encode_into",
     "encode_segments",
     "encoded_size",
+    "frame",
     "gather",
     "measure",
     "registry",
+    "unframe",
 ]

@@ -54,13 +54,26 @@ __all__ = [
     "encode_segments",
     "decode",
     "encoded_size",
+    "frame",
     "gather",
     "measure",
+    "unframe",
     "WireError",
     "MAGIC",
+    "FRAME_VERSION",
+    "FRAME_HEADER_BYTES",
 ]
 
 MAGIC = b"DPS2"
+
+#: Protocol version carried by every :func:`frame` header.  Bump on any
+#: incompatible change to the framing layout or the message body format.
+FRAME_VERSION = 1
+
+#: Wire size of the frame header: u32 payload length + u8 version.
+FRAME_HEADER_BYTES = 5
+
+_FRAME_HEADER = struct.Struct("<IB")
 
 _U8 = struct.Struct("<B")
 _U16 = struct.Struct("<H")
@@ -190,6 +203,54 @@ def gather(segments: List[Segment]) -> bytearray:
         out[offset : offset + n] = seg
         offset += n
     return out
+
+
+def frame(payload: "bytes | bytearray | memoryview | List[Segment]") -> List[Segment]:
+    """Prefix *payload* with the wire frame header (length + version).
+
+    *payload* may be a single buffer or an :func:`encode_segments`-style
+    segment list; segments are **not** coalesced, so the result can be
+    handed straight to a vectored socket write (``sendmsg``) without
+    copying the payload.  The header is ``u32 payload_length | u8
+    version`` (:data:`FRAME_VERSION`).
+    """
+    if isinstance(payload, list):
+        segments: List[Segment] = list(payload)
+    else:
+        segments = [payload]  # type: ignore[list-item]
+    total = 0
+    for seg in segments:
+        total += seg.nbytes if type(seg) is memoryview else len(seg)
+    if total > 0xFFFFFFFF:
+        raise WireError(f"frame payload of {total} bytes exceeds u32 length")
+    head = bytearray(_FRAME_HEADER.pack(total, FRAME_VERSION))
+    return [head, *segments]
+
+
+def unframe(data: bytes | bytearray | memoryview) -> memoryview:
+    """Strip and validate a :func:`frame` header; returns the payload view.
+
+    Raises :class:`WireError` on a truncated header, a protocol-version
+    mismatch, or a payload whose length disagrees with the header.  The
+    returned ``memoryview`` borrows *data* — no copy.
+    """
+    view = memoryview(data)
+    if view.nbytes < FRAME_HEADER_BYTES:
+        raise WireError(
+            f"truncated frame header: {view.nbytes} < {FRAME_HEADER_BYTES} bytes"
+        )
+    length, version = _FRAME_HEADER.unpack_from(view, 0)
+    if version != FRAME_VERSION:
+        raise WireError(
+            f"frame protocol version mismatch: got {version}, "
+            f"expected {FRAME_VERSION}"
+        )
+    if view.nbytes - FRAME_HEADER_BYTES != length:
+        raise WireError(
+            f"frame length mismatch: header says {length}, "
+            f"payload has {view.nbytes - FRAME_HEADER_BYTES} bytes"
+        )
+    return view[FRAME_HEADER_BYTES:]
 
 
 def encode_into(token: Token, buf, reg: TokenRegistry = registry) -> int:

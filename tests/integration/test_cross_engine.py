@@ -185,3 +185,141 @@ def test_error_semantics_match():
     with ThreadedEngine() as teng:
         with pytest.raises(ValueError, match="engine-agnostic crash"):
             teng.run(graph("t"), XJob(2), timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# three-engine equivalence: add the multiprocess engine (real OS processes
+# over TCP) to the contract — same graphs, same results, >= 4 kernels
+# ---------------------------------------------------------------------------
+
+from repro.apps.gameoflife import DistributedGameOfLife, life_step
+from repro.apps.lu import DistributedLU
+from repro.apps.ring import RingJobToken, build_ring_graph
+from repro.runtime import MultiprocessEngine
+
+FOUR_NODES = ["node01", "node02", "node03", "node04"]
+
+
+@pytest.mark.parametrize("n", [1, 5, 17])
+def test_numeric_pipeline_identical_on_multiprocess(n):
+    with MultiprocessEngine() as engine:
+        g = numeric_graph(f"mp{n}")
+        engine.register_graph(g)
+        mp_out = engine.run(g, XJob(n), timeout=60).total.array
+    assert np.allclose(mp_out, expected_result(n))
+
+
+def test_uppercase_identical_across_three_engines():
+    text = "engines must agree on results"
+    g1, *_ = build_uppercase_graph("node01", "node02 node03 node04",
+                                   name="up3-sim")
+    sim_out = SimEngine(paper_cluster(4)).run(g1, StringToken(text)).token.text
+
+    g2, *_ = build_uppercase_graph("hostA", "hostB hostC hostD",
+                                   name="up3-thr")
+    with ThreadedEngine() as teng:
+        thr_out = teng.run(g2, StringToken(text)).text
+
+    g3, *_ = build_uppercase_graph(FOUR_NODES[0], " ".join(FOUR_NODES[1:]),
+                                   name="up3-mp")
+    with MultiprocessEngine() as meng:
+        meng.register_graph(g3)
+        assert len(meng.kernel_names) >= 4
+        mp_out = meng.run(g3, StringToken(text), timeout=60).text
+    assert sim_out == thr_out == mp_out == text.upper()
+
+
+def test_ring_identical_across_engines():
+    with ThreadedEngine() as teng:
+        thr_done = teng.run(build_ring_graph(FOUR_NODES),
+                            RingJobToken(2048, 10))
+    with MultiprocessEngine() as meng:
+        g = build_ring_graph(FOUR_NODES)
+        meng.register_graph(g)
+        mp_done = meng.run(g, RingJobToken(2048, 10), timeout=60)
+    assert (thr_done.blocks, thr_done.received_bytes) == \
+        (mp_done.blocks, mp_done.received_bytes) == (10, 20480)
+
+
+def test_gameoflife_identical_across_engines():
+    rng = np.random.default_rng(11)
+    world = (rng.random((16, 12)) < 0.35).astype(np.uint8)
+    steps = 2
+
+    reference = world
+    for _ in range(steps):
+        reference = life_step(reference)
+
+    def run_on(engine):
+        gol = DistributedGameOfLife(engine, world, FOUR_NODES)
+        gol.load()
+        gol.step(improved=True)
+        gol.step(improved=False)
+        return gol.gather()
+
+    sim_out = run_on(SimEngine(paper_cluster(4)))
+    with ThreadedEngine() as teng:
+        thr_out = run_on(teng)
+    with MultiprocessEngine() as meng:
+        mp_out = run_on(meng)
+
+    assert np.array_equal(sim_out, reference)
+    assert np.array_equal(thr_out, reference)
+    assert np.array_equal(mp_out, reference)
+
+
+def test_lu_identical_across_engines():
+    rng = np.random.default_rng(5)
+    a = rng.standard_normal((16, 16))
+
+    def run_on(engine):
+        lu = DistributedLU(engine, a, s=4, worker_nodes=FOUR_NODES)
+        lu.load()
+        lu.run()
+        fact, pivots = lu.gather()
+        assert lu.check()
+        return fact, pivots
+
+    sim_fact, sim_piv = run_on(SimEngine(paper_cluster(4)))
+    with ThreadedEngine() as teng:
+        thr_fact, thr_piv = run_on(teng)
+    with MultiprocessEngine() as meng:
+        mp_fact, mp_piv = run_on(meng)
+
+    assert np.allclose(sim_fact, thr_fact)
+    assert np.allclose(sim_fact, mp_fact)
+    for s_p, t_p, m_p in zip(sim_piv, thr_piv, mp_piv):
+        assert np.array_equal(s_p, t_p)
+        assert np.array_equal(s_p, m_p)
+
+
+def test_flow_control_semantics_match_multiprocess():
+    """Window=1 lock-step must complete across process boundaries too."""
+    with MultiprocessEngine(policy=FlowControlPolicy(window=1)) as meng:
+        g = numeric_graph("fc-m")
+        meng.register_graph(g)
+        mp_out = meng.run(g, XJob(6), timeout=60).total.array
+    assert np.allclose(mp_out, expected_result(6))
+
+
+def test_error_semantics_match_multiprocess():
+    class MBoom(LeafOperation):
+        thread_type = XWork
+        in_types = (XChunk,)
+        out_types = (XChunk,)
+
+        def execute(self, tok):
+            raise ValueError("engine-agnostic crash")
+
+    main = ThreadCollection(XMain, "mbmain").map("node01")
+    work = ThreadCollection(XWork, "mbwork").map("node02")
+    g = Flowgraph(
+        FlowgraphNode(XSplit, main)
+        >> FlowgraphNode(MBoom, work, ConstantRoute)
+        >> FlowgraphNode(XMerge, main),
+        "boom-mp",
+    )
+    with MultiprocessEngine() as meng:
+        meng.register_graph(g)
+        with pytest.raises(ValueError, match="engine-agnostic crash"):
+            meng.run(g, XJob(2), timeout=30)

@@ -1,0 +1,197 @@
+"""MultiprocessEngine behaviour beyond the cross-engine contract:
+scatter calls between applications in different processes, dead-kernel
+detection, lifecycle rules and thread-state persistence."""
+
+import os
+import time
+
+import pytest
+
+from repro.core import (
+    ConstantRoute,
+    DpsThread,
+    FlowControlPolicy,
+    Flowgraph,
+    FlowgraphNode,
+    LeafOperation,
+    MergeOperation,
+    RoundRobinRoute,
+    SplitOperation,
+    ThreadCollection,
+)
+from repro.runtime import MultiprocessEngine, ScheduleError
+from repro.serial import SimpleToken
+
+from tests.runtime.test_scatter_calls import (
+    ClientMerge,
+    ClientProcess,
+    ClientScatterCall,
+    ClientThread,
+    SQuery,
+    ServerThread,
+    server_scatter_graph,
+)
+
+
+def test_scatter_call_across_processes():
+    """Inter-application split/merge (paper §6) with the server shards
+    and the client pipeline in different OS processes."""
+    servers = ThreadCollection(ServerThread, "mp-srv").map(
+        "node01 node02 node03")
+    scatter_graph = server_scatter_graph(servers, "mpsv.scatter")
+
+    clients = ThreadCollection(ClientThread, "mp-cli").map("node04 node05")
+    call_cls = type("ClientScatterCall_mp", (ClientScatterCall,),
+                    {"service": "mpsv.scatter"})
+    client_graph = Flowgraph(
+        FlowgraphNode(call_cls, clients, ConstantRoute)
+        >> FlowgraphNode(ClientProcess, clients, RoundRobinRoute)
+        >> FlowgraphNode(ClientMerge, clients, ConstantRoute),
+        "client-mpsv",
+    )
+    with MultiprocessEngine() as engine:
+        engine.register_graph(scatter_graph)
+        engine.register_graph(client_graph)
+        assert len(engine.kernel_names) == 5
+        answer = engine.run(client_graph, SQuery(1), timeout=60)
+    # shards 0..2 produce values 100..102, client multiplies by 10
+    assert answer.items == 3
+    assert answer.total == (1000 + 1010 + 1020)
+
+
+class MpJob(SimpleToken):
+    def __init__(self, n=0):
+        self.n = n
+
+
+class MpItem(SimpleToken):
+    def __init__(self, value=0):
+        self.value = value
+
+
+class MpSum(SimpleToken):
+    def __init__(self, total=0):
+        self.total = total
+
+
+class MpMain(DpsThread):
+    pass
+
+
+class MpWork(DpsThread):
+    def __init__(self):
+        self.seen = 0
+
+
+class MpFan(SplitOperation):
+    thread_type = MpMain
+    in_types = (MpJob,)
+    out_types = (MpItem,)
+
+    def execute(self, tok):
+        for i in range(tok.n):
+            self.post(MpItem(i))
+
+
+class MpCount(LeafOperation):
+    """Echoes the worker's cumulative token count — state probe."""
+
+    thread_type = MpWork
+    in_types = (MpItem,)
+    out_types = (MpItem,)
+
+    def execute(self, tok):
+        self.thread.seen += 1
+        self.post(MpItem(self.thread.seen))
+
+
+class MpCollect(MergeOperation):
+    thread_type = MpMain
+    in_types = (MpItem,)
+    out_types = (MpSum,)
+
+    def execute(self, tok):
+        total = 0
+        while tok is not None:
+            total += tok.value
+            tok = yield self.next_token()
+        yield self.post(MpSum(total))
+
+
+def counting_graph(name, worker_mapping="node02"):
+    main = ThreadCollection(MpMain, f"{name}-main").map("node01")
+    work = ThreadCollection(MpWork, f"{name}-work").map(worker_mapping)
+    return Flowgraph(
+        FlowgraphNode(MpFan, main)
+        >> FlowgraphNode(MpCount, work, ConstantRoute)
+        >> FlowgraphNode(MpCollect, main),
+        name,
+    )
+
+
+def test_thread_state_persists_across_runs():
+    """DPS thread state lives in the kernel process and must survive
+    successive activations (distributed data structures, paper §2)."""
+    g = counting_graph("persist")
+    with MultiprocessEngine() as engine:
+        engine.register_graph(g)
+        assert engine.run(g, MpJob(3), timeout=60).total == 1 + 2 + 3
+        # same worker process, counter keeps growing
+        assert engine.run(g, MpJob(3), timeout=60).total == 4 + 5 + 6
+
+
+def test_register_after_start_rejected():
+    g1 = counting_graph("early")
+    g2 = counting_graph("late")
+    with MultiprocessEngine() as engine:
+        engine.register_graph(g1)
+        engine.run(g1, MpJob(1), timeout=60)
+        with pytest.raises(ScheduleError, match="before the first run"):
+            engine.register_graph(g2)
+
+
+def test_run_after_shutdown_rejected():
+    g = counting_graph("closed")
+    engine = MultiprocessEngine()
+    engine.register_graph(g)
+    engine.run(g, MpJob(1), timeout=60)
+    engine.shutdown()
+    with pytest.raises(ScheduleError, match="shut down"):
+        engine.run(g, MpJob(1), timeout=60)
+
+
+def test_kernel_names_cover_all_mappings():
+    engine = MultiprocessEngine()
+    engine.register_graph(counting_graph("names", "node02 node03"))
+    assert engine.kernel_names == ["node01", "node02", "node03"]
+
+
+class MpDie(LeafOperation):
+    """Kills the whole kernel process — not just the worker thread."""
+
+    thread_type = MpWork
+    in_types = (MpItem,)
+    out_types = (MpItem,)
+
+    def execute(self, tok):
+        os._exit(17)
+
+
+def test_dead_kernel_process_fails_caller():
+    """A kernel process dying mid-run must surface as an error on the
+    console's run() instead of hanging until the timeout."""
+    main = ThreadCollection(MpMain, "die-main").map("node01")
+    work = ThreadCollection(MpWork, "die-work").map("node02")
+    g = Flowgraph(
+        FlowgraphNode(MpFan, main)
+        >> FlowgraphNode(MpDie, work, ConstantRoute)
+        >> FlowgraphNode(MpCollect, main),
+        "die",
+    )
+    with MultiprocessEngine() as engine:
+        engine.register_graph(g)
+        t0 = time.monotonic()
+        with pytest.raises((ScheduleError, ConnectionError),
+                           match="node02|died"):
+            engine.run(g, MpJob(2), timeout=60)
+        assert time.monotonic() - t0 < 30  # detected, not timed out

@@ -1,0 +1,181 @@
+"""Name-server edge cases: duplicate registration, unknown lookup,
+re-registration after a kernel restart, and lazy-dial retry/backoff."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.net import (
+    DuplicateRegistration,
+    NameServer,
+    NameServerClient,
+    UnknownKernel,
+    dial_kernel,
+    recv_message,
+    send_message,
+)
+from repro.net.connections import DialError
+from repro.net.protocol import MSG_HELLO, decode_message
+
+
+@pytest.fixture
+def ns():
+    server = NameServer().start()
+    yield server
+    server.stop()
+
+
+def client(server):
+    return NameServerClient(server.address)
+
+
+def test_register_and_lookup(ns):
+    with client(ns) as c:
+        c.register("kernelA", "127.0.0.1", 7001)
+        assert c.lookup("kernelA") == ("127.0.0.1", 7001)
+        assert c.list() == ["kernelA"]
+
+
+def test_unknown_lookup_raises(ns):
+    with client(ns) as c:
+        with pytest.raises(UnknownKernel, match="nosuch"):
+            c.lookup("nosuch")
+
+
+def test_duplicate_registration_refused(ns):
+    with client(ns) as c1, client(ns) as c2:
+        c1.register("kernelA", "127.0.0.1", 7001)
+        with pytest.raises(DuplicateRegistration, match="kernelA"):
+            c2.register("kernelA", "127.0.0.1", 7002)
+        # the first owner's registration is untouched
+        assert c2.lookup("kernelA") == ("127.0.0.1", 7001)
+
+
+def test_own_reregistration_updates_address(ns):
+    with client(ns) as c:
+        c.register("kernelA", "127.0.0.1", 7001)
+        c.register("kernelA", "127.0.0.1", 7005)
+        assert c.lookup("kernelA") == ("127.0.0.1", 7005)
+
+
+def test_reregistration_after_restart(ns):
+    """A crashed kernel's name is freed when its connection drops, so a
+    restarted kernel can register again under the same name."""
+    c1 = client(ns)
+    c1.register("kernelA", "127.0.0.1", 7001)
+    c1.close()  # the "crash": connection EOF unregisters kernelA
+
+    deadline = time.monotonic() + 5
+    c2 = client(ns)
+    try:
+        while True:
+            try:
+                c2.register("kernelA", "127.0.0.1", 7002)
+                break
+            except DuplicateRegistration:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.01)
+        assert c2.lookup("kernelA") == ("127.0.0.1", 7002)
+    finally:
+        c2.close()
+
+
+def test_crash_unregisters_only_own_names(ns):
+    c1 = client(ns)
+    c1.register("kernelA", "127.0.0.1", 7001)
+    with client(ns) as c2:
+        c2.register("kernelB", "127.0.0.1", 7002)
+        c1.close()
+        deadline = time.monotonic() + 5
+        while "kernelA" in c2.list():
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        assert c2.list() == ["kernelB"]
+
+
+def test_dial_retry_backoff_on_late_registration(ns):
+    """dial_kernel keeps retrying while the peer has not registered yet —
+    the lazy-connection startup race of paper §4."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    host, port = listener.getsockname()[:2]
+    owner = client(ns)
+
+    def register_late():
+        time.sleep(0.3)
+        owner.register("latecomer", host, port)
+
+    threading.Thread(target=register_late, daemon=True).start()
+    with client(ns) as c:
+        t0 = time.monotonic()
+        sock = dial_kernel(c, "latecomer", hello_from="tester", deadline=10)
+        assert time.monotonic() - t0 >= 0.25  # actually waited for it
+        conn, _ = listener.accept()
+        kind, name = decode_message(recv_message(conn), {})
+        assert (kind, name) == (MSG_HELLO, "tester")
+        sock.close()
+        conn.close()
+    owner.close()
+    listener.close()
+
+
+def test_dial_gives_up_after_deadline(ns):
+    with client(ns) as c:
+        t0 = time.monotonic()
+        with pytest.raises(DialError, match="ghost"):
+            dial_kernel(c, "ghost", deadline=0.4)
+        assert 0.3 <= time.monotonic() - t0 < 5
+
+
+def test_dial_retries_refused_connection(ns):
+    """The directory may point at a port nobody listens on yet (the peer
+    registered between bind and listen losing a race); the dialer backs
+    off and retries instead of failing on the first refusal."""
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.bind(("127.0.0.1", 0))
+    host, port = probe.getsockname()[:2]
+    probe.close()  # port is now registered but refusing connections
+
+    with client(ns) as owner, client(ns) as c:
+        owner.register("slowpoke", host, port)
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+
+        def listen_late():
+            time.sleep(0.3)
+            try:
+                listener.bind((host, port))
+            except OSError:
+                return  # port got reused meanwhile; dial will time out
+            listener.listen(1)
+
+        threading.Thread(target=listen_late, daemon=True).start()
+        try:
+            sock = dial_kernel(c, "slowpoke", deadline=5)
+            sock.close()
+        except DialError:
+            pytest.skip("ephemeral port was reused by another process")
+        finally:
+            listener.close()
+
+
+def test_send_recv_roundtrip_over_socket():
+    """Framed messages survive a real socket hop, segment list included."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    out = socket.create_connection(listener.getsockname()[:2])
+    conn, _ = listener.accept()
+    try:
+        send_message(out, [bytearray(b"head"), b"-mid-", memoryview(b"tail")])
+        send_message(out, b"")
+        assert bytes(recv_message(conn)) == b"head-mid-tail"
+        assert bytes(recv_message(conn)) == b""
+        out.close()
+        assert recv_message(conn) is None  # clean EOF
+    finally:
+        conn.close()
+        listener.close()

@@ -241,3 +241,34 @@ def test_shutdown_is_idempotent():
     engine.run(g, TJob(2))
     engine.shutdown()
     engine.shutdown()
+
+
+def test_failed_engine_fails_fast_on_next_run():
+    """After a worker dies, subsequent run() calls must raise immediately
+    instead of hanging until the timeout (satellite of the multiprocess
+    dead-kernel path)."""
+    class TBoom2(LeafOperation):
+        in_types = (TItem,)
+        out_types = (TItem,)
+
+        def execute(self, tok):
+            raise ValueError("first failure")
+
+    engine = ThreadedEngine()
+    main = ThreadCollection(TMain, "ffmain").map("hostA")
+    work = ThreadCollection(TWork, "ffwork").map("hostB")
+    g = Flowgraph(
+        FlowgraphNode(TFan, main)
+        >> FlowgraphNode(TBoom2, work, ConstantRoute)
+        >> FlowgraphNode(TCollect, main),
+        "tfailfast",
+    )
+    with engine:
+        with pytest.raises(ValueError, match="first failure"):
+            engine.run(g, TJob(2), timeout=10)
+        import time
+        t0 = time.monotonic()
+        with pytest.raises(ScheduleError, match="engine has failed"):
+            engine.run(g, TJob(2), timeout=30)
+        # fail-fast: no waiting on the 30s timeout
+        assert time.monotonic() - t0 < 5

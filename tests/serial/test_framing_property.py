@@ -1,0 +1,94 @@
+"""Property-based tests for the length-prefixed frame layer.
+
+``frame()``/``unframe()`` sit between the token wire format and the
+socket: every payload — single buffer or scatter-gather segment list —
+must round-trip bit-exactly through the header, and corrupted headers
+must be rejected rather than misparsed.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.serial import (
+    FRAME_HEADER_BYTES,
+    FRAME_VERSION,
+    WireError,
+    frame,
+    gather,
+    unframe,
+)
+
+
+def roundtrip(payload):
+    segments = frame(payload)
+    wire = gather(segments)
+    return bytes(unframe(wire))
+
+
+@given(st.binary(max_size=4096))
+def test_frame_roundtrip_single_buffer(payload):
+    assert roundtrip(payload) == payload
+
+
+@given(st.lists(st.binary(max_size=256), max_size=16))
+def test_frame_roundtrip_segment_list(segments):
+    expected = b"".join(segments)
+    assert roundtrip([bytearray(s) for s in segments]) == expected
+
+
+@given(st.lists(st.binary(min_size=1, max_size=64), min_size=1, max_size=8))
+def test_frame_never_coalesces_segments(segments):
+    out = frame([bytearray(s) for s in segments])
+    # one header segment prepended; payload segments pass through untouched
+    assert len(out) == 1 + len(segments)
+    assert bytes(out[0])[:FRAME_HEADER_BYTES] == out[0]
+    for original, framed in zip(segments, out[1:]):
+        assert bytes(framed) == original
+
+
+@given(st.binary(max_size=1024))
+def test_frame_header_length_and_version(payload):
+    head = bytes(frame(payload)[0])
+    assert len(head) == FRAME_HEADER_BYTES
+    length, version = struct.unpack("<IB", head)
+    assert length == len(payload)
+    assert version == FRAME_VERSION
+
+
+@given(st.binary(max_size=256),
+       st.integers(min_value=0, max_value=255).filter(
+           lambda v: v != FRAME_VERSION))
+def test_unframe_rejects_wrong_version(payload, version):
+    wire = bytearray(gather(frame(payload)))
+    wire[4] = version
+    with pytest.raises(WireError, match="version"):
+        unframe(wire)
+
+
+@given(st.binary(min_size=1, max_size=256))
+def test_unframe_rejects_truncated_payload(payload):
+    wire = gather(frame(payload))
+    with pytest.raises(WireError):
+        unframe(memoryview(wire)[:len(wire) - 1])
+
+
+@given(st.binary(max_size=256), st.binary(min_size=1, max_size=16))
+def test_unframe_rejects_trailing_garbage(payload, extra):
+    wire = bytes(gather(frame(payload))) + extra
+    with pytest.raises(WireError):
+        unframe(wire)
+
+
+def test_unframe_rejects_short_header():
+    with pytest.raises(WireError):
+        unframe(b"\x00\x00")
+
+
+def test_unframe_is_zero_copy():
+    wire = gather(frame(b"payload-bytes"))
+    view = unframe(wire)
+    assert isinstance(view, memoryview)
+    assert view.obj is wire
