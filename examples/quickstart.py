@@ -54,7 +54,7 @@ def main() -> None:
     print(f"  input  : {text!r}")
     print(f"  output : {result.token.text!r}")
     print(f"  virtual time: {result.makespan * 1e3:.2f} ms")
-    metrics = engine.metrics()
+    metrics = engine.stats()
     print(f"  network: {metrics['network_messages']} messages, "
           f"{metrics['network_bytes']} bytes")
     print()

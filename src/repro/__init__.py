@@ -5,9 +5,14 @@ A dataflow framework for parallel applications on distributed-memory
 clusters: compositional split-compute-merge flow graphs with stream
 operations, dynamic thread-collection mapping, implicit pipelining and
 overlap of computation and communication, flow control, and parallel
-services — executed either on a deterministic simulated cluster
-(:class:`~repro.runtime.SimEngine`, virtual time) or on real OS threads
-(:class:`~repro.runtime.threaded_engine.ThreadedEngine`).
+services — executed on a deterministic simulated cluster
+(:class:`~repro.runtime.SimEngine`, virtual time), on real OS threads
+(:class:`~repro.runtime.ThreadedEngine`), or on one OS process per
+logical node over TCP (:class:`~repro.runtime.MultiprocessEngine`).
+All three share the :class:`~repro.runtime.Engine` API — build them
+uniformly with :func:`~repro.runtime.create_engine` and attach a
+:class:`~repro.trace.Tracer`/:class:`~repro.trace.MetricsRegistry` for
+observability on any of them.
 
 Quick tour::
 
@@ -48,9 +53,18 @@ from .core import (
     ThreadCollection,
     route_fn,
 )
-from .runtime import Application, RunResult, ScheduleError, SimEngine
-from .runtime.threaded_engine import ThreadedEngine
+from .runtime import (
+    Application,
+    Engine,
+    MultiprocessEngine,
+    RunResult,
+    ScheduleError,
+    SimEngine,
+    ThreadedEngine,
+    create_engine,
+)
 from .serial import Buffer, ComplexToken, SimpleToken, Token, Vector
+from .trace import MetricsRegistry, Tracer, export_chrome_trace
 
 __version__ = "1.0.0"
 
@@ -62,6 +76,7 @@ __all__ = [
     "ComplexToken",
     "ConstantRoute",
     "DpsThread",
+    "Engine",
     "FlowControlPolicy",
     "Flowgraph",
     "FlowgraphBuilder",
@@ -70,11 +85,13 @@ __all__ = [
     "LeafOperation",
     "LoadBalancedRoute",
     "MergeOperation",
+    "MetricsRegistry",
+    "MultiprocessEngine",
     "NetworkSpec",
     "NodeSpec",
     "Operation",
-    "Route",
     "RoundRobinRoute",
+    "Route",
     "RunResult",
     "ScheduleError",
     "SimEngine",
@@ -84,7 +101,10 @@ __all__ = [
     "ThreadCollection",
     "ThreadedEngine",
     "Token",
+    "Tracer",
     "Vector",
+    "create_engine",
+    "export_chrome_trace",
     "paper_cluster",
     "route_fn",
 ]

@@ -199,6 +199,7 @@ def block_multiply(
     n_workers: Optional[int] = None,
     window: Optional[int] = None,
     master_node: Optional[str] = None,
+    tracer=None,
 ) -> MatMulRun:
     """Multiply ``a @ b`` on the simulated cluster.
 
@@ -221,12 +222,13 @@ def block_multiply(
         policy=FlowControlPolicy(window=window),
         serialize_payloads=False,  # wire sizes from Buffer nbytes
         charge_serialization=True,
+        tracer=tracer,
     )
     graph = build_matmul_graph(master, workers)
     engine.register_graph(graph)
     engine.prelaunch()
     result = engine.run(graph, MatMulJobToken(a, b, s), driver_node=master)
-    metrics = engine.metrics()
+    metrics = engine.stats()
     return MatMulRun(
         c=result.token.c.array,
         makespan=result.makespan,

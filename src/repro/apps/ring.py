@@ -230,6 +230,7 @@ def run_dps_ring(
     block_bytes: int,
     total_bytes: int,
     window: int | None = 64,
+    tracer=None,
 ) -> RingResult:
     """Run the DPS ring and measure round-trip throughput."""
     if block_bytes <= 0 or total_bytes <= 0:
@@ -243,6 +244,7 @@ def run_dps_ring(
         # under test); only the python-level byte copying is skipped.
         serialize_payloads=False,
         charge_serialization=True,
+        tracer=tracer,
     )
     graph = build_ring_graph(spec.node_names)
     engine.register_graph(graph)

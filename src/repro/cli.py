@@ -7,9 +7,13 @@ Usage::
     python -m repro.cli all --fast
     python -m repro.cli demo            # quickstart: parallel uppercase
     python -m repro.cli demo --engine multiprocess   # real OS processes
+    python -m repro.cli ring --engine threaded --trace ring.json
+    python -m repro.cli fig9 --fast --trace fig9.json
 
 Each experiment prints its measured table next to the paper's reference
-values; ``--fast`` shrinks sweeps for a quick look.
+values; ``--fast`` shrinks sweeps for a quick look.  ``--trace FILE``
+records a unified event timeline (any engine) and writes it as Chrome
+trace-event JSON — open it at https://ui.perfetto.dev.
 """
 
 from __future__ import annotations
@@ -24,64 +28,95 @@ from .experiments import ALL
 __all__ = ["main"]
 
 
-def _run_experiment(name: str, fast: bool) -> None:
+def _export_trace(tracer, path: str) -> None:
+    from .trace import export_chrome_trace
+
+    n = export_chrome_trace(tracer, path)
+    print(f"trace: {n} events -> {path} (open at https://ui.perfetto.dev)")
+
+
+def _run_experiment(name: str, fast: bool,
+                    trace_path: Optional[str] = None) -> None:
     runner = ALL[name]
+    tracer = None
+    if trace_path is not None:
+        from .trace import Tracer
+
+        tracer = Tracer()
     t0 = time.perf_counter()
-    result = runner(fast=fast)
+    result = runner(fast=fast, tracer=tracer)
     wall = time.perf_counter() - t0
     print(result.report())
     if result.paper_reference:
         print(f"paper: {result.paper_reference}")
     print(f"(wall time {wall:.1f} s{', fast mode' if fast else ''})")
+    if tracer is not None:
+        _export_trace(tracer, trace_path)
     print()
 
 
-def _demo(engine_kind: str = "sim") -> None:
+def _demo(engine_kind: str = "sim",
+          trace_path: Optional[str] = None) -> None:
     from .apps.strings import StringToken, build_uppercase_graph
+    from .runtime import create_engine
+    from .trace import Tracer, activity_timeline, op_summary
 
     text = "dynamic parallel schedules"
     graph, *_ = build_uppercase_graph("node01", "node02 node03 node04")
-    if engine_kind == "sim":
-        from .cluster import paper_cluster
-        from .runtime import SimEngine
-        from .trace import Tracer, activity_timeline, op_summary
+    tracer = Tracer() if trace_path is not None or engine_kind == "sim" \
+        else None
 
-        tracer = Tracer()
-        engine = SimEngine(paper_cluster(4), tracer=tracer)
-        result = engine.run(graph, StringToken(text))
-        print(f"input : {text!r}")
-        print(f"output: {result.token.text!r}")
-        print(f"virtual time: {result.makespan * 1e3:.2f} ms on 4 nodes")
+    t0 = time.perf_counter()
+    with create_engine(engine_kind, nodes=4, tracer=tracer) as engine:
+        if engine_kind == "multiprocess":
+            engine.register_graph(graph)
+        out = engine.run(graph, StringToken(text))
+        wall = time.perf_counter() - t0
+        kernels = getattr(engine, "kernel_names", None)
+    print(f"input : {text!r}")
+    if engine_kind == "sim":
+        print(f"output: {out.token.text!r}")
+        print(f"virtual time: {out.makespan * 1e3:.2f} ms on 4 nodes")
         print()
         print(op_summary(tracer))
         print()
         print(activity_timeline(tracer, width=60))
-        return
-
-    if engine_kind == "threaded":
-        from .runtime import ThreadedEngine
-
-        t0 = time.perf_counter()
-        with ThreadedEngine() as engine:
-            out = engine.run(graph, StringToken(text))
-        wall = time.perf_counter() - t0
-        print(f"input : {text!r}")
+    elif engine_kind == "threaded":
         print(f"output: {out.text!r}")
         print(f"wall time: {wall * 1e3:.1f} ms on OS threads (1 process)")
-        return
+    else:
+        print(f"output: {out.text!r}")
+        print(f"wall time: {wall * 1e3:.1f} ms across kernel processes "
+              f"[{', '.join(kernels or [])}] + name server")
+    if trace_path is not None:
+        _export_trace(tracer, trace_path)
 
-    from .runtime import MultiprocessEngine
 
+def _ring(engine_kind: str = "threaded",
+          trace_path: Optional[str] = None,
+          block_bytes: int = 4096, blocks: int = 32) -> None:
+    """Push *blocks* blocks around a 4-node ring on any engine."""
+    from .apps.ring import RingJobToken, build_ring_graph
+    from .runtime import create_engine
+
+    tracer = None
+    if trace_path is not None:
+        from .trace import Tracer
+
+        tracer = Tracer()
+    nodes = ["node01", "node02", "node03", "node04"]
+    graph = build_ring_graph(nodes)
     t0 = time.perf_counter()
-    with MultiprocessEngine() as engine:
+    with create_engine(engine_kind, nodes=4, tracer=tracer) as engine:
         engine.register_graph(graph)
-        out = engine.run(graph, StringToken(text))
+        out = engine.run(graph, RingJobToken(block_bytes, blocks))
         wall = time.perf_counter() - t0
-        kernels = ", ".join(engine.kernel_names)
-    print(f"input : {text!r}")
-    print(f"output: {out.text!r}")
-    print(f"wall time: {wall * 1e3:.1f} ms across kernel processes "
-          f"[{kernels}] + name server")
+    done = out.token if engine_kind == "sim" else out
+    print(f"ring on {engine_kind} engine: {done.blocks} blocks x "
+          f"{block_bytes} B round-tripped over {len(nodes)} hops "
+          f"({done.received_bytes} bytes) in {wall * 1e3:.1f} ms")
+    if trace_path is not None:
+        _export_trace(tracer, trace_path)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -92,8 +127,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(ALL) + ["all", "list", "demo"],
-        help="experiment id (table/figure), 'all', 'list' or 'demo'",
+        choices=sorted(ALL) + ["all", "list", "demo", "ring"],
+        help="experiment id (table/figure), 'all', 'list', 'demo' or 'ring'",
     )
     parser.add_argument(
         "--fast", action="store_true",
@@ -102,8 +137,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--engine", choices=["sim", "threaded", "multiprocess"],
         default="sim",
-        help="engine for 'demo': simulated cluster (default), OS threads, "
-             "or one OS process per node over TCP",
+        help="engine for 'demo'/'ring': simulated cluster (default), OS "
+             "threads, or one OS process per node over TCP",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record a unified event timeline and write Chrome trace-event "
+             "JSON to FILE (view at https://ui.perfetto.dev)",
     )
     args = parser.parse_args(argv)
 
@@ -113,11 +153,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{name:8} {doc}")
         return 0
     if args.experiment == "demo":
-        _demo(args.engine)
+        _demo(args.engine, args.trace)
+        return 0
+    if args.experiment == "ring":
+        _ring(args.engine, args.trace)
         return 0
     names = sorted(ALL) if args.experiment == "all" else [args.experiment]
     for name in names:
-        _run_experiment(name, args.fast)
+        _run_experiment(name, args.fast, args.trace)
     return 0
 
 

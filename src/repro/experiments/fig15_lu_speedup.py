@@ -32,10 +32,10 @@ LU_FLOPS = 80e6
 
 
 def _lu_time(a: np.ndarray, s: int, p: int, pipelined: bool,
-             scale: float, check: bool) -> float:
+             scale: float, check: bool, tracer=None) -> float:
     engine = SimEngine(paper_cluster(max(p, 1), flops=LU_FLOPS),
                        policy=FlowControlPolicy(window=None),
-                       serialize_payloads=False)
+                       serialize_payloads=False, tracer=tracer)
     lu = DistributedLU(engine, a, s, engine.cluster.node_names[:p],
                        pipelined=pipelined, scale=scale)
     lu.load()
@@ -45,7 +45,7 @@ def _lu_time(a: np.ndarray, s: int, p: int, pipelined: bool,
     return result.makespan
 
 
-def run(fast: bool = False) -> ExperimentResult:
+def run(fast: bool = False, tracer=None) -> ExperimentResult:
     n_real = 256 if fast else 512
     scale = 4096 / n_real
     s = 8 if fast else 16
@@ -57,7 +57,8 @@ def run(fast: bool = False) -> ExperimentResult:
     rows: List[List] = []
     speedups: Dict[tuple, float] = {}
     for p in node_counts:
-        t_pipe = _lu_time(a, s, p, True, scale, check=(p == node_counts[-1]))
+        t_pipe = _lu_time(a, s, p, True, scale,
+                          check=(p == node_counts[-1]), tracer=tracer)
         t_barrier = _lu_time(a, s, p, False, scale, check=False)
         if base is None:
             base = t_barrier  # 1-node non-pipelined run

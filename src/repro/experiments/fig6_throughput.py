@@ -38,7 +38,7 @@ def _total_for(block: int, fast: bool) -> int:
     return min(max(block * blocks, block * 60), max(cap, block * 60))
 
 
-def run(fast: bool = False) -> ExperimentResult:
+def run(fast: bool = False, tracer=None) -> ExperimentResult:
     spec = paper_cluster(4)
     sizes = FAST_SIZES if fast else SIZES
     rows = []
@@ -46,7 +46,7 @@ def run(fast: bool = False) -> ExperimentResult:
     for size in sizes:
         total = _total_for(size, fast)
         sock = run_socket_ring(spec, size, total)
-        dps = run_dps_ring(spec, size, total)
+        dps = run_dps_ring(spec, size, total, tracer=tracer)
         ratio = dps.throughput / sock.throughput
         rows.append([size, sock.throughput_mb, dps.throughput_mb, ratio])
         series["size"].append(size)

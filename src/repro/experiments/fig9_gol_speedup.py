@@ -33,8 +33,9 @@ GOL_FLOPS = 200e6
 
 
 def _time_per_iteration(world: np.ndarray, n_workers: int,
-                        improved: bool, iters: int) -> float:
-    engine = SimEngine(paper_cluster(max(n_workers, 1), flops=GOL_FLOPS))
+                        improved: bool, iters: int, tracer=None) -> float:
+    engine = SimEngine(paper_cluster(max(n_workers, 1), flops=GOL_FLOPS),
+                       tracer=tracer)
     gol = DistributedGameOfLife(
         engine, world, engine.cluster.node_names[:n_workers]
     )
@@ -46,7 +47,7 @@ def _time_per_iteration(world: np.ndarray, n_workers: int,
     return total / iters
 
 
-def run(fast: bool = False) -> ExperimentResult:
+def run(fast: bool = False, tracer=None) -> ExperimentResult:
     sizes = WORLD_SIZES[:2] if fast else WORLD_SIZES
     node_counts = [1, 2, 4] if fast else [1, 2, 3, 4, 5, 6, 7, 8]
     iters = 1 if fast else 2
@@ -60,7 +61,8 @@ def run(fast: bool = False) -> ExperimentResult:
         base = _time_per_iteration(world, 1, improved=False, iters=iters)
         for p in node_counts:
             t_std = _time_per_iteration(world, p, improved=False, iters=iters)
-            t_imp = _time_per_iteration(world, p, improved=True, iters=iters)
+            t_imp = _time_per_iteration(world, p, improved=True, iters=iters,
+                                        tracer=tracer)
             s_std = base / t_std
             s_imp = base / t_imp
             rows.append([label, p, s_std, s_imp, t_std * 1e3, t_imp * 1e3])

@@ -58,7 +58,7 @@ def _model_times(n: int, s: int, p: int, spec: ClusterSpec) -> tuple:
     return t_comm, t_comp
 
 
-def run(fast: bool = False) -> ExperimentResult:
+def run(fast: bool = False, tracer=None) -> ExperimentResult:
     n = 512 if fast else 1024
     block_sizes = [n // 4, n // 8, n // 16, n // 32]
     node_counts = [1, 2] if fast else [1, 2, 3, 4]
@@ -76,7 +76,7 @@ def run(fast: bool = False) -> ExperimentResult:
         s = n // block
         for p in node_counts:
             run_ = block_multiply(spec, a, b, s=s, n_workers=p,
-                                  window=3 * p)
+                                  window=3 * p, tracer=tracer)
             if not run_.check(a, b):  # pragma: no cover - defensive
                 raise AssertionError("distributed product is wrong")
             t_comm, t_comp = _model_times(n, s, p, spec)

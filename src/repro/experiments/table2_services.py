@@ -47,13 +47,15 @@ PAPER_TABLE2 = {
 
 
 def _measure(world_side: int, n_workers: int, block: Optional[Tuple[int, int]],
-             n_iters: int, seed: int = 7) -> Tuple[float, float, float]:
+             n_iters: int, seed: int = 7,
+             tracer=None) -> Tuple[float, float, float]:
     """Returns (median call ms, mean iteration ms, calls per second)."""
     rng = np.random.default_rng(seed)
     world = (rng.random((world_side, world_side)) < 0.35).astype(np.uint8)
     engine = SimEngine(
         paper_cluster(n_workers, flops=GOL_FLOPS),
         serialize_payloads=False,
+        tracer=tracer,
     )
     svc = GameOfLifeService(engine, world,
                             engine.cluster.node_names[:n_workers])
@@ -93,7 +95,7 @@ def _measure(world_side: int, n_workers: int, block: Optional[Tuple[int, int]],
     return median_call * 1e3, iter_total / n_iters * 1e3, calls_per_sec
 
 
-def run(fast: bool = False) -> ExperimentResult:
+def run(fast: bool = False, tracer=None) -> ExperimentResult:
     world_side = 1408 if fast else 5620
     n_iters = 1 if fast else 3
     # fast mode shrinks the tall block so it still fits the smaller world
@@ -102,7 +104,8 @@ def run(fast: bool = False) -> ExperimentResult:
     rows: List[List] = []
     data = {}
     for block in blocks:
-        call_ms, iter_ms, cps = _measure(world_side, 4, block, n_iters)
+        call_ms, iter_ms, cps = _measure(world_side, 4, block, n_iters,
+                                         tracer=tracer)
         label = "none" if block is None else f"{block[0]}x{block[1]}"
         paper = PAPER_TABLE2.get(block, (None, None, None))
         rows.append([

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.flowcontrol import FlowControlPolicy
@@ -63,15 +64,21 @@ class DistributedKernel(ThreadedEngine):
     def __init__(self, name: str, ordinal: int,
                  ns_address: Tuple[str, int],
                  peers: Iterable[str] = (),
-                 policy: FlowControlPolicy = FlowControlPolicy(),
+                 policy: Optional[FlowControlPolicy] = None,
                  host: str = "127.0.0.1",
-                 dial_deadline: float = 15.0):
-        super().__init__(policy=policy, serialize_transfers=False)
+                 dial_deadline: float = 15.0,
+                 tracer=None,
+                 metrics=None):
+        super().__init__(policy=policy, serialize_transfers=False,
+                         tracer=tracer, metrics=metrics)
         if ordinal < 0:
             raise ValueError("kernel ordinal must be >= 0")
         self.name = name
         self.ordinal = ordinal
         self._origin_name = name
+        #: Trace events recorded in this process carry the kernel name, so
+        #: the merged console timeline keeps per-process identity.
+        self._trace_pid = name
         # Partition the id spaces so no two kernels mint the same
         # activation or group id (group ids key merge state globally).
         self._ctx_counter = ordinal << KERNEL_ORDINAL_SHIFT
@@ -79,6 +86,10 @@ class DistributedKernel(ThreadedEngine):
         #: Every kernel in the cluster (failure-broadcast fan-out).
         self._peer_names = [p for p in peers if p != name]
         self._shutdown_requested = threading.Event()
+        # trace-merge barrier: collect_traces() waits here until every
+        # polled peer has answered with its MSG_TRACE reply
+        self._trace_cond = threading.Condition()
+        self._trace_pending: set = set()
 
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -110,6 +121,54 @@ class DistributedKernel(ThreadedEngine):
         """Ask *peer* to shut down (part of the console's exit barrier)."""
         self._pool.send(peer, P.encode_shutdown())
 
+    # ------------------------------------------------------------------
+    # trace aggregation (console side)
+    # ------------------------------------------------------------------
+    def collect_traces(self, peers: Iterable[str],
+                       timeout: float = 5.0) -> List[str]:
+        """Pull every peer kernel's trace buffer and metrics into ours.
+
+        Sends ``MSG_TRACE_FLUSH`` to each peer and blocks until all
+        replies arrive (or *timeout* passes).  Merged events keep their
+        originating kernel name in a ``pid`` field; metrics snapshots
+        fold into this kernel's registry.  Returns the peers that did
+        not answer in time (normally empty).
+        """
+        peers = [p for p in peers if p != self.name]
+        if not peers or (self.tracer is None and self.metrics is None):
+            return []
+        with self._trace_cond:
+            self._trace_pending = set(peers)
+        message = P.encode_trace_flush(self.name)
+        for peer in peers:
+            try:
+                self._pool.send(peer, message)
+            except Exception:
+                with self._trace_cond:
+                    self._trace_pending.discard(peer)
+        with self._trace_cond:
+            self._trace_cond.wait_for(
+                lambda: not self._trace_pending, timeout=timeout)
+            missing = sorted(self._trace_pending)
+            self._trace_pending = set()
+        return missing
+
+    def _ship_trace(self, reply_to: str) -> None:
+        """Answer a flush request with our buffered events and metrics."""
+        events = self.tracer.dump() if self.tracer is not None else []
+        snapshot = self.metrics.snapshot() if self.metrics is not None else {}
+        try:
+            self._pool.send(reply_to, P.encode_trace(self.name, events,
+                                                     snapshot))
+        except Exception:
+            return  # requester is gone; nothing useful to do
+        # The buffer now lives at the requester; avoid re-shipping the
+        # same events if another flush arrives.
+        if self.tracer is not None:
+            self.tracer.clear()
+        if self.metrics is not None:
+            self.metrics.clear()
+
     def shutdown(self) -> None:
         self._shutdown_requested.set()
         try:
@@ -128,8 +187,23 @@ class DistributedKernel(ThreadedEngine):
         target = node.collection.node_of(env.instance)
         if target == self.name:
             self._worker_for(node.collection, env.instance).inbox.put(env)
-        else:
+        elif self.tracer is None and self.metrics is None:
             self._pool.send(target, P.encode_data(env))
+        else:
+            t0 = time.monotonic()
+            segments = P.encode_data(env)
+            seconds = time.monotonic() - t0
+            nbytes = sum(len(s) for s in segments)
+            if self.tracer is not None:
+                self.trace("serialize", node=self.name, seconds=seconds,
+                           nbytes=nbytes)
+                self.trace("token_send", src=self.name, dest=target,
+                           nbytes=nbytes)
+            if self.metrics is not None:
+                self.metrics.counter("wire_messages").inc()
+                self.metrics.counter("wire_bytes").inc(nbytes)
+                self.metrics.histogram("serialize_seconds").observe(seconds)
+            self._pool.send(target, segments)
 
     def _send_ack(self, graph_name: str, opener: int, opener_instance: int,
                   origin_node: str, routed_instance: int) -> None:
@@ -253,6 +327,17 @@ class DistributedKernel(ThreadedEngine):
             self.scatter_total(ctx_id, total)
         elif kind == P.MSG_FAILURE:
             self._record_failure(value, propagate=False)
+        elif kind == P.MSG_TRACE_FLUSH:
+            self._ship_trace(value)
+        elif kind == P.MSG_TRACE:
+            kernel_name, events, snapshot = value
+            if self.tracer is not None and events:
+                self.tracer.merge(events, pid=kernel_name)
+            if self.metrics is not None and snapshot:
+                self.metrics.merge(snapshot)
+            with self._trace_cond:
+                self._trace_pending.discard(kernel_name)
+                self._trace_cond.notify_all()
         elif kind == P.MSG_SHUTDOWN:
             self._shutdown_requested.set()
         elif kind == P.MSG_HELLO:
@@ -266,11 +351,23 @@ def run_kernel_process(name: str, ordinal: int,
                        peers: List[str],
                        graphs: List[Flowgraph],
                        policy: Optional[FlowControlPolicy] = None,
-                       ready=None) -> None:
-    """Child-process main for one kernel (forked by MultiprocessEngine)."""
+                       ready=None,
+                       trace: bool = False) -> None:
+    """Child-process main for one kernel (forked by MultiprocessEngine).
+
+    With *trace* set, the kernel records into a process-local tracer and
+    metrics registry; the console pulls both through ``MSG_TRACE_FLUSH``
+    before the shutdown barrier and merges them into one timeline.
+    """
+    tracer = metrics = None
+    if trace:
+        from ..trace import MetricsRegistry, Tracer
+        tracer = Tracer()
+        metrics = MetricsRegistry()
     kernel = DistributedKernel(
         name, ordinal, ns_address, peers,
-        policy=policy if policy is not None else FlowControlPolicy())
+        policy=policy if policy is not None else FlowControlPolicy(),
+        tracer=tracer, metrics=metrics)
     for graph in graphs:
         kernel.register_graph(graph)
     kernel.start()

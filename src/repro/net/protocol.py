@@ -37,6 +37,8 @@ __all__ = [
     "MSG_SCATTER_TOTAL",
     "MSG_FAILURE",
     "MSG_SHUTDOWN",
+    "MSG_TRACE_FLUSH",
+    "MSG_TRACE",
     "AckWire",
     "encode_hello",
     "encode_data",
@@ -46,6 +48,8 @@ __all__ = [
     "encode_scatter_total",
     "encode_failure",
     "encode_shutdown",
+    "encode_trace_flush",
+    "encode_trace",
     "decode_message",
     "RemoteFailure",
 ]
@@ -59,6 +63,11 @@ MSG_SCATTER_RESULT = 5
 MSG_SCATTER_TOTAL = 6
 MSG_FAILURE = 7
 MSG_SHUTDOWN = 8
+#: Console → kernel: ship your trace buffer and metrics snapshot back to
+#: the named kernel (part of the observability merge barrier).
+MSG_TRACE_FLUSH = 9
+#: Kernel → console: one kernel's buffered trace events and metrics.
+MSG_TRACE = 10
 
 _U8 = struct.Struct("<B")
 _U16 = struct.Struct("<H")
@@ -163,6 +172,24 @@ def encode_shutdown() -> List[Segment]:
     return [bytearray(_U8.pack(MSG_SHUTDOWN))]
 
 
+def encode_trace_flush(reply_to: str) -> List[Segment]:
+    """Ask a kernel to ship its trace buffer to kernel *reply_to*."""
+    head = bytearray(_U8.pack(MSG_TRACE_FLUSH))
+    _pack_str(head, reply_to)
+    return [head]
+
+
+def encode_trace(kernel_name: str, events: List[tuple],
+                 metrics_snapshot: Dict[str, Any]) -> List[Segment]:
+    """One kernel's trace buffer: ``(time, kind, fields)`` tuples plus a
+    :meth:`~repro.trace.MetricsRegistry.snapshot` dict.  Event fields are
+    plain scalars/strings, so pickle suffices (this is a once-per-run
+    control message, not a data-path one)."""
+    head = bytearray(_U8.pack(MSG_TRACE))
+    head += pickle.dumps((kernel_name, events, metrics_snapshot))
+    return [head]
+
+
 # ---------------------------------------------------------------------------
 # decoding
 # ---------------------------------------------------------------------------
@@ -242,4 +269,14 @@ def decode_message(payload: "bytes | bytearray | memoryview",
     if kind == MSG_HELLO:
         name, _ = _unpack_str(view, offset)
         return MSG_HELLO, name
+    if kind == MSG_TRACE_FLUSH:
+        reply_to, _ = _unpack_str(view, offset)
+        return MSG_TRACE_FLUSH, reply_to
+    if kind == MSG_TRACE:
+        try:
+            kernel_name, events, metrics_snapshot = pickle.loads(
+                bytes(view[offset:]))
+        except Exception as err:
+            raise WireError(f"undecodable trace message: {err}") from None
+        return MSG_TRACE, (kernel_name, events, metrics_snapshot)
     raise WireError(f"unknown protocol message kind {kind}")

@@ -1,5 +1,7 @@
 """Execution engines and runtime environment for DPS schedules."""
 
+from typing import Union
+
 from .base import (
     ACK_BYTES,
     DATA_HEADER_BYTES,
@@ -7,6 +9,7 @@ from .base import (
     AckMessage,
     Application,
     DataEnvelope,
+    Engine,
     GroupFrame,
     GroupTotalMessage,
     RunResult,
@@ -25,12 +28,14 @@ __all__ = [
     "Application",
     "Checkpoint",
     "CheckpointManager",
+    "Engine",
     "KernelEnvironment",
     "KernelSpec",
     "NameServer",
     "fail_node",
     "DATA_HEADER_BYTES",
     "DataEnvelope",
+    "ENGINE_KINDS",
     "GROUP_TOTAL_BYTES",
     "GroupFrame",
     "GroupTotalMessage",
@@ -41,4 +46,43 @@ __all__ = [
     "SimEngine",
     "ThreadedEngine",
     "coerce_run_result",
+    "create_engine",
 ]
+
+#: Engine kinds :func:`create_engine` understands.
+ENGINE_KINDS = ("sim", "threaded", "multiprocess")
+
+
+def create_engine(kind: str, **opts) -> Union[SimEngine, ThreadedEngine,
+                                              MultiprocessEngine]:
+    """Build an execution engine by name with uniform options.
+
+    *kind* is ``"sim"``, ``"threaded"`` or ``"multiprocess"``.  All
+    engines accept ``policy=``, ``tracer=`` and ``metrics=``; remaining
+    keyword options are engine-specific (e.g. ``serialize_payloads=``
+    on sim, ``startup_timeout=`` on multiprocess).
+
+    The simulated engine needs a cluster; pass ``cluster=`` explicitly,
+    or ``nodes=N`` to build the paper's homogeneous cluster, defaulting
+    to 4 nodes (``node01`` .. ``node04``)::
+
+        engine = create_engine("sim", nodes=8, tracer=Tracer())
+        with create_engine("threaded") as engine:
+            ...
+    """
+    if kind == "sim":
+        from ..cluster import paper_cluster
+        cluster = opts.pop("cluster", None)
+        nodes = opts.pop("nodes", 4)
+        if cluster is None:
+            cluster = paper_cluster(nodes)
+        return SimEngine(cluster, **opts)
+    if kind == "threaded":
+        opts.pop("nodes", None)  # placement labels need no declaration
+        return ThreadedEngine(**opts)
+    if kind == "multiprocess":
+        opts.pop("nodes", None)  # kernels come from the graph mappings
+        return MultiprocessEngine(**opts)
+    raise ValueError(
+        f"unknown engine kind {kind!r}; expected one of {ENGINE_KINDS}"
+    )

@@ -1,4 +1,12 @@
-"""Runtime envelopes, applications and shared constants.
+"""The shared engine contract, runtime envelopes and applications.
+
+:class:`Engine` is the base every execution engine derives from — the
+simulated cluster, the OS-thread engine and the multiprocess kernel
+cluster all share one public surface: graph/application registration
+(``register_graph``/``register_app``/``graph``), the
+``run``/``shutdown``/context-manager lifecycle, and uniform
+``policy=``/``tracer=``/``metrics=`` construction so observability
+attaches the same way everywhere.
 
 Tokens travelling between threads are wrapped in :class:`DataEnvelope`
 carrying the "control structures giving information about their state and
@@ -18,13 +26,16 @@ Small control messages implement the feedback machinery:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
+from ..core.flowcontrol import FlowControlPolicy
 from ..core.graph import Flowgraph
 from ..serial.token import Token
 
 __all__ = [
+    "Engine",
     "GroupFrame",
     "DataEnvelope",
     "AckMessage",
@@ -155,6 +166,108 @@ class RunResult:
     @property
     def makespan(self) -> float:
         return self.finished_at - self.started_at
+
+
+class Engine:
+    """Base class of the three execution engines.
+
+    Defines the engine-agnostic surface once:
+
+    - **registration**: :meth:`register_graph`, :meth:`register_app` and
+      :meth:`graph` lookup (subclasses validate placements via the
+      :meth:`_validate_graph` hook);
+    - **lifecycle**: :meth:`shutdown` (idempotent no-op by default) and
+      ``with engine: ...`` context management;
+    - **observability**: every engine accepts ``tracer=`` (a
+      :class:`~repro.trace.Tracer` recording the unified event
+      vocabulary of :mod:`repro.trace.events`) and ``metrics=`` (a
+      :class:`~repro.trace.MetricsRegistry`) and a ``policy=`` flow
+      control policy.  Both observers default to ``None`` and every
+      emit site is guarded, so instrumentation is near-free when
+      disabled.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[FlowControlPolicy] = None,
+        tracer: Optional[Any] = None,
+        metrics: Optional[Any] = None,
+    ):
+        self.policy = policy if policy is not None else FlowControlPolicy()
+        self.tracer = tracer
+        self.metrics = metrics
+        self._graphs: Dict[str, Flowgraph] = {}
+        self._graph_app: Dict[str, str] = {}
+        #: Process label stamped on trace events (kernel name on the
+        #: multiprocess runtime); ``None`` on single-process engines.
+        self._trace_pid: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # registration (defined once; historical per-engine spellings such as
+    # ThreadedEngine's "accepted for SimEngine parity" app_name shim are
+    # deprecated in favour of this shared implementation)
+    # ------------------------------------------------------------------
+    def register_app(self, app: "Application") -> None:
+        """Register every graph of *app*; they can then be run or called."""
+        for name, graph in app.graphs.items():
+            self._register(graph, app.name, name)
+
+    def register_graph(self, graph: Flowgraph, app_name: str = "app") -> None:
+        """Register a standalone graph under a default application."""
+        self._register(graph, app_name, graph.name)
+
+    def _register(self, graph: Flowgraph, app_name: str, name: str) -> None:
+        existing = self._graphs.get(name)
+        if existing is not None and existing is not graph:
+            raise ValueError(f"graph name {name!r} already registered")
+        self._validate_graph(graph)
+        self._graphs[name] = graph
+        self._graph_app[graph.name] = app_name
+
+    def _validate_graph(self, graph: Flowgraph) -> None:
+        """Hook: engines check thread placements against their cluster."""
+
+    def graph(self, name: str) -> Flowgraph:
+        try:
+            return self._graphs[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown graph {name!r}; registered: {sorted(self._graphs)}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def run(self, graph, token: Token, **kwargs):
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release engine resources (idempotent; no-op by default)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        """Engine clock for trace timestamps (virtual on SimEngine)."""
+        return time.monotonic()
+
+    def trace(self, kind: str, **fields: Any) -> None:
+        """Emit one trace event if a tracer is attached.
+
+        Hot paths guard with ``if self.tracer is not None`` before
+        calling so the disabled case costs one attribute load.
+        """
+        tracer = self.tracer
+        if tracer is not None:
+            if self._trace_pid is not None:
+                fields.setdefault("pid", self._trace_pid)
+            tracer.emit(self._now(), kind, **fields)
 
 
 def coerce_run_result(outcome, started_at: float, finished_at: float) -> RunResult:

@@ -329,9 +329,13 @@ class SimController:
     def _handle_data(self, ts: _ThreadState, env: DataEnvelope):
         node = env.graph.node(env.node_id)
         kind = node.kind
-        if self.engine.tracer is not None:
-            self.engine.trace("op_token", node=self.node_name,
-                              op=node.name, graph=env.graph.name)
+        engine = self.engine
+        if engine.tracer is not None:
+            engine.trace("token_recv", node=self.node_name,
+                         op=node.name, graph=env.graph.name,
+                         depth=len(ts.inbox))
+        if engine.metrics is not None:
+            engine.metrics.gauge("queue_depth").set(len(ts.inbox))
         if kind in (OpKind.LEAF, OpKind.SPLIT):
             body = self._make_body(env, ts)
             yield from self._drive(body, env.token)
@@ -407,6 +411,9 @@ class SimController:
             base = env.frames[:-1]
         body = _BodyState(op, env.graph, env.node_id, ts, env.ctx_id, base, group)
         body.started_at = self.engine.sim.now
+        if self.engine.tracer is not None:
+            self.engine.trace("op_start", node=self.node_name,
+                              op=node.name, graph=env.graph.name)
         op.bind(
             ts.thread,
             lambda req, b=body: self._emit(b, req),
@@ -471,7 +478,20 @@ class SimController:
                     window = self._body_window(body)
                     if window is not None:
                         window.on_stall()
+                    engine = self.engine
+                    stalled_at = engine.sim.now
+                    if engine.tracer is not None:
+                        engine.trace("stall", node=self.node_name,
+                                     graph=body.graph.name)
+                    if engine.metrics is not None:
+                        engine.metrics.counter("stalls").inc()
                     yield admit
+                    waited = engine.sim.now - stalled_at
+                    if engine.tracer is not None:
+                        engine.trace("admit", node=self.node_name,
+                                     graph=body.graph.name, waited=waited)
+                    if engine.metrics is not None:
+                        engine.metrics.histogram("stall_seconds").observe(waited)
             elif isinstance(request, ChargeRequest):
                 yield from self._charge(request)
             elif isinstance(request, NextTokenRequest):
@@ -536,7 +556,7 @@ class SimController:
     def _finish_body(self, body: _BodyState) -> None:
         if self.engine.tracer is not None:
             self.engine.trace(
-                "op_done",
+                "op_end",
                 node=self.node_name,
                 op=body.graph.node(body.node_id).name,
                 graph=body.graph.name,
@@ -566,6 +586,8 @@ class SimController:
     def _emit(self, body: _BodyState, req: PostRequest) -> None:
         token = req.token
         node = body.graph.node(body.node_id)
+        if self.engine.metrics is not None:
+            self.engine.metrics.counter("tokens_posted").inc()
         if not isinstance(token, node.op_class.out_types):
             raise ScheduleError(
                 f"{node.op_class.__name__} posted {type(token).__name__}, "
@@ -721,7 +743,13 @@ class SimController:
             group_id=frame.group_id,
             routed_instance=frame.routed_instance,
         )
-        self.engine.send_control(self.node_name, frame.origin_node, ACK_BYTES, ack)
+        engine = self.engine
+        if engine.tracer is not None:
+            engine.trace("ack", node=self.node_name, graph=env.graph.name,
+                         opener=frame.opener, group=frame.group_id)
+        if engine.metrics is not None:
+            engine.metrics.counter("acks").inc()
+        engine.send_control(self.node_name, frame.origin_node, ACK_BYTES, ack)
 
     def _close_group(self, body: _BodyState) -> None:
         graph = body.graph

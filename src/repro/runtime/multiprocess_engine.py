@@ -32,25 +32,27 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.connection
 import threading
-from typing import Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from ..core.flowcontrol import FlowControlPolicy
 from ..core.graph import Flowgraph
 from ..net.kernel import CONSOLE_KERNEL, DistributedKernel, run_kernel_process
 from ..net.nameserver import run_name_server
 from ..serial.token import Token
-from .base import Application
+from .base import Engine
 from .controller import ScheduleError
 
 __all__ = ["MultiprocessEngine"]
 
 
-class MultiprocessEngine:
+class MultiprocessEngine(Engine):
     """Run DPS schedules on one OS process per logical node."""
 
-    def __init__(self, policy: FlowControlPolicy = FlowControlPolicy(),
+    def __init__(self, policy: Optional[FlowControlPolicy] = None,
                  dial_deadline: float = 15.0,
-                 startup_timeout: float = 30.0):
+                 startup_timeout: float = 30.0,
+                 tracer: Optional[Any] = None,
+                 metrics: Optional[Any] = None):
         try:
             self._mp = multiprocessing.get_context("fork")
         except ValueError as exc:  # pragma: no cover - non-POSIX platforms
@@ -58,10 +60,9 @@ class MultiprocessEngine:
                 "MultiprocessEngine requires the 'fork' start method; "
                 "use ThreadedEngine on this platform"
             ) from exc
-        self.policy = policy
+        super().__init__(policy=policy, tracer=tracer, metrics=metrics)
         self.dial_deadline = dial_deadline
         self.startup_timeout = startup_timeout
-        self._graphs: Dict[str, Flowgraph] = {}
         self._console: Optional[DistributedKernel] = None
         self._kernel_procs: Dict[str, multiprocessing.process.BaseProcess] = {}
         self._ns_proc: Optional[multiprocessing.process.BaseProcess] = None
@@ -69,28 +70,15 @@ class MultiprocessEngine:
         self._closed = False
 
     # ------------------------------------------------------------------
-    # registration
+    # registration (shared Engine base + fork-time freeze)
     # ------------------------------------------------------------------
-    def register_graph(self, graph: Flowgraph, app_name: str = "app") -> None:
+    def _register(self, graph: Flowgraph, app_name: str, name: str) -> None:
         if self._console is not None:
             raise ScheduleError(
                 "cannot register graphs after the kernel processes have "
                 "been forked; register everything before the first run()"
             )
-        existing = self._graphs.get(graph.name)
-        if existing is not None and existing is not graph:
-            raise ValueError(f"graph name {graph.name!r} already registered")
-        self._graphs[graph.name] = graph
-
-    def register_app(self, app: Application) -> None:
-        for graph in app.graphs.values():
-            self.register_graph(graph)
-
-    def graph(self, name: str) -> Flowgraph:
-        try:
-            return self._graphs[name]
-        except KeyError:
-            raise KeyError(f"unknown graph {name!r}") from None
+        super()._register(graph, app_name, name)
 
     @property
     def kernel_names(self) -> List[str]:
@@ -135,12 +123,13 @@ class MultiprocessEngine:
         # Fork the kernels BEFORE the console kernel spins up its service
         # threads — forking a multi-threaded parent is where the dragons
         # live.  Ordinal 0 is the console; workers start at 1.
+        trace_children = self.tracer is not None or self.metrics is not None
         for ordinal, name in enumerate(kernels, start=1):
             ready = self._mp.Event()
             proc = self._mp.Process(
                 target=run_kernel_process,
                 args=(name, ordinal, ns_address, peers, graphs,
-                      self.policy, ready),
+                      self.policy, ready, trace_children),
                 name=f"dps-kernel:{name}", daemon=True)
             proc.start()
             self._kernel_procs[name] = proc
@@ -152,9 +141,13 @@ class MultiprocessEngine:
                     f"kernel process {name!r} failed to start within "
                     f"{self.startup_timeout}s")
 
+        # The console records straight into the engine-level tracer and
+        # metrics registry; worker-kernel buffers merge into the same
+        # objects at collect_traces() time.
         console = DistributedKernel(
             CONSOLE_KERNEL, 0, ns_address, peers,
-            policy=self.policy, dial_deadline=self.dial_deadline)
+            policy=self.policy, dial_deadline=self.dial_deadline,
+            tracer=self.tracer, metrics=self.metrics)
         for graph in graphs:
             console.register_graph(graph)
         console.start()
@@ -184,13 +177,33 @@ class MultiprocessEngine:
                             f"(exitcode {proc.exitcode})"),
                         propagate=False)
 
+    def collect_traces(self, timeout: float = 5.0) -> List[str]:
+        """Merge every kernel's trace buffer/metrics into this engine's.
+
+        Runs automatically during :meth:`shutdown`; call it earlier to
+        inspect a mid-run timeline.  Returns kernels that failed to
+        answer (normally empty).
+        """
+        console = self._console
+        if console is None:
+            return []
+        return console.collect_traces(self._kernel_procs, timeout=timeout)
+
     def shutdown(self) -> None:
         """Tear the cluster down: shutdown barrier, then the processes."""
         if self._closed:
             return
         self._closed = True
-        self._closing.set()
         console = self._console
+        if console is not None and (
+                self.tracer is not None or self.metrics is not None):
+            # Pull per-kernel trace buffers into the engine tracer BEFORE
+            # ordering shutdown, while every peer still answers.
+            try:
+                console.collect_traces(self._kernel_procs)
+            except Exception:
+                pass  # observability must never block teardown
+        self._closing.set()
         if console is not None:
             # Stop treating peer errors as failures; we are leaving anyway.
             console._shutdown_requested.set()

@@ -15,7 +15,7 @@ Typical use::
     ... build graph ...
     engine.register_graph(graph)
     result = engine.run(graph, input_token)
-    print(result.makespan, engine.metrics())
+    print(result.makespan, engine.stats())
 
 Concurrent activity (pipelined client loops, services) uses
 :meth:`spawn` driver processes that ``yield engine.start(...)`` events.
@@ -38,8 +38,8 @@ from .base import (
     ACK_BYTES,
     DATA_HEADER_BYTES,
     AckMessage,
-    Application,
     DataEnvelope,
+    Engine,
     RunResult,
 )
 from .controller import ScheduleError, SimController
@@ -82,7 +82,7 @@ def _remote_send(engine: "SimEngine", env: DataEnvelope, payload, src: str,
         # so the memoized wire size stays exact.
         env.token = decode(payload, copy=False)
     if engine.tracer is not None:
-        engine.trace("msg", src=src, dest=dest, nbytes=nbytes)
+        engine.trace("token_send", src=src, dest=dest, nbytes=nbytes)
     engine.controllers[dest].receive(env)
 
 
@@ -92,34 +92,32 @@ def _ctl_send(engine: "SimEngine", src_node, dest_node, nbytes: int,
     engine.controllers[dest].receive(message)
 
 
-class SimEngine:
+class SimEngine(Engine):
     """Discrete-event execution engine over a modelled cluster."""
 
     def __init__(
         self,
         cluster: Union[Cluster, ClusterSpec],
-        policy: FlowControlPolicy = FlowControlPolicy(),
+        policy: Optional[FlowControlPolicy] = None,
         serialize_payloads: bool = True,
         charge_serialization: bool = True,
         tracer: Optional[Any] = None,
+        metrics: Optional[Any] = None,
     ):
+        super().__init__(policy=policy, tracer=tracer, metrics=metrics)
         self.sim = Simulator()
         self.cluster = (
             cluster if isinstance(cluster, Cluster) else Cluster(self.sim, cluster)
         )
-        self.policy = policy
         #: Encode/decode token payloads on remote transfers (authoritative
         #: wire sizes, enforces serializability).  Disable for very large
         #: payload sweeps; sizes then come from Token.payload_nbytes().
         self.serialize_payloads = serialize_payloads
         #: Charge token (de)serialization to node CPUs.
         self.charge_serialization = charge_serialization
-        self.tracer = tracer
         self.controllers: Dict[str, SimController] = {
             name: SimController(self, name) for name in self.cluster.node_names
         }
-        self._graphs: Dict[str, Flowgraph] = {}
-        self._graph_app: Dict[str, str] = {}
         #: (app, src, dst) pairs with an established TCP connection
         self._connected: set = set()
         self._group_counter = itertools.count(1)
@@ -127,26 +125,9 @@ class SimEngine:
         self._activations: Dict[int, _Activation] = {}
 
     # ------------------------------------------------------------------
-    # registration
+    # registration (shared Engine base; cluster placement validation)
     # ------------------------------------------------------------------
-    def register_app(self, app: Application) -> None:
-        """Register every graph of *app*; they can then be run or called."""
-        for name, graph in app.graphs.items():
-            self._register(graph, app.name, name)
-
-    def register_graph(self, graph: Flowgraph, app_name: str = "app") -> None:
-        """Register a standalone graph under a default application."""
-        self._register(graph, app_name, graph.name)
-
-    def _register(self, graph: Flowgraph, app_name: str, name: str) -> None:
-        existing = self._graphs.get(name)
-        if existing is not None and existing is not graph:
-            raise ValueError(f"graph name {name!r} already registered")
-        self._validate_mapping(graph)
-        self._graphs[name] = graph
-        self._graph_app[graph.name] = app_name
-
-    def _validate_mapping(self, graph: Flowgraph) -> None:
+    def _validate_graph(self, graph: Flowgraph) -> None:
         for collection in graph.collections():
             for node_name in collection.placements:
                 if node_name not in self.controllers:
@@ -155,14 +136,6 @@ class SimEngine:
                         f"{node_name!r}, which is not in the cluster "
                         f"{sorted(self.controllers)}"
                     )
-
-    def graph(self, name: str) -> Flowgraph:
-        try:
-            return self._graphs[name]
-        except KeyError:
-            raise KeyError(
-                f"unknown graph {name!r}; registered: {sorted(self._graphs)}"
-            ) from None
 
     def app_of(self, env: DataEnvelope) -> str:
         return self._graph_app.get(env.graph.name, "app")
@@ -187,9 +160,8 @@ class SimEngine:
     def next_group_id(self) -> int:
         return next(self._group_counter)
 
-    def trace(self, kind: str, **fields: Any) -> None:
-        if self.tracer is not None:
-            self.tracer.emit(self.sim.now, kind, **fields)
+    def _now(self) -> float:
+        return self.sim.now
 
     # ------------------------------------------------------------------
     # activations
@@ -392,6 +364,12 @@ class SimEngine:
         # The DPS communication layer builds/parses control structures and
         # runs the (near-zero-copy) serializer inline on each side.
         extra = dps_wire_overhead_seconds(nbytes) if self.charge_serialization else 0.0
+        if self.tracer is not None:
+            self.trace("serialize", node=src, seconds=extra, nbytes=nbytes)
+        if self.metrics is not None:
+            self.metrics.counter("wire_messages").inc()
+            self.metrics.counter("wire_bytes").inc(nbytes)
+            self.metrics.histogram("serialize_seconds").observe(extra)
         # delayed connection establishment (paper §4): the first data
         # object between two application instances opens the TCP socket
         conn_key = (self.app_of(env), src, dest)
@@ -577,10 +555,15 @@ class SimEngine:
                 )
 
     # ------------------------------------------------------------------
-    # metrics
+    # statistics
     # ------------------------------------------------------------------
-    def metrics(self) -> Dict[str, Any]:
-        """Aggregate run statistics (network, CPU, flow control)."""
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate run statistics (network, CPU, flow control).
+
+        Formerly ``metrics()`` — renamed so ``metrics=`` can hold an
+        attached :class:`~repro.trace.MetricsRegistry` uniformly across
+        engines.
+        """
         net = self.cluster.network
         per_node = {
             name: {

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from collections import deque
 from typing import Any, Deque, Dict, Optional, Tuple, Union
 
@@ -40,7 +41,7 @@ from ..core.routing import Route, RoutingContext
 from ..core.threads import ThreadCollection
 from ..serial.token import Token
 from ..serial.wire import decode, encode_segments, gather
-from .base import Application, DataEnvelope, GroupFrame
+from .base import DataEnvelope, Engine, GroupFrame
 from .controller import ScheduleError
 
 import inspect
@@ -110,7 +111,7 @@ class _Group:
 
 class _Body:
     __slots__ = ("op", "graph", "node_id", "worker", "ctx_id", "base_frames",
-                 "out_group_id", "posted", "group", "ctx_origin")
+                 "out_group_id", "posted", "group", "ctx_origin", "started_at")
 
     def __init__(self, op, graph, node_id, worker, ctx_id, base_frames,
                  group=None, ctx_origin=None):
@@ -126,6 +127,7 @@ class _Body:
         #: Kernel owning the activation's result queue (multiprocess
         #: runtime); ``None`` on the single-process engines.
         self.ctx_origin = ctx_origin
+        self.started_at = 0.0
 
     @property
     def kind(self):
@@ -136,17 +138,18 @@ class _Body:
         return self.kind in (OpKind.SPLIT, OpKind.STREAM)
 
 
-class ThreadedEngine:
+class ThreadedEngine(Engine):
     """Execute DPS schedules on real OS threads with blocking queues."""
 
-    def __init__(self, policy: FlowControlPolicy = FlowControlPolicy(),
-                 serialize_transfers: bool = True):
-        self.policy = policy
+    def __init__(self, policy: Optional[FlowControlPolicy] = None,
+                 serialize_transfers: bool = True,
+                 tracer: Optional[Any] = None,
+                 metrics: Optional[Any] = None):
+        super().__init__(policy=policy, tracer=tracer, metrics=metrics)
         #: Serialize tokens crossing logical node boundaries (wire-format
         #: round trip), as the DPS debugging kernels do.
         self.serialize_transfers = serialize_transfers
         self._lock = threading.RLock()
-        self._graphs: Dict[str, Flowgraph] = {}
         self._workers: Dict[Tuple[int, int], _ThreadWorker] = {}
         self._groups: Dict[int, _Group] = {}
         self._windows: Dict[Tuple[str, int, int], SplitWindow] = {}
@@ -165,25 +168,10 @@ class ThreadedEngine:
         self._origin_name: Optional[str] = None
 
     # ------------------------------------------------------------------
-    # registration / lifecycle
+    # lifecycle (registration comes from the shared Engine base; the old
+    # per-engine register_graph spelling with its "accepted for SimEngine
+    # parity" app_name shim is deprecated in favour of the base method)
     # ------------------------------------------------------------------
-    def register_graph(self, graph: Flowgraph, app_name: str = "app") -> None:
-        """Register *graph*; *app_name* is accepted for SimEngine parity."""
-        existing = self._graphs.get(graph.name)
-        if existing is not None and existing is not graph:
-            raise ValueError(f"graph name {graph.name!r} already registered")
-        self._graphs[graph.name] = graph
-
-    def register_app(self, app: Application) -> None:
-        for graph in app.graphs.values():
-            self.register_graph(graph)
-
-    def graph(self, name: str) -> Flowgraph:
-        try:
-            return self._graphs[name]
-        except KeyError:
-            raise KeyError(f"unknown graph {name!r}") from None
-
     def shutdown(self) -> None:
         """Stop all worker threads (idempotent)."""
         with self._lock:
@@ -195,12 +183,6 @@ class ThreadedEngine:
             w.inbox.put(_STOP)
         for w in workers:
             w.os_thread.join(timeout=5)
-
-    def __enter__(self) -> "ThreadedEngine":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.shutdown()
 
     # ------------------------------------------------------------------
     # running
@@ -237,6 +219,9 @@ class ThreadedEngine:
             self._results[ctx_id] = result_q
             route = self._route_for(graph, graph.entry, entry, None)
             instance = route(token)
+        if self.tracer is not None:
+            self.trace("activation_start", graph=graph.name,
+                       driver=entry.collection.node_of(instance))
         env = DataEnvelope(token, graph, graph.entry, instance, ctx_id, (),
                            ctx_origin=self._origin_name)
         self._deliver(env)
@@ -255,6 +240,8 @@ class ThreadedEngine:
                 self._results.pop(ctx_id, None)
         if isinstance(outcome, BaseException):
             raise outcome
+        if self.tracer is not None:
+            self.trace("activation_done", ctx=ctx_id)
         return outcome
 
     def _run_scatter(self, request: ScatterCallRequest, body: _Body) -> int:
@@ -275,6 +262,9 @@ class ThreadedEngine:
             ]
             route = self._route_for(graph, graph.entry, entry, None)
             instance = route(request.token)
+        if self.tracer is not None:
+            self.trace("activation_start", graph=graph.name,
+                       driver=entry.collection.node_of(instance))
         env = DataEnvelope(request.token, graph, graph.entry, instance,
                            ctx_id, (), ctx_origin=self._origin_name)
         self._deliver(env)
@@ -288,6 +278,8 @@ class ThreadedEngine:
             )
         with self._lock:
             state = self._scatters.pop(ctx_id)
+        if self.tracer is not None:
+            self.trace("activation_done", ctx=ctx_id, scatter=True)
         return state[2]
 
     def _scatter_token(self, ctx_id: int, token: Token) -> None:
@@ -350,8 +342,25 @@ class ThreadedEngine:
             # one owned buffer and let the receiving thread borrow
             # payloads from it (the buffer is owned solely by the
             # decoded token, so no defensive copy is needed).
-            wire = gather(encode_segments(env.token))
-            env.token = decode(wire, copy=False)
+            if self.tracer is None and self.metrics is None:
+                wire = gather(encode_segments(env.token))
+                env.token = decode(wire, copy=False)
+            else:
+                t0 = time.monotonic()
+                wire = gather(encode_segments(env.token))
+                env.token = decode(wire, copy=False)
+                seconds = time.monotonic() - t0
+                src = self._placement_of_current_thread()
+                dest = node.collection.node_of(env.instance)
+                if self.tracer is not None:
+                    self.trace("serialize", node=src or "driver",
+                               seconds=seconds, nbytes=len(wire))
+                    self.trace("token_send", src=src or "driver", dest=dest,
+                               nbytes=len(wire))
+                if self.metrics is not None:
+                    self.metrics.counter("wire_messages").inc()
+                    self.metrics.counter("wire_bytes").inc(len(wire))
+                    self.metrics.histogram("serialize_seconds").observe(seconds)
             env.wire_nbytes = None
         worker.inbox.put(env)
 
@@ -369,6 +378,12 @@ class ThreadedEngine:
     # ------------------------------------------------------------------
     def _handle_data(self, worker: _ThreadWorker, env: DataEnvelope) -> None:
         node = env.graph.node(env.node_id)
+        if self.tracer is not None:
+            self.trace("token_recv", node=node.collection.node_of(env.instance),
+                       op=node.name, graph=env.graph.name,
+                       depth=worker.inbox.qsize())
+        if self.metrics is not None:
+            self.metrics.gauge("queue_depth").set(worker.inbox.qsize())
         if node.kind in (OpKind.LEAF, OpKind.SPLIT):
             body = self._make_body(env, worker)
             self._drive(body, env.token)
@@ -439,9 +454,13 @@ class ThreadedEngine:
             else env.frames[:-1]
         body = _Body(op, env.graph, env.node_id, worker, env.ctx_id, base,
                      group, env.ctx_origin)
-        import time as _time
+        if self.tracer is not None:
+            body.started_at = time.monotonic()
+            self.trace("op_start",
+                       node=node.collection.node_of(env.instance),
+                       op=node.name, graph=env.graph.name)
         op.bind(worker.thread_obj, lambda req, b=body: self._emit(b, req),
-                now=_time.monotonic)
+                now=time.monotonic)
         return body
 
     # ------------------------------------------------------------------
@@ -474,7 +493,21 @@ class ThreadedEngine:
             if isinstance(request, PostRequest):
                 admit = request._admit_event
                 if admit is not None:
-                    admit.wait()  # blocking split stall
+                    if self.tracer is None and self.metrics is None:
+                        admit.wait()  # blocking split stall
+                    else:
+                        t0 = time.monotonic()
+                        admit.wait()  # blocking split stall
+                        waited = time.monotonic() - t0
+                        node = body.graph.node(body.node_id)
+                        if self.tracer is not None:
+                            self.trace("admit",
+                                       node=node.collection.node_of(
+                                           body.worker.index),
+                                       graph=body.graph.name, waited=waited)
+                        if self.metrics is not None:
+                            self.metrics.histogram(
+                                "stall_seconds").observe(waited)
             elif isinstance(request, ChargeRequest):
                 pass  # virtual cost: meaningless on the real-thread engine
             elif isinstance(request, NextTokenRequest):
@@ -507,6 +540,16 @@ class ThreadedEngine:
                 raise ScheduleError(f"bad yield {request!r} from {type(op).__name__}")
 
     def _finish_body(self, body: _Body) -> None:
+        if self.tracer is not None:
+            node = body.graph.node(body.node_id)
+            self.trace(
+                "op_end",
+                node=node.collection.node_of(body.worker.index),
+                op=node.name,
+                graph=body.graph.name,
+                duration=time.monotonic() - body.started_at,
+                posted=body.posted,
+            )
         group = body.group
         if group is not None:
             with self._lock:
@@ -529,6 +572,8 @@ class ThreadedEngine:
     def _emit(self, body: _Body, req: PostRequest) -> None:
         token = req.token
         node = body.graph.node(body.node_id)
+        if self.metrics is not None:
+            self.metrics.counter("tokens_posted").inc()
         if not any(isinstance(token, t) for t in node.op_class.out_types):
             raise ScheduleError(
                 f"{node.op_class.__name__} posted undeclared "
@@ -559,6 +604,13 @@ class ThreadedEngine:
                         (body, token, succ, seq, admit)
                     )
                     window.on_stall()
+                    if self.tracer is not None:
+                        self.trace("stall",
+                                   node=node.collection.node_of(
+                                       body.worker.index),
+                                   graph=body.graph.name)
+                    if self.metrics is not None:
+                        self.metrics.counter("stalls").inc()
                     return
             env = self._route_env(body, token, succ, seq, window)
         self._deliver(env)
@@ -636,6 +688,13 @@ class ThreadedEngine:
     def _ack(self, env: DataEnvelope) -> None:
         """Consume-side ack (caller holds the lock)."""
         frame = env.top_frame()
+        if self.tracer is not None:
+            node = env.graph.node(env.node_id)
+            self.trace("ack", node=node.collection.node_of(env.instance),
+                       graph=env.graph.name, opener=frame.opener,
+                       group=frame.group_id)
+        if self.metrics is not None:
+            self.metrics.counter("acks").inc()
         self._send_ack(env.graph.name, frame.opener, frame.opener_instance,
                        frame.origin_node, frame.routed_instance)
 

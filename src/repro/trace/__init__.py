@@ -1,7 +1,12 @@
-"""Execution tracing and text timeline reports."""
+"""Execution tracing, metrics, timeline reports and Perfetto export."""
 
+from . import events
+from .events import DETERMINISTIC_KINDS, EVENT_KINDS
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .timeline import (
     activity_timeline,
+    chrome_trace_events,
+    export_chrome_trace,
     message_summary,
     op_durations,
     op_summary,
@@ -10,9 +15,18 @@ from .timeline import (
 from .tracer import TraceEvent, Tracer
 
 __all__ = [
+    "Counter",
+    "DETERMINISTIC_KINDS",
+    "EVENT_KINDS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
     "TraceEvent",
     "Tracer",
     "activity_timeline",
+    "chrome_trace_events",
+    "events",
+    "export_chrome_trace",
     "message_summary",
     "op_durations",
     "op_summary",

@@ -1,21 +1,32 @@
-"""Text reports over traces: per-node activity timelines and summaries.
+"""Reports and exports over traces: text timelines and Chrome trace JSON.
 
 The flow graph "can be easily visualized and represents therefore a
 valuable tool for thinking and experimenting with different
 parallelization strategies" (paper §6); these helpers provide the
-terminal-friendly equivalent for *executions*: who fired what when, and
-how busy each node was.
+equivalent for *executions*: terminal-friendly summaries of who fired
+what when and how busy each node was, plus a Chrome trace-event JSON
+export (:func:`export_chrome_trace`) loadable in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing`` for interactive
+inspection of computation/communication overlap.
+
+All report functions consume the unified event vocabulary of
+:mod:`repro.trace.events`, so they work identically on traces from the
+simulated, threaded and multiprocess engines.  Real-engine timestamps
+are raw monotonic seconds; every report normalises to the first event.
 """
 
 from __future__ import annotations
 
+import json
 from collections import Counter, defaultdict
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
+from . import events as ev_kinds
 from .tracer import Tracer
 
 __all__ = ["activity_timeline", "op_summary", "message_summary",
-           "op_durations", "utilization_report"]
+           "op_durations", "utilization_report",
+           "chrome_trace_events", "export_chrome_trace"]
 
 
 def activity_timeline(
@@ -26,16 +37,20 @@ def activity_timeline(
     """An ASCII density timeline of op firings per node.
 
     Each row is a node; each column a time bucket; the glyph encodes how
-    many operations fired in that bucket (`` .:-=+*#%@`` scale).
+    many operations fired in that bucket (`` .:-=+*#%@`` scale).  Times
+    are relative to the first token arrival (real engines trace raw
+    monotonic clocks).
     """
-    events = tracer.filter("op_token")
+    events = tracer.filter(ev_kinds.TOKEN_RECV)
     if not events:
         return "(no op events traced)"
-    t_end = until if until is not None else max(ev.time for ev in events)
+    t0 = min(ev.time for ev in events)
+    t_end = (until if until is not None
+             else max(ev.time for ev in events) - t0)
     t_end = max(t_end, 1e-12)
     buckets: Dict[str, List[int]] = defaultdict(lambda: [0] * width)
     for ev in events:
-        col = min(int(ev.time / t_end * width), width - 1)
+        col = min(int((ev.time - t0) / t_end * width), width - 1)
         buckets[ev.fields["node"]][col] += 1
     glyphs = " .:-=+*#%@"
     peak = max(max(row) for row in buckets.values()) or 1
@@ -51,9 +66,10 @@ def activity_timeline(
 
 
 def op_summary(tracer: Tracer) -> str:
-    """Operation firing counts per (node, op) pair."""
+    """Token-arrival counts per (node, op) pair."""
     counts = Counter(
-        (ev.fields["node"], ev.fields["op"]) for ev in tracer.filter("op_token")
+        (ev.fields["node"], ev.fields["op"])
+        for ev in tracer.filter(ev_kinds.TOKEN_RECV)
     )
     if not counts:
         return "(no op events traced)"
@@ -67,7 +83,7 @@ def message_summary(tracer: Tracer) -> str:
     """Bytes and message counts per (src, dest) pair."""
     bytes_by_pair: Dict[tuple, int] = Counter()
     msgs_by_pair: Dict[tuple, int] = Counter()
-    for ev in tracer.filter("msg"):
+    for ev in tracer.filter(ev_kinds.TOKEN_SEND):
         pair = (ev.fields["src"], ev.fields["dest"])
         bytes_by_pair[pair] += ev.fields["nbytes"]
         msgs_by_pair[pair] += 1
@@ -83,19 +99,19 @@ def message_summary(tracer: Tracer) -> str:
 
 
 def op_durations(tracer: Tracer) -> str:
-    """Total/mean busy duration per operation (from op_done events).
+    """Total/mean busy duration per operation (from op_end events).
 
     Durations include time a merge/stream body spent parked waiting for
     its group, so long-lived collectors legitimately dominate.
     """
     totals: Dict[tuple, float] = defaultdict(float)
     counts: Dict[tuple, int] = Counter()
-    for ev in tracer.filter("op_done"):
+    for ev in tracer.filter(ev_kinds.OP_END):
         key = (ev.fields["node"], ev.fields["op"])
         totals[key] += ev.fields["duration"]
         counts[key] += 1
     if not counts:
-        return "(no op_done events traced)"
+        return "(no op_end events traced)"
     lines = [f"{'node':>10} {'operation':<24} {'bodies':>7} "
              f"{'total [s]':>10} {'mean [ms]':>10}"]
     for key in sorted(counts):
@@ -131,3 +147,95 @@ def utilization_report(engine) -> str:
             f"{node.compute_time:>12.4f}"
         )
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event export (Perfetto / chrome://tracing)
+# ---------------------------------------------------------------------------
+
+_DEFAULT_PID = "run"
+
+
+def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
+    """Translate a trace into Chrome trace-event JSON records.
+
+    The mapping: process rows are ``pid`` fields (kernel names on merged
+    multiprocess traces, one ``run`` process otherwise), thread rows are
+    nodes, ``op_end`` becomes a complete ("X") slice spanning the body's
+    duration, everything else an instant ("i").  Metadata ("M") records
+    name the rows.  Every event carries the required
+    ``ph``/``ts``/``pid``/``tid``/``name`` keys; timestamps are
+    microseconds relative to the first event.
+    """
+    if not tracer.events:
+        return []
+    t0 = min(e.time for e in tracer.events)
+
+    pid_ids: Dict[str, int] = {}
+    tid_ids: Dict[tuple, int] = {}
+    out: List[Dict[str, Any]] = []
+
+    def pid_of(ev) -> int:
+        name = ev.fields.get("pid", _DEFAULT_PID)
+        pid = pid_ids.get(name)
+        if pid is None:
+            pid = pid_ids[name] = len(pid_ids) + 1
+            out.append({"ph": "M", "ts": 0, "pid": pid, "tid": 0,
+                        "name": "process_name", "args": {"name": name}})
+        return pid
+
+    def tid_of(ev, pid: int) -> int:
+        node = ev.fields.get("node") or ev.fields.get("dest") \
+            or ev.fields.get("driver") or "engine"
+        tid = tid_ids.get((pid, node))
+        if tid is None:
+            tid = tid_ids[(pid, node)] = \
+                sum(1 for key in tid_ids if key[0] == pid) + 1
+            out.append({"ph": "M", "ts": 0, "pid": pid, "tid": tid,
+                        "name": "thread_name", "args": {"name": str(node)}})
+        return tid
+
+    for ev in tracer.events:
+        pid = pid_of(ev)
+        tid = tid_of(ev, pid)
+        ts = (ev.time - t0) * 1e6
+        args = {k: v for k, v in ev.fields.items()
+                if isinstance(v, (str, int, float, bool))}
+        if ev.kind == ev_kinds.OP_END:
+            dur = ev.fields.get("duration", 0.0) * 1e6
+            out.append({
+                "ph": "X",
+                "ts": max(ts - dur, 0.0),
+                "dur": dur,
+                "pid": pid,
+                "tid": tid,
+                "name": str(ev.fields.get("op", ev.kind)),
+                "cat": ev.kind,
+                "args": args,
+            })
+        else:
+            out.append({
+                "ph": "i",
+                "ts": ts,
+                "pid": pid,
+                "tid": tid,
+                "name": ev.kind,
+                "cat": ev.kind,
+                "s": "t",
+                "args": args,
+            })
+    return out
+
+
+def export_chrome_trace(tracer: Tracer, path: str) -> int:
+    """Write the trace as Chrome trace-event JSON to *path*.
+
+    Open the file in Perfetto (https://ui.perfetto.dev) or
+    ``chrome://tracing``.  Returns the number of records written
+    (including row-naming metadata).
+    """
+    records = chrome_trace_events(tracer)
+    with open(path, "w") as fh:
+        json.dump({"traceEvents": records,
+                   "displayTimeUnit": "ms"}, fh)
+    return len(records)

@@ -10,7 +10,6 @@ import numpy as np
 import pytest
 
 from repro.apps.strings import StringToken, build_uppercase_graph
-from repro.cluster import paper_cluster
 from repro.core import (
     ConstantRoute,
     DpsThread,
@@ -25,8 +24,7 @@ from repro.core import (
     ThreadCollection,
     route_fn,
 )
-from repro.runtime import SimEngine
-from repro.runtime.threaded_engine import ThreadedEngine
+from repro.runtime import create_engine
 from repro.serial import Buffer, ComplexToken, SimpleToken
 
 
@@ -125,10 +123,10 @@ def expected_result(n):
 
 @pytest.mark.parametrize("n", [1, 5, 17])
 def test_numeric_pipeline_identical_across_engines(n):
-    sim_engine = SimEngine(paper_cluster(3))
+    sim_engine = create_engine("sim", nodes=3)
     sim_out = sim_engine.run(numeric_graph("s"), XJob(n)).token.total.array
 
-    with ThreadedEngine() as teng:
+    with create_engine("threaded") as teng:
         thr_out = teng.run(numeric_graph("t"), XJob(n)).total.array
 
     reference = expected_result(n)
@@ -140,10 +138,10 @@ def test_numeric_pipeline_identical_across_engines(n):
 def test_uppercase_identical_across_engines():
     text = "engines must agree on results"
     g1, *_ = build_uppercase_graph("node01", "node02 node03", name="up-sim")
-    sim_out = SimEngine(paper_cluster(3)).run(g1, StringToken(text)).token.text
+    sim_out = create_engine("sim", nodes=3).run(g1, StringToken(text)).token.text
 
     g2, *_ = build_uppercase_graph("hostA", "hostB hostC", name="up-thr")
-    with ThreadedEngine() as teng:
+    with create_engine("threaded") as teng:
         thr_out = teng.run(g2, StringToken(text)).text
     assert sim_out == thr_out == text.upper()
 
@@ -151,12 +149,12 @@ def test_uppercase_identical_across_engines():
 def test_flow_control_semantics_match():
     """Window=1 must complete on both engines (lock-step, no deadlock)."""
     g1 = numeric_graph("fc-s")
-    sim_engine = SimEngine(paper_cluster(3),
-                           policy=FlowControlPolicy(window=1))
+    sim_engine = create_engine("sim", nodes=3,
+                               policy=FlowControlPolicy(window=1))
     sim_out = sim_engine.run(g1, XJob(6)).token.total.array
 
     g2 = numeric_graph("fc-t")
-    with ThreadedEngine(policy=FlowControlPolicy(window=1)) as teng:
+    with create_engine("threaded", policy=FlowControlPolicy(window=1)) as teng:
         thr_out = teng.run(g2, XJob(6)).total.array
     assert np.allclose(sim_out, thr_out)
 
@@ -181,8 +179,8 @@ def test_error_semantics_match():
         )
 
     with pytest.raises(ValueError, match="engine-agnostic crash"):
-        SimEngine(paper_cluster(2)).run(graph("s"), XJob(2))
-    with ThreadedEngine() as teng:
+        create_engine("sim", nodes=2).run(graph("s"), XJob(2))
+    with create_engine("threaded") as teng:
         with pytest.raises(ValueError, match="engine-agnostic crash"):
             teng.run(graph("t"), XJob(2), timeout=10)
 
@@ -195,14 +193,13 @@ def test_error_semantics_match():
 from repro.apps.gameoflife import DistributedGameOfLife, life_step
 from repro.apps.lu import DistributedLU
 from repro.apps.ring import RingJobToken, build_ring_graph
-from repro.runtime import MultiprocessEngine
 
 FOUR_NODES = ["node01", "node02", "node03", "node04"]
 
 
 @pytest.mark.parametrize("n", [1, 5, 17])
 def test_numeric_pipeline_identical_on_multiprocess(n):
-    with MultiprocessEngine() as engine:
+    with create_engine("multiprocess") as engine:
         g = numeric_graph(f"mp{n}")
         engine.register_graph(g)
         mp_out = engine.run(g, XJob(n), timeout=60).total.array
@@ -213,16 +210,16 @@ def test_uppercase_identical_across_three_engines():
     text = "engines must agree on results"
     g1, *_ = build_uppercase_graph("node01", "node02 node03 node04",
                                    name="up3-sim")
-    sim_out = SimEngine(paper_cluster(4)).run(g1, StringToken(text)).token.text
+    sim_out = create_engine("sim", nodes=4).run(g1, StringToken(text)).token.text
 
     g2, *_ = build_uppercase_graph("hostA", "hostB hostC hostD",
                                    name="up3-thr")
-    with ThreadedEngine() as teng:
+    with create_engine("threaded") as teng:
         thr_out = teng.run(g2, StringToken(text)).text
 
     g3, *_ = build_uppercase_graph(FOUR_NODES[0], " ".join(FOUR_NODES[1:]),
                                    name="up3-mp")
-    with MultiprocessEngine() as meng:
+    with create_engine("multiprocess") as meng:
         meng.register_graph(g3)
         assert len(meng.kernel_names) >= 4
         mp_out = meng.run(g3, StringToken(text), timeout=60).text
@@ -230,10 +227,10 @@ def test_uppercase_identical_across_three_engines():
 
 
 def test_ring_identical_across_engines():
-    with ThreadedEngine() as teng:
+    with create_engine("threaded") as teng:
         thr_done = teng.run(build_ring_graph(FOUR_NODES),
                             RingJobToken(2048, 10))
-    with MultiprocessEngine() as meng:
+    with create_engine("multiprocess") as meng:
         g = build_ring_graph(FOUR_NODES)
         meng.register_graph(g)
         mp_done = meng.run(g, RingJobToken(2048, 10), timeout=60)
@@ -257,10 +254,10 @@ def test_gameoflife_identical_across_engines():
         gol.step(improved=False)
         return gol.gather()
 
-    sim_out = run_on(SimEngine(paper_cluster(4)))
-    with ThreadedEngine() as teng:
+    sim_out = run_on(create_engine("sim", nodes=4))
+    with create_engine("threaded") as teng:
         thr_out = run_on(teng)
-    with MultiprocessEngine() as meng:
+    with create_engine("multiprocess") as meng:
         mp_out = run_on(meng)
 
     assert np.array_equal(sim_out, reference)
@@ -280,10 +277,10 @@ def test_lu_identical_across_engines():
         assert lu.check()
         return fact, pivots
 
-    sim_fact, sim_piv = run_on(SimEngine(paper_cluster(4)))
-    with ThreadedEngine() as teng:
+    sim_fact, sim_piv = run_on(create_engine("sim", nodes=4))
+    with create_engine("threaded") as teng:
         thr_fact, thr_piv = run_on(teng)
-    with MultiprocessEngine() as meng:
+    with create_engine("multiprocess") as meng:
         mp_fact, mp_piv = run_on(meng)
 
     assert np.allclose(sim_fact, thr_fact)
@@ -295,7 +292,7 @@ def test_lu_identical_across_engines():
 
 def test_flow_control_semantics_match_multiprocess():
     """Window=1 lock-step must complete across process boundaries too."""
-    with MultiprocessEngine(policy=FlowControlPolicy(window=1)) as meng:
+    with create_engine("multiprocess", policy=FlowControlPolicy(window=1)) as meng:
         g = numeric_graph("fc-m")
         meng.register_graph(g)
         mp_out = meng.run(g, XJob(6), timeout=60).total.array
@@ -319,7 +316,7 @@ def test_error_semantics_match_multiprocess():
         >> FlowgraphNode(XMerge, main),
         "boom-mp",
     )
-    with MultiprocessEngine() as meng:
+    with create_engine("multiprocess") as meng:
         meng.register_graph(g)
         with pytest.raises(ValueError, match="engine-agnostic crash"):
             meng.run(g, XJob(2), timeout=30)

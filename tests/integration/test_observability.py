@@ -1,0 +1,78 @@
+"""Observability parity: one event vocabulary across all three engines.
+
+The tentpole guarantee of the unified tracing layer (DESIGN.md): the
+same application traced on the simulated, threaded and multiprocess
+engines produces the same *schedule-determined* event counts; only
+timing (and timing-dependent kinds like stall/admit) may differ.  The
+multiprocess engine additionally merges per-kernel buffers into one
+timeline with distinct pids.
+"""
+
+import json
+
+from repro import MetricsRegistry, Tracer, create_engine, export_chrome_trace
+from repro.apps.ring import RingJobToken, build_ring_graph
+from repro.apps.strings import StringToken, build_uppercase_graph
+from repro.trace import DETERMINISTIC_KINDS, EVENT_KINDS
+
+ENGINES = ["sim", "threaded", "multiprocess"]
+FOUR_NODES = ["node01", "node02", "node03", "node04"]
+
+
+def traced_strings_run(kind):
+    tracer = Tracer()
+    graph, *_ = build_uppercase_graph(
+        FOUR_NODES[0], " ".join(FOUR_NODES[1:]), name=f"obs-{kind}")
+    with create_engine(kind, nodes=4, tracer=tracer) as engine:
+        engine.register_graph(graph)
+        out = engine.run(graph, StringToken("observe me uniformly"))
+    text = out.token.text if kind == "sim" else out.text
+    assert text == "OBSERVE ME UNIFORMLY"
+    return tracer
+
+
+def test_event_kind_parity_across_engines():
+    fingerprints = {}
+    for kind in ENGINES:
+        tracer = traced_strings_run(kind)
+        kinds = tracer.kinds()
+        assert set(kinds) <= EVENT_KINDS, f"unknown kinds on {kind}"
+        # engine-dependent kinds must still be *present* where expected
+        assert kinds.get("token_send", 0) > 0
+        fingerprints[kind] = {
+            k: v for k, v in kinds.items() if k in DETERMINISTIC_KINDS
+        }
+    assert fingerprints["sim"] == fingerprints["threaded"] \
+        == fingerprints["multiprocess"]
+
+
+def test_multiprocess_trace_merges_every_kernel():
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    graph = build_ring_graph(FOUR_NODES)
+    with create_engine("multiprocess",
+                       tracer=tracer, metrics=metrics) as engine:
+        engine.register_graph(graph)
+        done = engine.run(graph, RingJobToken(1024, 8), timeout=60)
+    assert done.blocks == 8
+    # every kernel process shipped its buffer back to the console
+    assert set(FOUR_NODES) <= tracer.pids()
+    snap = metrics.snapshot()
+    assert snap["counters"].get("tokens_posted", 0) > 0
+    assert snap["counters"].get("wire_bytes", 0) > 0
+
+
+def test_chrome_trace_schema(tmp_path):
+    tracer = traced_strings_run("threaded")
+    path = tmp_path / "trace.json"
+    n = export_chrome_trace(tracer, str(path))
+    doc = json.loads(path.read_text())
+    events = doc["traceEvents"]
+    assert len(events) == n > 0
+    for record in events:
+        for key in ("ph", "ts", "pid", "tid", "name"):
+            assert key in record, f"missing {key!r} in {record}"
+        assert record["ph"] in {"X", "i", "M"}
+        assert record["ts"] >= 0
+    # op_end events become complete ("X") slices with durations
+    assert any(r["ph"] == "X" and r.get("dur", 0) >= 0 for r in events)

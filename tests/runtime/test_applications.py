@@ -84,7 +84,7 @@ def test_metrics_shape():
     engine = SimEngine(paper_cluster(2))
     graph, *_ = build_uppercase_graph("node01", "node02")
     engine.run(graph, StringToken("abc"))
-    m = engine.metrics()
+    m = engine.stats()
     assert set(m) >= {"time", "network_bytes", "network_messages",
                       "local_messages", "nodes", "window_stalls",
                       "tokens_posted"}

@@ -138,7 +138,7 @@ def test_runs_are_deterministic(values, window):
         _counter[0] += 1
         engine, graph = build(3, RoundRobinRoute, window, _counter[0])
         r = engine.run(graph, PJob(values))
-        return r.makespan, engine.metrics()["network_bytes"]
+        return r.makespan, engine.stats()["network_bytes"]
 
     assert once("a") == once("b")
 

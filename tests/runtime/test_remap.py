@@ -25,7 +25,7 @@ def test_remap_moves_stateless_workers():
     r2 = engine.run(graph, StringToken("after"))
     assert r2.token.text == "AFTER"
     # the ops now fire on node03/node04; node02 no longer participates
-    fired_on = {e.node for e in tracer.filter("op_token")
+    fired_on = {e.node for e in tracer.filter("token_recv")
                 if e.op == "ToUpperCase"}
     assert fired_on == {"node03", "node04"}
 
@@ -89,6 +89,6 @@ def test_remap_of_never_instantiated_threads():
     assert report["migrated"] == 0
     result = engine.run(graph, StringToken("lazy"))
     assert result.token.text == "LAZY"
-    fired_on = {e.node for e in engine.tracer.filter("op_token")
+    fired_on = {e.node for e in engine.tracer.filter("token_recv")
                 if e.op == "ToUpperCase"}
     assert fired_on == {"node03"}

@@ -56,7 +56,7 @@ def test_run_returns_metrics():
     engine = make_engine(2)
     graph, *_ = build_uppercase_graph("node01", "node02")
     engine.run(graph, StringToken("xyz"))
-    m = engine.metrics()
+    m = engine.stats()
     assert m["network_messages"] > 0
     assert m["network_bytes"] > 0
     assert m["tokens_posted"] == 3
@@ -91,7 +91,7 @@ def test_determinism_same_seedless_run():
         engine = make_engine(4)
         graph, *_ = build_uppercase_graph("node01", "node02 node03 node04")
         r = engine.run(graph, StringToken("determinism"))
-        return r.makespan, engine.metrics()["network_bytes"]
+        return r.makespan, engine.stats()["network_bytes"]
 
     assert once() == once()
 

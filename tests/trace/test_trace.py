@@ -19,15 +19,15 @@ def test_tracer_records_events():
     assert len(tracer) > 0
     assert tracer.count("activation_start") == 1
     assert tracer.count("activation_done") == 1
-    assert tracer.count("op_token") >= 15  # one per char plus split/merge
-    assert tracer.count("msg") > 0
+    assert tracer.count("token_recv") >= 15  # one per char plus split/merge
+    assert tracer.count("token_send") > 0
 
 
 def test_tracer_filter_and_span():
     tracer = traced_run()
-    ops = tracer.filter("op_token")
-    assert all(ev.kind == "op_token" for ev in ops)
-    merges = tracer.filter("op_token", predicate=lambda e: e.op == "MergeString")
+    ops = tracer.filter("token_recv")
+    assert all(ev.kind == "token_recv" for ev in ops)
+    merges = tracer.filter("token_recv", predicate=lambda e: e.op == "MergeString")
     assert len(merges) >= 1
     start, end = tracer.span()
     assert 0 <= start <= end
@@ -35,7 +35,7 @@ def test_tracer_filter_and_span():
 
 def test_tracer_attribute_access():
     tracer = traced_run()
-    ev = tracer.filter("msg")[0]
+    ev = tracer.filter("token_send")[0]
     assert ev.nbytes > 0
     assert isinstance(ev.src, str)
 
@@ -93,10 +93,10 @@ def test_op_durations_report():
     assert "bodies" in text and "mean [ms]" in text
 
 
-def test_op_done_events_have_durations():
+def test_op_end_events_have_durations():
     tracer = traced_run()
-    dones = tracer.filter("op_done")
-    assert dones, "op_done events should be traced"
+    dones = tracer.filter("op_end")
+    assert dones, "op_end events should be traced"
     assert all(ev.duration >= 0 for ev in dones)
     merge = [ev for ev in dones if ev.op == "MergeString"]
     split = [ev for ev in dones if ev.op == "SplitString"]
