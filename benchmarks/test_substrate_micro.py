@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.apps.strings import StringToken, build_uppercase_graph
 from repro.cluster import paper_cluster
+from repro.net import ConnectionPool
 from repro.runtime import SimEngine
 from repro.serial import Buffer, ComplexToken, decode, encode
 from repro.simkernel import Simulator
@@ -23,6 +24,7 @@ CEILING_WIRE_1MB = 0.020
 CEILING_SMALL_BURST = 0.300
 CEILING_EVENT_RATE = 0.150
 CEILING_ENGINE_RATE = 0.800
+CEILING_POOL_SEND_BURST = 0.100
 
 
 def _best_seconds(benchmark):
@@ -95,3 +97,32 @@ def test_engine_token_rate(benchmark):
     text = benchmark.pedantic(run_schedule, rounds=3, iterations=1)
     assert text == "A" * 300
     assert _best_seconds(benchmark) < CEILING_ENGINE_RATE
+
+
+def test_pool_send_hot_path_rate(benchmark):
+    """``ConnectionPool.send`` to an already-dialed peer: a lock-free dict
+    probe plus an outbox append.  PR 2 paid a lock acquire/release per
+    token here; this pins the fixed cost down."""
+
+    class NullConn:
+        sent = 0
+
+        def send(self, segments):
+            NullConn.sent += 1
+
+        def close(self, flush_timeout=5.0):
+            pass
+
+    pool = ConnectionPool(None, hello_from="bench",
+                          on_error=lambda peer, exc: None)
+    pool._peers["peer"] = NullConn()
+    payload = [bytearray(b"x" * 64)]
+
+    def burst():
+        send = pool.send
+        for _ in range(10_000):
+            send("peer", payload)
+
+    benchmark(burst)
+    assert NullConn.sent >= 10_000
+    assert _best_seconds(benchmark) < CEILING_POOL_SEND_BURST

@@ -63,6 +63,7 @@ from .runtime import (
     ThreadedEngine,
     create_engine,
 )
+from .net import TransportPolicy
 from .serial import Buffer, ComplexToken, SimpleToken, Token, Vector
 from .trace import MetricsRegistry, Tracer, export_chrome_trace
 
@@ -102,6 +103,7 @@ __all__ = [
     "ThreadedEngine",
     "Token",
     "Tracer",
+    "TransportPolicy",
     "Vector",
     "create_engine",
     "export_chrome_trace",

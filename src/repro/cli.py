@@ -19,6 +19,7 @@ trace-event JSON — open it at https://ui.perfetto.dev.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -145,7 +146,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="record a unified event timeline and write Chrome trace-event "
              "JSON to FILE (view at https://ui.perfetto.dev)",
     )
+    parser.add_argument(
+        "--unbatched", action="store_true",
+        help="multiprocess engine: disable outbox coalescing and ack "
+             "aggregation (sets REPRO_TRANSPORT_BATCH=0; the frame-at-a-"
+             "time wire path, for A/B comparison)",
+    )
+    parser.add_argument(
+        "--no-shm", action="store_true",
+        help="multiprocess engine: disable the shared-memory payload lane "
+             "between co-located kernels (sets REPRO_SHM=0)",
+    )
     args = parser.parse_args(argv)
+
+    # Resolved by TransportPolicy.from_env() in the engine and inherited
+    # by every forked kernel; harmless on the sim/threaded engines.
+    if args.unbatched:
+        os.environ["REPRO_TRANSPORT_BATCH"] = "0"
+    if args.no_shm:
+        os.environ["REPRO_SHM"] = "0"
 
     if args.experiment == "list":
         for name, runner in sorted(ALL.items()):

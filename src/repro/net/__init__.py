@@ -8,8 +8,20 @@ discovery with lazy connection establishment
 distributed kernel itself (:mod:`~repro.net.kernel`).
 """
 
-from .connections import ConnectionPool, DialError, PeerConnection, dial_kernel
-from .framing import MAX_SENDMSG_SEGMENTS, recv_message, send_message
+from .connections import (
+    ConnectionPool,
+    DialError,
+    PeerConnection,
+    TransportPolicy,
+    dial_kernel,
+)
+from .framing import (
+    MAX_SENDMSG_SEGMENTS,
+    FrameReader,
+    recv_message,
+    send_message,
+    send_messages,
+)
 from .kernel import (
     CONSOLE_KERNEL,
     KERNEL_ORDINAL_SHIFT,
@@ -24,6 +36,7 @@ from .nameserver import (
     UnknownKernel,
     run_name_server,
 )
+from .shm import ShmReceiver, ShmSender, host_fingerprint
 
 __all__ = [
     "CONSOLE_KERNEL",
@@ -31,16 +44,22 @@ __all__ = [
     "DialError",
     "DistributedKernel",
     "DuplicateRegistration",
+    "FrameReader",
     "KERNEL_ORDINAL_SHIFT",
     "MAX_SENDMSG_SEGMENTS",
     "NameServer",
     "NameServerClient",
     "NameServerError",
     "PeerConnection",
+    "ShmReceiver",
+    "ShmSender",
+    "TransportPolicy",
     "UnknownKernel",
     "dial_kernel",
+    "host_fingerprint",
     "recv_message",
     "run_kernel_process",
     "run_name_server",
     "send_message",
+    "send_messages",
 ]

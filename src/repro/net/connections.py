@@ -14,24 +14,105 @@ by a writer thread that owns all blocking socket I/O, so posting a token
 to a remote kernel is a queue append — never a network wait under the
 engine lock — and per-peer FIFO ordering is preserved (acks must not
 overtake the data tokens they answer).
+
+The writer drains the *whole* outbox each wakeup and flushes the batch
+with a single vectored :func:`~repro.net.framing.send_messages` call
+(chunked below IOV_MAX and a byte budget), so a burst of small tokens
+costs one syscall instead of one per frame.  When the peer's HELLO-time
+host fingerprint matches ours, payload segments above a size threshold
+take the :mod:`~repro.net.shm` shared-memory lane and only descriptor
+frames hit the TCP stack.  Everything is tuned through a
+:class:`TransportPolicy`.
 """
 
 from __future__ import annotations
 
+import os
 import queue
 import socket
 import threading
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..serial.wire import Segment
-from .framing import send_message
+from .framing import send_message, send_messages
 from .nameserver import NameServerClient, NameServerError, UnknownKernel
-from .protocol import encode_hello
+from .protocol import encode_hello, encode_shm_attach
+from .shm import ShmSender, host_fingerprint
 
-__all__ = ["dial_kernel", "PeerConnection", "ConnectionPool", "DialError"]
+__all__ = ["dial_kernel", "PeerConnection", "ConnectionPool", "DialError",
+           "TransportPolicy"]
 
 _CLOSE = object()
+
+
+@dataclass(frozen=True)
+class TransportPolicy:
+    """Tuning knobs for the kernel-to-kernel wire path.
+
+    The defaults enable everything: outbox coalescing, ack aggregation
+    and the shared-memory lane for co-located kernels.  Pass an instance
+    to ``MultiprocessEngine(transport=...)`` (or export the environment
+    variables read by :meth:`from_env`) to tune or disable parts of it;
+    :meth:`unbatched` reproduces the frame-at-a-time PR 2 behaviour for
+    A/B benchmarking.
+    """
+
+    #: Drain the whole outbox per writer wakeup and flush it with
+    #: vectored multi-frame sends.
+    coalescing: bool = True
+    #: Byte budget per ``sendmsg`` when coalescing (segments are never
+    #: split; one oversized segment still goes out whole).
+    max_batch_bytes: int = 1 << 20
+    #: Frames drained from the outbox per flush.
+    max_batch_frames: int = 256
+    #: Seconds buffered acks may wait before a timed flush; ``0``
+    #: disables aggregation entirely.
+    ack_flush_window: float = 0.001
+    #: Buffered acks per peer that force an immediate flush; ``<= 1``
+    #: disables aggregation entirely.
+    ack_batch_limit: int = 128
+    #: Use a shared-memory arena towards same-host peers.
+    shm_enabled: bool = True
+    #: Segments at or above this size take the shm lane.
+    shm_threshold: int = 1 << 14
+    #: Arena size per peer connection.
+    shm_arena_bytes: int = 1 << 24
+    #: ``recv`` size of the batch-aware frame reader.
+    recv_buffer_bytes: int = 1 << 18
+
+    @property
+    def ack_aggregation(self) -> bool:
+        return self.ack_batch_limit > 1 and self.ack_flush_window > 0
+
+    @classmethod
+    def unbatched(cls) -> "TransportPolicy":
+        """The PR 2 wire path: one syscall per frame, one frame per ack,
+        every payload through TCP.  Kept for A/B benchmarks."""
+        return cls(coalescing=False, ack_flush_window=0.0, ack_batch_limit=1,
+                   shm_enabled=False)
+
+    @classmethod
+    def from_env(cls, env=None) -> "TransportPolicy":
+        """Defaults overridden by environment variables:
+
+        - ``REPRO_TRANSPORT_BATCH=0`` — disable coalescing *and* ack
+          aggregation (the frame-at-a-time path);
+        - ``REPRO_SHM=0`` / ``REPRO_SHM=1`` — force the shm lane off/on;
+        - ``REPRO_SHM_THRESHOLD=<bytes>`` — shm size threshold.
+        """
+        env = os.environ if env is None else env
+        policy = cls()
+        if env.get("REPRO_TRANSPORT_BATCH", "1") == "0":
+            policy = replace(policy, coalescing=False,
+                             ack_flush_window=0.0, ack_batch_limit=1)
+        if "REPRO_SHM" in env:
+            policy = replace(policy, shm_enabled=env["REPRO_SHM"] != "0")
+        if "REPRO_SHM_THRESHOLD" in env:
+            policy = replace(policy,
+                             shm_threshold=int(env["REPRO_SHM_THRESHOLD"]))
+        return policy
 
 
 class DialError(ConnectionError):
@@ -42,20 +123,24 @@ def dial_kernel(ns: NameServerClient, name: str, *,
                 hello_from: Optional[str] = None,
                 deadline: float = 15.0,
                 base_delay: float = 0.02,
-                max_delay: float = 0.5) -> socket.socket:
+                max_delay: float = 0.5,
+                return_meta: bool = False,
+                ) -> Union[socket.socket, Tuple[socket.socket, dict]]:
     """Resolve *name* through the name server and connect to it.
 
     Retries lookup failures (peer not yet registered) and refused
     connections with exponential backoff until *deadline* seconds have
     elapsed.  When *hello_from* is given, a HELLO message identifying the
-    dialing kernel is sent before the socket is returned.
+    dialing kernel is sent before the socket is returned.  With
+    *return_meta* the peer's registration metadata (e.g. its host
+    fingerprint) comes back alongside the socket.
     """
     give_up_at = time.monotonic() + deadline
     delay = base_delay
     last_error: Optional[Exception] = None
     while True:
         try:
-            host, port = ns.lookup(name)
+            host, port, meta = ns.lookup_entry(name)
             sock = socket.create_connection(
                 (host, port), timeout=max(0.1, give_up_at - time.monotonic()))
             break
@@ -73,7 +158,7 @@ def dial_kernel(ns: NameServerClient, name: str, *,
     sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
     if hello_from is not None:
         send_message(sock, encode_hello(hello_from))
-    return sock
+    return (sock, meta) if return_meta else sock
 
 
 class PeerConnection:
@@ -81,21 +166,33 @@ class PeerConnection:
 
     Messages are segment lists queued by any thread; a dedicated writer
     thread dials the peer lazily on the first message and then drains the
-    outbox with vectored sends.  Transport errors are reported once
-    through *on_error* and the connection stops accepting messages.
+    outbox with vectored sends — the whole backlog per wakeup when the
+    transport policy enables coalescing.  Transport errors are reported
+    once through *on_error*; messages queued after a failure are dropped,
+    but the drops are *counted* (``token_drops`` metric, one
+    ``token_drop`` trace event per drained batch) so a peer loss shows up
+    in the run's observability instead of as a silent hang.
     """
 
     def __init__(self, peer_name: str, ns: NameServerClient, *,
                  hello_from: str,
                  on_error: Callable[[str, Exception], None],
-                 dial_deadline: float = 15.0):
+                 dial_deadline: float = 15.0,
+                 transport: Optional[TransportPolicy] = None,
+                 metrics=None,
+                 trace: Optional[Callable] = None):
         self.peer_name = peer_name
         self._ns = ns
         self._hello_from = hello_from
         self._on_error = on_error
         self._dial_deadline = dial_deadline
+        self._transport = transport if transport is not None \
+            else TransportPolicy()
+        self._metrics = metrics
+        self._trace = trace
         self._outbox: "queue.Queue" = queue.Queue()
         self._sock: Optional[socket.socket] = None
+        self._shm: Optional[ShmSender] = None
         self._failed = False
         self._writer = threading.Thread(
             target=self._drain, name=f"dps-send:{peer_name}", daemon=True)
@@ -113,37 +210,102 @@ class PeerConnection:
                 sock.close()
             except OSError:
                 pass
+        shm, self._shm = self._shm, None
+        if shm is not None:
+            shm.destroy()
 
     # -- writer thread ---------------------------------------------------
     def _drain(self) -> None:
+        max_frames = self._transport.max_batch_frames \
+            if self._transport.coalescing else 1
         while True:
             item = self._outbox.get()
-            if item is _CLOSE:
-                return
-            if self._failed:
-                continue  # drop: the engine already knows this peer is gone
+            batch = [item]
             try:
-                if self._sock is None:
-                    self._sock = dial_kernel(
-                        self._ns, self.peer_name,
-                        hello_from=self._hello_from,
-                        deadline=self._dial_deadline)
-                send_message(self._sock, item)
-            except (OSError, NameServerError, DialError) as exc:
-                self._failed = True
-                self._on_error(self.peer_name, exc)
+                while len(batch) < max_frames:
+                    batch.append(self._outbox.get_nowait())
+            except queue.Empty:
+                pass
+            closing = False
+            if any(item is _CLOSE for item in batch):
+                batch = batch[:batch.index(_CLOSE)]
+                closing = True
+            if batch:
+                if self._failed:
+                    self._count_drops(len(batch))
+                else:
+                    try:
+                        self._flush(batch)
+                    except (OSError, NameServerError, DialError) as exc:
+                        self._failed = True
+                        self._on_error(self.peer_name, exc)
+            if closing:
+                return
+
+    def _flush(self, batch: List[List[Segment]]) -> None:
+        if self._sock is None:
+            self._connect()
+        if self._shm is not None:
+            batch = [self._shm.rewrite(message) for message in batch]
+        if self._transport.coalescing:
+            _, syscalls = send_messages(
+                self._sock, batch,
+                max_batch_bytes=self._transport.max_batch_bytes)
+        else:
+            for message in batch:
+                send_message(self._sock, message)
+            syscalls = len(batch)
+        if self._metrics is not None:
+            self._metrics.histogram("frames_per_syscall").observe(
+                len(batch) / max(1, syscalls))
+
+    def _connect(self) -> None:
+        sock, meta = dial_kernel(
+            self._ns, self.peer_name, hello_from=self._hello_from,
+            deadline=self._dial_deadline, return_meta=True)
+        self._sock = sock
+        policy = self._transport
+        if (policy.shm_enabled
+                and meta.get("fingerprint") == host_fingerprint()):
+            try:
+                shm = ShmSender(policy.shm_arena_bytes, policy.shm_threshold,
+                                metrics=self._metrics)
+            except (OSError, ValueError):
+                return  # no shm on this platform; TCP lane still works
+            # The attach must reach the peer before the first descriptor
+            # frame; same socket, same writer thread, so FIFO guarantees it.
+            send_message(sock, encode_shm_attach(shm.name, shm.size))
+            self._shm = shm
+
+    def _count_drops(self, n: int) -> None:
+        if self._metrics is not None:
+            self._metrics.counter("token_drops").inc(n)
+        if self._trace is not None:
+            self._trace("token_drop", peer=self.peer_name, dropped=n)
 
 
 class ConnectionPool:
-    """All of one kernel's outgoing peer connections."""
+    """All of one kernel's outgoing peer connections.
+
+    The hot path — :meth:`send` to an already-dialed peer — is a single
+    lock-free dict probe (GIL-atomic; connections are only ever added,
+    under the lock, and cleared at close).  The lock is taken only to
+    create a connection on first use.
+    """
 
     def __init__(self, ns: NameServerClient, *, hello_from: str,
                  on_error: Callable[[str, Exception], None],
-                 dial_deadline: float = 15.0):
+                 dial_deadline: float = 15.0,
+                 transport: Optional[TransportPolicy] = None,
+                 metrics=None,
+                 trace: Optional[Callable] = None):
         self._ns = ns
         self._hello_from = hello_from
         self._on_error = on_error
         self._dial_deadline = dial_deadline
+        self._transport = transport
+        self._metrics = metrics
+        self._trace = trace
         self._lock = threading.Lock()
         self._peers: Dict[str, PeerConnection] = {}
 
@@ -154,12 +316,18 @@ class ConnectionPool:
                 conn = PeerConnection(
                     name, self._ns, hello_from=self._hello_from,
                     on_error=self._on_error,
-                    dial_deadline=self._dial_deadline)
+                    dial_deadline=self._dial_deadline,
+                    transport=self._transport,
+                    metrics=self._metrics,
+                    trace=self._trace)
                 self._peers[name] = conn
             return conn
 
     def send(self, name: str, segments: List[Segment]) -> None:
-        self.peer(name).send(segments)
+        conn = self._peers.get(name)
+        if conn is None:
+            conn = self.peer(name)
+        conn.send(segments)
 
     def peer_names(self) -> List[str]:
         with self._lock:

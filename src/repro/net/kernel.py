@@ -43,9 +43,10 @@ from ..runtime.threaded_engine import ThreadedEngine, _Body
 from ..runtime.base import DataEnvelope
 from ..serial.token import Token
 from ..serial.wire import WireError
-from .connections import ConnectionPool
-from .framing import recv_message
+from .connections import ConnectionPool, TransportPolicy
+from .framing import FrameReader
 from .nameserver import NameServerClient
+from .shm import ShmReceiver, host_fingerprint
 from . import protocol as P
 
 __all__ = ["DistributedKernel", "CONSOLE_KERNEL", "KERNEL_ORDINAL_SHIFT",
@@ -68,9 +69,12 @@ class DistributedKernel(ThreadedEngine):
                  host: str = "127.0.0.1",
                  dial_deadline: float = 15.0,
                  tracer=None,
-                 metrics=None):
+                 metrics=None,
+                 transport: Optional[TransportPolicy] = None):
         super().__init__(policy=policy, serialize_transfers=False,
                          tracer=tracer, metrics=metrics)
+        self.transport = transport if transport is not None \
+            else TransportPolicy()
         if ordinal < 0:
             raise ValueError("kernel ordinal must be >= 0")
         self.name = name
@@ -90,6 +94,16 @@ class DistributedKernel(ThreadedEngine):
         # polled peer has answered with its MSG_TRACE reply
         self._trace_cond = threading.Condition()
         self._trace_pending: set = set()
+        # ack aggregation: per-peer buckets of pending merge→split acks,
+        # flushed by a timer thread, on batch fill, or piggybacked ahead
+        # of any data message to the same peer.  _ack_lock is leaf-level:
+        # it is taken with the engine lock held (from _send_ack) but
+        # never the other way around.
+        self._ack_lock = threading.Lock()
+        self._ack_pending: Dict[str, Dict[Tuple[str, int, int, int], int]] = {}
+        self._ack_counts: Dict[str, int] = {}
+        self._ack_event = threading.Event()  # acks buffered, flusher needed
+        self._ack_flusher: Optional[threading.Thread] = None
 
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -100,7 +114,8 @@ class DistributedKernel(ThreadedEngine):
         self._ns = NameServerClient(ns_address)
         self._pool = ConnectionPool(
             self._ns, hello_from=name, on_error=self._on_peer_error,
-            dial_deadline=dial_deadline)
+            dial_deadline=dial_deadline, transport=self.transport,
+            metrics=metrics, trace=self.trace if tracer is not None else None)
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name=f"dps-accept:{name}", daemon=True)
 
@@ -109,8 +124,14 @@ class DistributedKernel(ThreadedEngine):
     # ------------------------------------------------------------------
     def start(self) -> "DistributedKernel":
         """Register with the name server and begin accepting peers."""
-        self._ns.register(self.name, *self.address)
+        self._ns.register(self.name, *self.address,
+                          meta={"fingerprint": host_fingerprint()})
         self._accept_thread.start()
+        if self.transport.ack_aggregation:
+            self._ack_flusher = threading.Thread(
+                target=self._ack_flush_loop,
+                name=f"dps-ackflush:{self.name}", daemon=True)
+            self._ack_flusher.start()
         return self
 
     def wait_for_shutdown(self) -> None:
@@ -171,6 +192,11 @@ class DistributedKernel(ThreadedEngine):
 
     def shutdown(self) -> None:
         self._shutdown_requested.set()
+        flusher = self._ack_flusher
+        if flusher is not None:
+            # Wakes immediately on the event; its final pass drains any
+            # buffered acks through the pool before we close it.
+            flusher.join(timeout=1.0)
         try:
             self._listener.close()
         except OSError:
@@ -182,13 +208,24 @@ class DistributedKernel(ThreadedEngine):
     # ------------------------------------------------------------------
     # sending side: the ThreadedEngine distribution hooks
     # ------------------------------------------------------------------
+    def _remote_send(self, target: str, segments) -> None:
+        """Ship a data-path message, piggybacking any buffered acks.
+
+        Pending acks for *target* are flushed onto its outbox *first*;
+        both land in the same writer-thread drain, so the ack batch and
+        the data frame usually share one vectored syscall.
+        """
+        if self._ack_pending and target in self._ack_pending:
+            self._flush_acks(target)
+        self._pool.send(target, segments)
+
     def _deliver(self, env: DataEnvelope) -> None:
         node = env.graph.node(env.node_id)
         target = node.collection.node_of(env.instance)
         if target == self.name:
             self._worker_for(node.collection, env.instance).inbox.put(env)
         elif self.tracer is None and self.metrics is None:
-            self._pool.send(target, P.encode_data(env))
+            self._remote_send(target, P.encode_data(env))
         else:
             t0 = time.monotonic()
             segments = P.encode_data(env)
@@ -203,17 +240,66 @@ class DistributedKernel(ThreadedEngine):
                 self.metrics.counter("wire_messages").inc()
                 self.metrics.counter("wire_bytes").inc(nbytes)
                 self.metrics.histogram("serialize_seconds").observe(seconds)
-            self._pool.send(target, segments)
+            self._remote_send(target, segments)
 
     def _send_ack(self, graph_name: str, opener: int, opener_instance: int,
                   origin_node: str, routed_instance: int) -> None:
         if origin_node == self.name:
             self._apply_ack(graph_name, opener, opener_instance,
                             routed_instance)
-        else:
+            return
+        if not self.transport.ack_aggregation:
             # Queue append only — the caller holds the engine lock.
             self._pool.send(origin_node, P.encode_ack(
                 graph_name, opener, opener_instance, routed_instance))
+            return
+        # Buffer the ack; it leaves on the next timed flush, when the
+        # batch fills, or piggybacked ahead of a data message.  Delay is
+        # bounded by the flush window, so flow-control slack at the
+        # opener arrives a little late but never stalls forever.
+        key = (graph_name, opener, opener_instance, routed_instance)
+        with self._ack_lock:
+            bucket = self._ack_pending.setdefault(origin_node, {})
+            bucket[key] = bucket.get(key, 0) + 1
+            count = self._ack_counts.get(origin_node, 0) + 1
+            self._ack_counts[origin_node] = count
+        if count >= self.transport.ack_batch_limit:
+            self._flush_acks(origin_node)
+        elif not self._ack_event.is_set():
+            self._ack_event.set()
+
+    def _flush_acks(self, peer: str) -> None:
+        with self._ack_lock:
+            bucket = self._ack_pending.pop(peer, None)
+            self._ack_counts.pop(peer, None)
+        if not bucket:
+            return
+        runs = [(P.AckWire(*key), count) for key, count in bucket.items()]
+        n_acks = sum(count for _, count in runs)
+        if self.metrics is not None and n_acks > 1:
+            # Acks that rode along instead of paying for their own frame.
+            self.metrics.counter("acks_coalesced").inc(n_acks - 1)
+        self._pool.send(peer, P.encode_ack_batch(runs))
+
+    def _flush_all_acks(self) -> None:
+        for peer in list(self._ack_pending):
+            self._flush_acks(peer)
+
+    def _ack_flush_loop(self) -> None:
+        # Event-driven, not a periodic tick: an idle kernel must not pay
+        # 1/window wakeups per second (measurable on small machines).
+        # The first buffered ack sets the event; the flusher then lets a
+        # window's worth accumulate and drains everything.
+        window = self.transport.ack_flush_window
+        shutdown = self._shutdown_requested
+        while not shutdown.is_set():
+            if not self._ack_event.wait(timeout=0.5):
+                continue
+            if shutdown.wait(window):
+                break
+            self._ack_event.clear()
+            self._flush_all_acks()
+        self._flush_all_acks()
 
     def _announce_group_total(self, body: _Body, merge_id: int) -> None:
         # The opener cannot know which merge instance the group landed on,
@@ -284,18 +370,34 @@ class DistributedKernel(ThreadedEngine):
                              daemon=True).start()
 
     def _reader_loop(self, conn: socket.socket) -> None:
+        reader = FrameReader(conn,
+                             recv_bytes=self.transport.recv_buffer_bytes)
+        shm_rx: Optional[ShmReceiver] = None
         try:
             while True:
-                payload = recv_message(conn)
-                if payload is None:
+                frames = reader.recv_batch()
+                if frames is None:
                     return  # peer closed cleanly
-                kind, value = P.decode_message(payload, self._graphs)
-                self._dispatch_message(kind, value)
+                for payload in frames:
+                    kind, value = P.decode_message(payload, self._graphs)
+                    if kind == P.MSG_SHM_ATTACH:
+                        arena_name, size = value
+                        shm_rx = ShmReceiver(arena_name, size)
+                        continue
+                    if kind == P.MSG_SHM:
+                        if shm_rx is None:
+                            raise WireError(
+                                "shm descriptor frame before MSG_SHM_ATTACH")
+                        raw = shm_rx.reassemble(value)
+                        kind, value = P.decode_message(raw, self._graphs)
+                    self._dispatch_message(kind, value)
         except (OSError, WireError) as exc:
             if not self._shutdown_requested.is_set():
                 self._record_failure(ConnectionError(
                     f"kernel {self.name!r} receive path failed: {exc}"))
         finally:
+            if shm_rx is not None:
+                shm_rx.close()
             try:
                 conn.close()
             except OSError:
@@ -310,6 +412,15 @@ class DistributedKernel(ThreadedEngine):
             with self._lock:
                 self._apply_ack(value.graph_name, value.opener,
                                 value.opener_instance, value.routed_instance)
+        elif kind == P.MSG_ACK_BATCH:
+            # One lock acquisition for the whole batch — the receive-side
+            # half of the aggregation win.
+            with self._lock:
+                for ack, count in value:
+                    for _ in range(count):
+                        self._apply_ack(ack.graph_name, ack.opener,
+                                        ack.opener_instance,
+                                        ack.routed_instance)
         elif kind == P.MSG_GROUP_TOTAL:
             group_id, total = value
             self._apply_group_total(group_id, total)
@@ -352,7 +463,8 @@ def run_kernel_process(name: str, ordinal: int,
                        graphs: List[Flowgraph],
                        policy: Optional[FlowControlPolicy] = None,
                        ready=None,
-                       trace: bool = False) -> None:
+                       trace: bool = False,
+                       transport: Optional[TransportPolicy] = None) -> None:
     """Child-process main for one kernel (forked by MultiprocessEngine).
 
     With *trace* set, the kernel records into a process-local tracer and
@@ -367,7 +479,9 @@ def run_kernel_process(name: str, ordinal: int,
     kernel = DistributedKernel(
         name, ordinal, ns_address, peers,
         policy=policy if policy is not None else FlowControlPolicy(),
-        tracer=tracer, metrics=metrics)
+        tracer=tracer, metrics=metrics,
+        transport=transport if transport is not None
+        else TransportPolicy.from_env())
     for graph in graphs:
         kernel.register_graph(graph)
     kernel.start()

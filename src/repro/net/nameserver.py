@@ -67,8 +67,8 @@ class NameServer:
         self._sock = sock
         self.address: Tuple[str, int] = sock.getsockname()[:2]
         self._lock = threading.Lock()
-        #: name -> (host, port, owning connection)
-        self._registry: Dict[str, Tuple[str, int, socket.socket]] = {}
+        #: name -> (host, port, owning connection, metadata dict)
+        self._registry: Dict[str, Tuple[str, int, socket.socket, dict]] = {}
         self._accept_thread: Optional[threading.Thread] = None
         self._closed = False
 
@@ -141,12 +141,13 @@ class NameServer:
         if op == "register":
             name = request["name"]
             host, port = request["host"], int(request["port"])
+            meta = request.get("meta") or {}
             with self._lock:
                 existing = self._registry.get(name)
                 if existing is not None and existing[2] is not conn:
                     return {"ok": False, "error": "duplicate",
                             "detail": f"kernel {name!r} is already registered"}
-                self._registry[name] = (host, port, conn)
+                self._registry[name] = (host, port, conn, dict(meta))
             return {"ok": True}
         if op == "lookup":
             name = request["name"]
@@ -155,7 +156,8 @@ class NameServer:
             if entry is None:
                 return {"ok": False, "error": "unknown",
                         "detail": f"no kernel registered as {name!r}"}
-            return {"ok": True, "host": entry[0], "port": entry[1]}
+            return {"ok": True, "host": entry[0], "port": entry[1],
+                    "meta": entry[3]}
         if op == "list":
             with self._lock:
                 names = sorted(self._registry)
@@ -211,13 +213,23 @@ class NameServerClient:
             raise UnknownKernel(detail)
         raise NameServerError(detail or "name server refused the request")
 
-    def register(self, name: str, host: str, port: int) -> None:
-        self._call({"op": "register", "name": name,
-                    "host": host, "port": port})
+    def register(self, name: str, host: str, port: int,
+                 meta: Optional[dict] = None) -> None:
+        """Register *name*; *meta* carries JSON-safe kernel attributes
+        (e.g. the host fingerprint used for shared-memory co-location)."""
+        request = {"op": "register", "name": name, "host": host, "port": port}
+        if meta:
+            request["meta"] = meta
+        self._call(request)
 
     def lookup(self, name: str) -> Tuple[str, int]:
         reply = self._call({"op": "lookup", "name": name})
         return reply["host"], int(reply["port"])
+
+    def lookup_entry(self, name: str) -> Tuple[str, int, dict]:
+        """Like :meth:`lookup` but also returns the registration metadata."""
+        reply = self._call({"op": "lookup", "name": name})
+        return reply["host"], int(reply["port"]), reply.get("meta") or {}
 
     def list(self) -> List[str]:
         return list(self._call({"op": "list"})["names"])

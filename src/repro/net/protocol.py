@@ -39,10 +39,14 @@ __all__ = [
     "MSG_SHUTDOWN",
     "MSG_TRACE_FLUSH",
     "MSG_TRACE",
+    "MSG_ACK_BATCH",
+    "MSG_SHM_ATTACH",
+    "MSG_SHM",
     "AckWire",
     "encode_hello",
     "encode_data",
     "encode_ack",
+    "encode_ack_batch",
     "encode_group_total",
     "encode_result",
     "encode_scatter_total",
@@ -50,6 +54,8 @@ __all__ = [
     "encode_shutdown",
     "encode_trace_flush",
     "encode_trace",
+    "encode_shm_attach",
+    "encode_shm_data",
     "decode_message",
     "RemoteFailure",
 ]
@@ -68,6 +74,15 @@ MSG_SHUTDOWN = 8
 MSG_TRACE_FLUSH = 9
 #: Kernel → console: one kernel's buffered trace events and metrics.
 MSG_TRACE = 10
+#: Aggregated merge→split acknowledgements: runs of identical acks with
+#: a repeat count, flushed per origin kernel on a short window.
+MSG_ACK_BATCH = 11
+#: Sender → receiver: a shared-memory arena (name, size) now carries this
+#: connection's large payloads; sent once, before the first MSG_SHM.
+MSG_SHM_ATTACH = 12
+#: A message whose large segments live in the peer's shm arena; the frame
+#: carries only small inline segments and (offset, length) descriptors.
+MSG_SHM = 13
 
 _U8 = struct.Struct("<B")
 _U16 = struct.Struct("<H")
@@ -75,6 +90,8 @@ _U32 = struct.Struct("<I")
 _U64 = struct.Struct("<Q")
 
 _FRAME_FIELDS = struct.Struct("<QIIII")  # group_id, index, opener, opener_instance, routed_instance
+_ACK_RUN = struct.Struct("<IIII")  # opener, opener_instance, routed_instance, count
+_SHM_PART = struct.Struct("<QI")   # arena block offset, payload length
 
 
 class RemoteFailure(RuntimeError):
@@ -131,6 +148,56 @@ def encode_ack(graph_name: str, opener: int, opener_instance: int,
     head += _U32.pack(opener_instance)
     head += _U32.pack(routed_instance)
     return [head]
+
+
+def encode_ack_batch(runs: List[Tuple["AckWire", int]]) -> List[Segment]:
+    """Aggregated acks: ``(ack, count)`` runs in one control frame."""
+    head = bytearray(_U8.pack(MSG_ACK_BATCH))
+    head += _U16.pack(len(runs))
+    for ack, count in runs:
+        _pack_str(head, ack.graph_name)
+        head += _ACK_RUN.pack(ack.opener, ack.opener_instance,
+                              ack.routed_instance, count)
+    return [head]
+
+
+def encode_shm_attach(arena_name: str, size: int) -> List[Segment]:
+    head = bytearray(_U8.pack(MSG_SHM_ATTACH))
+    _pack_str(head, arena_name)
+    head += _U64.pack(size)
+    return [head]
+
+
+def _segment_nbytes(seg: Segment) -> int:
+    return seg.nbytes if isinstance(seg, memoryview) else len(seg)
+
+
+def encode_shm_data(parts: List[tuple]) -> List[Segment]:
+    """A message whose large segments were parked in the shm arena.
+
+    *parts* reproduce the original segment list in order; each entry is
+    ``("inline", segment)`` for a small segment that still travels over
+    TCP, or ``("shm", block_offset, length)`` for a payload placed in the
+    arena.  Inline segments are emitted as separate scatter-gather
+    segments, so the zero-copy send path is preserved.
+    """
+    segs: List[Segment] = []
+    cur = bytearray(_U8.pack(MSG_SHM))
+    cur += _U16.pack(len(parts))
+    for part in parts:
+        if part[0] == "shm":
+            cur += _U8.pack(1)
+            cur += _SHM_PART.pack(part[1], part[2])
+        else:
+            seg = part[1]
+            cur += _U8.pack(0)
+            cur += _U32.pack(_segment_nbytes(seg))
+            segs.append(cur)
+            segs.append(seg)
+            cur = bytearray()
+    if cur:
+        segs.append(cur)
+    return segs
 
 
 def encode_group_total(group_id: int, total: int) -> List[Segment]:
@@ -246,6 +313,41 @@ def decode_message(payload: "bytes | bytearray | memoryview",
             "<III", view, offset)
         return MSG_ACK, AckWire(graph_name, opener, opener_instance,
                                 routed_instance)
+    if kind == MSG_ACK_BATCH:
+        (n_runs,) = _U16.unpack_from(view, offset)
+        offset += 2
+        runs = []
+        for _ in range(n_runs):
+            graph_name, offset = _unpack_str(view, offset)
+            opener, opener_instance, routed_instance, count = \
+                _ACK_RUN.unpack_from(view, offset)
+            offset += _ACK_RUN.size
+            runs.append((AckWire(graph_name, opener, opener_instance,
+                                 routed_instance), count))
+        return MSG_ACK_BATCH, runs
+    if kind == MSG_SHM_ATTACH:
+        arena_name, offset = _unpack_str(view, offset)
+        (size,) = _U64.unpack_from(view, offset)
+        return MSG_SHM_ATTACH, (arena_name, size)
+    if kind == MSG_SHM:
+        (n_parts,) = _U16.unpack_from(view, offset)
+        offset += 2
+        parts = []
+        for _ in range(n_parts):
+            tag = view[offset]
+            offset += 1
+            if tag == 1:
+                block, length = _SHM_PART.unpack_from(view, offset)
+                offset += _SHM_PART.size
+                parts.append(("shm", block, length))
+            elif tag == 0:
+                (length,) = _U32.unpack_from(view, offset)
+                offset += 4
+                parts.append(("inline", view[offset:offset + length]))
+                offset += length
+            else:
+                raise WireError(f"unknown shm part tag {tag}")
+        return MSG_SHM, parts
     if kind == MSG_GROUP_TOTAL:
         group_id, total = struct.unpack_from("<QQ", view, offset)
         return MSG_GROUP_TOTAL, (group_id, total)

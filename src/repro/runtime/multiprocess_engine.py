@@ -36,6 +36,7 @@ from typing import Any, Dict, List, Optional, Union
 
 from ..core.flowcontrol import FlowControlPolicy
 from ..core.graph import Flowgraph
+from ..net.connections import TransportPolicy
 from ..net.kernel import CONSOLE_KERNEL, DistributedKernel, run_kernel_process
 from ..net.nameserver import run_name_server
 from ..serial.token import Token
@@ -52,7 +53,8 @@ class MultiprocessEngine(Engine):
                  dial_deadline: float = 15.0,
                  startup_timeout: float = 30.0,
                  tracer: Optional[Any] = None,
-                 metrics: Optional[Any] = None):
+                 metrics: Optional[Any] = None,
+                 transport: Optional[TransportPolicy] = None):
         try:
             self._mp = multiprocessing.get_context("fork")
         except ValueError as exc:  # pragma: no cover - non-POSIX platforms
@@ -61,6 +63,12 @@ class MultiprocessEngine(Engine):
                 "use ThreadedEngine on this platform"
             ) from exc
         super().__init__(policy=policy, tracer=tracer, metrics=metrics)
+        #: Wire-path tuning (outbox coalescing, ack aggregation, the
+        #: shared-memory lane).  Defaults honour the REPRO_SHM /
+        #: REPRO_TRANSPORT_BATCH environment opt-outs; every forked
+        #: kernel inherits the same resolved policy.
+        self.transport = transport if transport is not None \
+            else TransportPolicy.from_env()
         self.dial_deadline = dial_deadline
         self.startup_timeout = startup_timeout
         self._console: Optional[DistributedKernel] = None
@@ -129,7 +137,7 @@ class MultiprocessEngine(Engine):
             proc = self._mp.Process(
                 target=run_kernel_process,
                 args=(name, ordinal, ns_address, peers, graphs,
-                      self.policy, ready, trace_children),
+                      self.policy, ready, trace_children, self.transport),
                 name=f"dps-kernel:{name}", daemon=True)
             proc.start()
             self._kernel_procs[name] = proc
@@ -147,7 +155,8 @@ class MultiprocessEngine(Engine):
         console = DistributedKernel(
             CONSOLE_KERNEL, 0, ns_address, peers,
             policy=self.policy, dial_deadline=self.dial_deadline,
-            tracer=self.tracer, metrics=self.metrics)
+            tracer=self.tracer, metrics=self.metrics,
+            transport=self.transport)
         for graph in graphs:
             console.register_graph(graph)
         console.start()

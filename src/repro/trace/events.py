@@ -23,6 +23,8 @@ SERIALIZE           ``node``, ``seconds``, ``nbytes``
 STALL               ``node``/``graph`` — flow-control window was full
 ADMIT               ``node``/``graph``, ``waited`` — a stalled post left
 ACK                 ``node``, ``graph``, ``opener``, ``group``
+TOKEN_DROP          ``peer``, ``dropped`` — messages discarded after a
+                    peer kernel failed (multiprocess engine only)
 ==================  =====================================================
 
 Events recorded in a kernel process additionally carry ``pid`` (the
@@ -42,6 +44,7 @@ __all__ = [
     "STALL",
     "ADMIT",
     "ACK",
+    "TOKEN_DROP",
     "EVENT_KINDS",
     "DETERMINISTIC_KINDS",
 ]
@@ -56,13 +59,14 @@ SERIALIZE = "serialize"
 STALL = "stall"
 ADMIT = "admit"
 ACK = "ack"
+TOKEN_DROP = "token_drop"
 
 #: Every kind an engine may emit (open set: engines may add kinds such as
 #: ``thread_migrated``; the unified vocabulary above is the guaranteed
 #: common subset).
 EVENT_KINDS = frozenset({
     ACTIVATION_START, ACTIVATION_DONE, OP_START, OP_END,
-    TOKEN_SEND, TOKEN_RECV, SERIALIZE, STALL, ADMIT, ACK,
+    TOKEN_SEND, TOKEN_RECV, SERIALIZE, STALL, ADMIT, ACK, TOKEN_DROP,
 })
 
 #: Kinds whose *counts* are determined by the schedule alone (not by

@@ -1,0 +1,202 @@
+"""Peer-connection transport behaviour: coalesced flushes, counted drops
+after a peer failure, the lock-free pool hot path, and TransportPolicy
+resolution."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.net import (
+    ConnectionPool,
+    FrameReader,
+    NameServer,
+    NameServerClient,
+    PeerConnection,
+    TransportPolicy,
+    recv_message,
+)
+from repro.net.protocol import MSG_HELLO, decode_message
+from repro.trace import MetricsRegistry
+
+
+@pytest.fixture
+def ns():
+    server = NameServer().start()
+    yield server
+    server.stop()
+
+
+def client(server):
+    return NameServerClient(server.address)
+
+
+def _wait_for(predicate, timeout=5.0, what="condition"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, f"timed out waiting for {what}"
+        time.sleep(0.01)
+
+
+# ---------------------------------------------------------------------------
+# TransportPolicy
+# ---------------------------------------------------------------------------
+
+def test_policy_defaults_enable_everything():
+    policy = TransportPolicy()
+    assert policy.coalescing and policy.ack_aggregation and policy.shm_enabled
+
+
+def test_policy_unbatched_disables_everything():
+    policy = TransportPolicy.unbatched()
+    assert not policy.coalescing
+    assert not policy.ack_aggregation
+    assert not policy.shm_enabled
+
+
+def test_policy_ack_aggregation_requires_limit_and_window():
+    assert not TransportPolicy(ack_batch_limit=1).ack_aggregation
+    assert not TransportPolicy(ack_flush_window=0.0).ack_aggregation
+    assert TransportPolicy(ack_batch_limit=2,
+                           ack_flush_window=0.01).ack_aggregation
+
+
+def test_policy_from_env():
+    assert TransportPolicy.from_env({}) == TransportPolicy()
+    off = TransportPolicy.from_env({"REPRO_TRANSPORT_BATCH": "0"})
+    assert not off.coalescing and not off.ack_aggregation
+    assert off.shm_enabled  # shm is a separate knob
+    no_shm = TransportPolicy.from_env({"REPRO_SHM": "0"})
+    assert no_shm.coalescing and not no_shm.shm_enabled
+    tuned = TransportPolicy.from_env({"REPRO_SHM": "1",
+                                      "REPRO_SHM_THRESHOLD": "4096"})
+    assert tuned.shm_enabled and tuned.shm_threshold == 4096
+
+
+# ---------------------------------------------------------------------------
+# PeerConnection
+# ---------------------------------------------------------------------------
+
+def test_peer_connection_coalesces_queued_messages(ns):
+    """Messages queued before the writer connects arrive in order through
+    one vectored flush, and the frames-per-syscall histogram records the
+    amortization."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    metrics = MetricsRegistry()
+    errors = []
+    with client(ns) as owner, client(ns) as c:
+        owner.register("sink", *listener.getsockname()[:2])
+        conn = PeerConnection(
+            "sink", c, hello_from="src",
+            on_error=lambda peer, exc: errors.append((peer, exc)),
+            transport=TransportPolicy(shm_enabled=False),
+            metrics=metrics)
+        payloads = [b"%03d" % i * 10 for i in range(20)]
+        for p in payloads:
+            conn.send([bytearray(p)])
+        accepted, _ = listener.accept()
+        kind, name = decode_message(recv_message(accepted), {})
+        assert (kind, name) == (MSG_HELLO, "src")
+        reader = FrameReader(accepted)
+        received = []
+        while len(received) < len(payloads):
+            batch = reader.recv_batch()
+            assert batch is not None
+            received.extend(bytes(b) for b in batch)
+        assert received == payloads
+        conn.close()
+        accepted.close()
+    listener.close()
+    assert not errors
+    hist = metrics.histogram("frames_per_syscall")
+    assert hist.count >= 1 and hist.max > 1.0  # at least one real batch
+
+
+def test_failed_peer_drops_are_counted_and_traced(ns):
+    """After a peer becomes unreachable the connection keeps accepting
+    messages (the engine must not block) but every dropped message is
+    counted and traced — ISSUE 4's silent-drop fix."""
+    metrics = MetricsRegistry()
+    events = []
+    errors = []
+    failed = threading.Event()
+
+    def on_error(peer, exc):
+        errors.append((peer, exc))
+        failed.set()
+
+    with client(ns) as c:
+        conn = PeerConnection(
+            "ghost", c, hello_from="src", on_error=on_error,
+            dial_deadline=0.2, metrics=metrics,
+            trace=lambda kind, **fields: events.append((kind, fields)))
+        conn.send([bytearray(b"first")])  # triggers the failing dial
+        assert failed.wait(timeout=10)
+        for _ in range(3):
+            conn.send([bytearray(b"late")])
+        _wait_for(lambda: metrics.counter("token_drops").value >= 3,
+                  what="token_drops")
+        conn.close()
+    assert len(errors) == 1 and errors[0][0] == "ghost"
+    assert metrics.counter("token_drops").value == 3
+    drop_events = [f for kind, f in events if kind == "token_drop"]
+    assert drop_events and sum(f["dropped"] for f in drop_events) == 3
+    assert all(f["peer"] == "ghost" for f in drop_events)
+
+
+# ---------------------------------------------------------------------------
+# ConnectionPool
+# ---------------------------------------------------------------------------
+
+class _StubConn:
+    def __init__(self):
+        self.sent = []
+
+    def send(self, segments):
+        self.sent.append(segments)
+
+    def close(self, flush_timeout=5.0):
+        pass
+
+
+def test_pool_send_hot_path_does_not_take_the_lock(ns):
+    """Once a peer connection exists, ``send`` must not touch the pool
+    lock — the engine calls it with its own lock held, and PR 2 paid a
+    lock acquire per token here."""
+    with client(ns) as c:
+        pool = ConnectionPool(c, hello_from="src",
+                              on_error=lambda peer, exc: None)
+        stub = _StubConn()
+        pool._peers["peer"] = stub
+        done = threading.Event()
+
+        def hot_send():
+            pool.send("peer", [bytearray(b"x")])
+            done.set()
+
+        with pool._lock:  # a slow first-dial in another thread
+            worker = threading.Thread(target=hot_send)
+            worker.start()
+            assert done.wait(timeout=2), \
+                "pool.send blocked on the pool lock for a cached peer"
+        worker.join()
+        assert stub.sent == [[bytearray(b"x")]]
+
+
+def test_pool_creates_peer_once_then_caches(ns):
+    with client(ns) as c:
+        pool = ConnectionPool(c, hello_from="src",
+                              on_error=lambda peer, exc: None,
+                              dial_deadline=0.1)
+        stub = _StubConn()
+        pool._peers["peer"] = stub
+        assert pool.peer("peer") is stub
+        pool.send("peer", [b"a"])
+        pool.send("peer", [b"b"])
+        assert stub.sent == [[b"a"], [b"b"]]
+        assert pool.peer_names() == ["peer"]
+        pool.close_all()
+        assert pool.peer_names() == []

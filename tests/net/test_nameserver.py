@@ -179,3 +179,17 @@ def test_send_recv_roundtrip_over_socket():
     finally:
         conn.close()
         listener.close()
+
+
+def test_registration_meta_roundtrip(ns):
+    """Kernels publish metadata (e.g. the host fingerprint that gates the
+    shared-memory lane) alongside their address."""
+    with client(ns) as c:
+        c.register("kernelA", "127.0.0.1", 7001,
+                   meta={"fingerprint": "hostX:boot-1"})
+        c.register("kernelB", "127.0.0.1", 7002)  # no meta
+        assert c.lookup_entry("kernelA") == \
+            ("127.0.0.1", 7001, {"fingerprint": "hostX:boot-1"})
+        assert c.lookup_entry("kernelB") == ("127.0.0.1", 7002, {})
+        # the plain lookup API is unchanged
+        assert c.lookup("kernelA") == ("127.0.0.1", 7001)

@@ -188,3 +188,63 @@ def test_data_token_borrows_from_payload(graph):
     while getattr(base, "base", None) is not None and base is not buf:
         base = base.base
     assert base is buf or (isinstance(base, memoryview) and base.obj is buf)
+
+
+def test_ack_batch_roundtrip():
+    runs = [
+        (P.AckWire("g", 3, 1, 2), 17),
+        (P.AckWire("other-graph", 0, 0, 5), 1),
+        (P.AckWire("g", 3, 1, 4), 128),
+    ]
+    kind, out = roundtrip(P.encode_ack_batch(runs), {})
+    assert kind == P.MSG_ACK_BATCH
+    assert out == runs
+
+
+def test_ack_batch_empty():
+    kind, out = roundtrip(P.encode_ack_batch([]), {})
+    assert kind == P.MSG_ACK_BATCH
+    assert out == []
+
+
+def test_shm_attach_roundtrip():
+    kind, out = roundtrip(P.encode_shm_attach("psm_12ab", 1 << 24), {})
+    assert kind == P.MSG_SHM_ATTACH
+    assert out == ("psm_12ab", 1 << 24)
+
+
+def test_shm_data_roundtrip():
+    inline_a = bytearray(b"small-head")
+    inline_b = memoryview(b"tail")
+    parts = [
+        ("inline", inline_a),
+        ("shm", 4096, 65536),
+        ("inline", inline_b),
+        ("shm", 0, 123),
+    ]
+    kind, out = roundtrip(P.encode_shm_data(parts), {})
+    assert kind == P.MSG_SHM
+    assert len(out) == 4
+    assert out[0][0] == "inline" and bytes(out[0][1]) == b"small-head"
+    assert out[1] == ("shm", 4096, 65536)
+    assert out[2][0] == "inline" and bytes(out[2][1]) == b"tail"
+    assert out[3] == ("shm", 0, 123)
+
+
+def test_shm_data_preserves_inline_segments_zero_copy():
+    """Inline parts ride as separate scatter-gather segments (the payload
+    buffer itself, not a copy) and decode as borrowed views."""
+    payload = bytearray(b"z" * 64)
+    segs = P.encode_shm_data([("inline", payload), ("shm", 8, 9)])
+    assert any(s is payload for s in segs)
+    wire = bytearray(gather(segs))
+    _, parts = P.decode_message(wire, {})
+    view = parts[0][1]
+    assert isinstance(view, memoryview) and view.obj is wire
+
+
+def test_shm_data_rejects_unknown_tag():
+    wire = bytearray(gather(P.encode_shm_data([("shm", 0, 1)])))
+    wire[3] = 7  # kind | u16 n | tag byte
+    with pytest.raises(WireError, match="shm part tag"):
+        P.decode_message(wire, {})

@@ -1,0 +1,151 @@
+"""Shared-memory lane: arena allocator, descriptor rewrite, reassembly.
+
+Everything here exercises a sender/receiver *pair inside one process* —
+the memory model (flag byte handshake, FIFO ring reclaim) is identical
+across processes because ``multiprocessing.shared_memory`` maps the same
+pages; the cross-process path is covered by the multiprocess smoke and
+cross-engine integration tests.
+"""
+
+import pytest
+
+from repro.net import ShmReceiver, ShmSender, host_fingerprint
+from repro.net import protocol as P
+from repro.serial import gather
+from repro.trace import MetricsRegistry
+
+
+def _pair(arena_bytes=1 << 16, threshold=256, metrics=None):
+    sender = ShmSender(arena_bytes=arena_bytes, threshold=threshold,
+                       metrics=metrics)
+    receiver = ShmReceiver(sender.name, sender.size)
+    return sender, receiver
+
+
+@pytest.fixture
+def lane():
+    sender, receiver = _pair()
+    yield sender, receiver
+    receiver.close()
+    sender.destroy()
+
+
+def test_host_fingerprint_stable_and_nonempty():
+    fp = host_fingerprint()
+    assert fp and fp == host_fingerprint()
+    assert ":" in fp  # hostname:boot_id
+
+
+def test_place_and_reassemble_roundtrip(lane):
+    sender, receiver = lane
+    payload = bytes(range(256)) * 4
+    placed = sender.place(memoryview(payload))
+    assert placed is not None
+    block, n = placed
+    assert n == len(payload)
+    out = receiver.reassemble([("shm", block, n)])
+    assert bytes(out) == payload
+
+
+def test_reassemble_clears_flag_and_sender_reclaims(lane):
+    sender, receiver = lane
+    placed = sender.place(memoryview(b"x" * 512))
+    assert len(sender._pending) == 1
+    receiver.reassemble([("shm", placed[0], placed[1])])
+    sender._reclaim()
+    assert not sender._pending  # block handed back
+
+
+def test_arena_full_returns_none_until_consumed(lane):
+    sender, receiver = lane
+    # Fill the arena with blocks the receiver has not consumed yet.
+    blocks = []
+    while True:
+        placed = sender.place(memoryview(b"y" * 4096))
+        if placed is None:
+            break
+        blocks.append(placed)
+    assert len(blocks) >= 2
+    # Consuming from the tail frees space; two blocks guarantee a fit
+    # even with the allocator's strict head≠tail inequalities.
+    receiver.reassemble([("shm",) + blocks[0]])
+    receiver.reassemble([("shm",) + blocks[1]])
+    assert sender.place(memoryview(b"z" * 4096)) is not None
+
+
+def test_ring_wraps_without_corrupting_in_flight_blocks(lane):
+    sender, receiver = lane
+    import random
+    rng = random.Random(7)
+    outstanding = []
+    for round_no in range(200):
+        payload = bytes([rng.randrange(256)]) * rng.randrange(300, 3000)
+        placed = sender.place(memoryview(payload))
+        if placed is None:
+            # Drain the oldest block and retry; FIFO order mirrors the
+            # real receiver consuming descriptor frames in order.
+            block, expect = outstanding.pop(0)
+            assert bytes(receiver.reassemble([("shm",) + block])) == expect
+            placed = sender.place(memoryview(payload))
+            assert placed is not None
+        outstanding.append((placed, payload))
+        while len(outstanding) > 3:
+            block, expect = outstanding.pop(0)
+            assert bytes(receiver.reassemble([("shm",) + block])) == expect
+    for block, expect in outstanding:
+        assert bytes(receiver.reassemble([("shm",) + block])) == expect
+
+
+def test_rewrite_below_threshold_is_identity(lane):
+    sender, _ = lane
+    segments = [bytearray(b"abc"), memoryview(b"d" * 255)]
+    assert sender.rewrite(segments) is segments
+
+
+def test_rewrite_roundtrip_through_codec(lane):
+    sender, receiver = lane
+    head = bytearray(b"\x01header")
+    big_a = bytes(range(256)) * 8
+    small = bytearray(b"mid")
+    big_b = b"\xaa" * 1024
+    segs = sender.rewrite([head, memoryview(big_a), small, bytearray(big_b)])
+    kind, parts = P.decode_message(bytearray(gather(segs)), {})
+    assert kind == P.MSG_SHM
+    tags = [p[0] for p in parts]
+    assert tags == ["inline", "shm", "inline", "shm"]
+    rebuilt = receiver.reassemble(parts)
+    assert bytes(rebuilt) == bytes(head) + big_a + bytes(small) + big_b
+
+
+def test_rewrite_falls_back_inline_when_arena_full():
+    sender, receiver = _pair(arena_bytes=4096)
+    try:
+        big = b"q" * 2048
+        first = sender.rewrite([bytearray(big)])
+        kind, parts = P.decode_message(bytearray(gather(first)), {})
+        assert kind == P.MSG_SHM
+        # Arena now too full for another 2 KiB block: the segment must
+        # still be delivered, inline over TCP.
+        overflow = [bytearray(big), bytearray(big)]
+        assert sender.rewrite(overflow) is overflow
+        assert bytes(receiver.reassemble(parts)) == big
+    finally:
+        receiver.close()
+        sender.destroy()
+
+
+def test_rewrite_counts_bypassed_bytes():
+    metrics = MetricsRegistry()
+    sender, receiver = _pair(metrics=metrics)
+    try:
+        sender.rewrite([bytearray(b"w" * 1000), bytearray(b"t" * 10)])
+        assert metrics.counter("shm_bytes_bypassed").value == 1000
+    finally:
+        receiver.close()
+        sender.destroy()
+
+
+def test_receiver_rejects_undersized_arena(lane):
+    sender, _ = lane
+    with pytest.raises(ValueError, match="smaller than announced"):
+        ShmReceiver(sender.name, sender.size + (1 << 20))

@@ -4,14 +4,24 @@
 socket: every payload — single buffer or scatter-gather segment list —
 must round-trip bit-exactly through the header, and corrupted headers
 must be rejected rather than misparsed.
+
+The batched transport extensions get the same treatment: arbitrary
+interleavings of tiny and huge frames must round-trip through
+``send_messages()`` + ``FrameReader`` identically to the frame-at-a-time
+``send_message()``/``recv_message()`` path, in every sender/receiver
+pairing (the wire format is shared, so old and new endpoints
+interoperate).
 """
 
+import socket
 import struct
+import threading
 
 import pytest
-from hypothesis import given
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.net import FrameReader, send_message, send_messages
 from repro.serial import (
     FRAME_HEADER_BYTES,
     FRAME_VERSION,
@@ -92,3 +102,150 @@ def test_unframe_is_zero_copy():
     view = unframe(wire)
     assert isinstance(view, memoryview)
     assert view.obj is wire
+
+
+# ---------------------------------------------------------------------------
+# batched transport: send_messages() + FrameReader
+# ---------------------------------------------------------------------------
+
+# Interleavings of tiny frames (coalesced many-per-syscall) and huge ones
+# (exceeding the reader's staging buffer, taking the direct recv path).
+_segment = st.one_of(
+    st.binary(max_size=64),
+    st.binary(min_size=1024, max_size=4096),
+)
+_messages = st.lists(
+    st.lists(_segment, max_size=3), min_size=1, max_size=8)
+_big = settings(deadline=None, max_examples=40,
+                suppress_health_check=[HealthCheck.data_too_large])
+
+
+def _exchange(messages, send_all, recv_bytes=512):
+    """Run *send_all* against a FrameReader over a socketpair; returns
+    every received payload (the sender runs on its own thread so large
+    bursts cannot deadlock on the socket buffer)."""
+    out_sock, in_sock = socket.socketpair()
+    failure = []
+
+    def sender():
+        try:
+            send_all(out_sock)
+        except Exception as exc:  # pragma: no cover - surfaced in assert
+            failure.append(exc)
+        finally:
+            out_sock.close()
+
+    thread = threading.Thread(target=sender)
+    thread.start()
+    try:
+        reader = FrameReader(in_sock, recv_bytes=recv_bytes)
+        received = []
+        while True:
+            batch = reader.recv_batch()
+            if batch is None:
+                break
+            assert len(batch) >= 1
+            received.extend(batch)
+    finally:
+        thread.join()
+        in_sock.close()
+    assert not failure, failure[0]
+    return received
+
+
+@_big
+@given(_messages, st.integers(min_value=64, max_value=1 << 16))
+def test_send_messages_framereader_roundtrip(messages, max_batch_bytes):
+    """Batched sender → batch-aware reader: payloads, order and frame
+    boundaries all survive arbitrary tiny/huge interleavings."""
+    payloads = [[bytearray(s) for s in message] for message in messages]
+    received = _exchange(
+        payloads,
+        lambda sock: send_messages(sock, payloads,
+                                   max_batch_bytes=max_batch_bytes))
+    assert [bytes(r) for r in received] == \
+        [b"".join(message) for message in messages]
+    for r in received:
+        assert isinstance(r, bytearray)  # owned, decode(copy=False) safe
+
+
+@_big
+@given(_messages)
+def test_send_messages_bytes_identical_to_frame_at_a_time(messages):
+    """The batched sender's wire bytes are bit-identical to one
+    send_message() call per payload — receivers cannot tell them apart."""
+    expected = b"".join(
+        bytes(gather(frame([bytearray(s) for s in message])))
+        for message in messages)
+    out_sock, in_sock = socket.socketpair()
+    payloads = [[bytearray(s) for s in message] for message in messages]
+
+    def sender():
+        total, syscalls = send_messages(out_sock, payloads,
+                                        max_batch_bytes=4096)
+        assert total == len(expected)
+        assert syscalls >= 1
+        out_sock.close()
+
+    thread = threading.Thread(target=sender)
+    thread.start()
+    try:
+        got = bytearray()
+        while True:
+            chunk = in_sock.recv(1 << 16)
+            if not chunk:
+                break
+            got += chunk
+    finally:
+        thread.join()
+        in_sock.close()
+    assert bytes(got) == expected
+
+
+@_big
+@given(_messages)
+def test_framereader_interops_with_unbatched_sender(messages):
+    """A frame-at-a-time sender against the batch-aware reader."""
+    payloads = [[bytearray(s) for s in message] for message in messages]
+
+    def send_all(sock):
+        for payload in payloads:
+            send_message(sock, payload)
+
+    received = _exchange(payloads, send_all)
+    assert [bytes(r) for r in received] == \
+        [b"".join(message) for message in messages]
+
+
+def test_framereader_rejects_wrong_version():
+    out_sock, in_sock = socket.socketpair()
+    wire = bytearray(gather(frame(b"x" * 8)))
+    wire[4] ^= 0xFF
+    out_sock.sendall(wire)
+    out_sock.close()
+    reader = FrameReader(in_sock)
+    with pytest.raises(WireError, match="version"):
+        reader.recv_batch()
+    in_sock.close()
+
+
+def test_framereader_rejects_eof_mid_frame():
+    out_sock, in_sock = socket.socketpair()
+    wire = bytes(gather(frame(b"y" * 100)))
+    out_sock.sendall(wire[:-3])  # die mid-payload
+    out_sock.close()
+    reader = FrameReader(in_sock)
+    with pytest.raises(WireError, match="closed"):
+        reader.recv_batch()
+    in_sock.close()
+
+
+def test_framereader_large_frame_direct_path():
+    """A frame bigger than the staging buffer arrives intact through the
+    direct recv_into path."""
+    payload = bytes(range(256)) * 1024  # 256 KiB >> recv_bytes
+    received = _exchange(
+        [payload], lambda sock: send_messages(sock, [payload]),
+        recv_bytes=1024)
+    assert len(received) == 1
+    assert bytes(received[0]) == payload
