@@ -56,6 +56,8 @@ from .core import (
 from .runtime import (
     Application,
     Engine,
+    FaultPolicy,
+    KernelFailure,
     MultiprocessEngine,
     RunResult,
     ScheduleError,
@@ -78,11 +80,13 @@ __all__ = [
     "ConstantRoute",
     "DpsThread",
     "Engine",
+    "FaultPolicy",
     "FlowControlPolicy",
     "Flowgraph",
     "FlowgraphBuilder",
     "FlowgraphNode",
     "GraphError",
+    "KernelFailure",
     "LeafOperation",
     "LoadBalancedRoute",
     "MergeOperation",

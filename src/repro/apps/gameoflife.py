@@ -543,6 +543,9 @@ class DistributedGameOfLife:
     Builds the load, gather and per-iteration graphs over *worker_nodes*
     (one band per node) with the master on *master_node* (default: the
     first worker node, as in the paper's single-cluster runs).
+    *compute_nodes* optionally maps the stateless compute threads onto
+    different nodes — one name shared by all workers or one per worker
+    (default: co-located with each band's exchange thread).
 
     *engine* may be any of the three engines — the simulated cluster
     (virtual timing), the threaded engine or the multiprocess engine
@@ -555,6 +558,7 @@ class DistributedGameOfLife:
         world: np.ndarray,
         worker_nodes: List[str],
         master_node: Optional[str] = None,
+        compute_nodes: Optional[List[str]] = None,
     ):
         world = np.asarray(world, dtype=np.uint8)
         if world.ndim != 2:
@@ -577,9 +581,22 @@ class DistributedGameOfLife:
         self._exchange = ThreadCollection(
             GolExchangeThread, f"gol{uid}-x"
         ).map_nodes(worker_nodes)
+        # The compute threads are stateless workers; by default they sit
+        # next to their band's exchange thread (the paper's bi-processor
+        # nodes), but they may be mapped anywhere — e.g. onto a dedicated
+        # kernel whose failure is recoverable, since losing a compute
+        # thread loses no application state.
+        if compute_nodes is not None:
+            if len(compute_nodes) not in (1, len(worker_nodes)):
+                raise ValueError(
+                    f"compute_nodes must name 1 node or one per worker "
+                    f"({len(worker_nodes)}), got {len(compute_nodes)}")
+            if len(compute_nodes) == 1:
+                compute_nodes = compute_nodes * len(worker_nodes)
         self._compute = ThreadCollection(
             GolComputeThread, f"gol{uid}-c"
-        ).map_nodes(worker_nodes)
+        ).map_nodes(compute_nodes if compute_nodes is not None
+                    else worker_nodes)
 
         w = self.n_workers
         # per-instance op subclasses carrying the worker count

@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli demo            # quickstart: parallel uppercase
     python -m repro.cli demo --engine multiprocess   # real OS processes
     python -m repro.cli ring --engine threaded --trace ring.json
+    python -m repro.cli ring --engine multiprocess --kill-kernel node03@#5
     python -m repro.cli fig9 --fast --trace fig9.json
 
 Each experiment prints its measured table next to the paper's reference
@@ -157,6 +158,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="multiprocess engine: disable the shared-memory payload lane "
              "between co-located kernels (sets REPRO_SHM=0)",
     )
+    parser.add_argument(
+        "--kill-kernel", metavar="NODE@WHEN", default=None,
+        help="multiprocess engine chaos: kill the named kernel process, "
+             "e.g. 'node03@0.5' (seconds after start) or 'node03@#5' "
+             "(before its 5th data message).  Sets REPRO_FAULT_KILL and "
+             "turns recovery on (REPRO_RECOVER=1) unless already set",
+    )
+    parser.add_argument(
+        "--drop-rate", type=float, metavar="P", default=None,
+        help="multiprocess engine chaos: drop each received data frame "
+             "with probability P in [0,1); deterministic per kernel from "
+             "--fault-seed (sets REPRO_FAULT_DROP)",
+    )
+    parser.add_argument(
+        "--delay-ms", type=float, metavar="MS", default=None,
+        help="multiprocess engine chaos: delay each received data frame "
+             "by up to MS milliseconds (sets REPRO_FAULT_DELAY_MS)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, metavar="N", default=None,
+        help="seed for the deterministic chaos schedule "
+             "(sets REPRO_FAULT_SEED)",
+    )
     args = parser.parse_args(argv)
 
     # Resolved by TransportPolicy.from_env() in the engine and inherited
@@ -165,6 +189,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.environ["REPRO_TRANSPORT_BATCH"] = "0"
     if args.no_shm:
         os.environ["REPRO_SHM"] = "0"
+    # Chaos flags, resolved by FaultPolicy.from_env() in the engine.  A
+    # kill without recovery would just fail the run, so --kill-kernel
+    # also opts into recovery unless the caller chose explicitly.
+    if args.kill_kernel is not None:
+        from .net.recovery import FaultPolicy
+        FaultPolicy.parse_kill(args.kill_kernel)  # fail fast on bad spec
+        os.environ["REPRO_FAULT_KILL"] = args.kill_kernel
+        os.environ.setdefault("REPRO_RECOVER", "1")
+    if args.drop_rate is not None:
+        os.environ["REPRO_FAULT_DROP"] = str(args.drop_rate)
+        os.environ.setdefault("REPRO_RECOVER", "1")
+    if args.delay_ms is not None:
+        os.environ["REPRO_FAULT_DELAY_MS"] = str(args.delay_ms)
+    if args.fault_seed is not None:
+        os.environ["REPRO_FAULT_SEED"] = str(args.fault_seed)
 
     if args.experiment == "list":
         for name, runner in sorted(ALL.items()):

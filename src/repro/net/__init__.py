@@ -36,6 +36,13 @@ from .nameserver import (
     UnknownKernel,
     run_name_server,
 )
+from .recovery import (
+    FaultPolicy,
+    ReplayDedup,
+    TokenJournal,
+    apply_remap,
+    plan_remap,
+)
 from .shm import ShmReceiver, ShmSender, host_fingerprint
 
 __all__ = [
@@ -44,6 +51,7 @@ __all__ = [
     "DialError",
     "DistributedKernel",
     "DuplicateRegistration",
+    "FaultPolicy",
     "FrameReader",
     "KERNEL_ORDINAL_SHIFT",
     "MAX_SENDMSG_SEGMENTS",
@@ -51,12 +59,16 @@ __all__ = [
     "NameServerClient",
     "NameServerError",
     "PeerConnection",
+    "ReplayDedup",
     "ShmReceiver",
     "ShmSender",
+    "TokenJournal",
     "TransportPolicy",
     "UnknownKernel",
+    "apply_remap",
     "dial_kernel",
     "host_fingerprint",
+    "plan_remap",
     "recv_message",
     "run_kernel_process",
     "run_name_server",

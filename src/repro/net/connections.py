@@ -238,6 +238,13 @@ class PeerConnection:
                         self._flush(batch)
                     except (OSError, NameServerError, DialError) as exc:
                         self._failed = True
+                        if self._shm is not None:
+                            # The peer is gone: blocks it never consumed
+                            # would pin the ring tail forever (reclaim is
+                            # FIFO).  Safe here — this writer thread is
+                            # the arena's only producer, and no further
+                            # descriptors will be flushed.
+                            self._shm.reclaim_all()
                         self._on_error(self.peer_name, exc)
             if closing:
                 return

@@ -32,6 +32,8 @@ same id, which matters because group ids key merge state everywhere.
 
 from __future__ import annotations
 
+import itertools
+import os
 import socket
 import threading
 import time
@@ -39,6 +41,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.flowcontrol import FlowControlPolicy
 from ..core.graph import Flowgraph
+from ..runtime.controller import KernelFailure
 from ..runtime.threaded_engine import ThreadedEngine, _Body
 from ..runtime.base import DataEnvelope
 from ..serial.token import Token
@@ -46,6 +49,8 @@ from ..serial.wire import WireError
 from .connections import ConnectionPool, TransportPolicy
 from .framing import FrameReader
 from .nameserver import NameServerClient
+from .recovery import FaultPolicy, ReplayDedup, TokenJournal, apply_remap, \
+    plan_remap
 from .shm import ShmReceiver, host_fingerprint
 from . import protocol as P
 
@@ -57,6 +62,11 @@ CONSOLE_KERNEL = "__driver__"
 
 #: Per-kernel id-space partition for ctx and group counters.
 KERNEL_ORDINAL_SHIFT = 40
+
+#: With recovery on, journal entries un-acked for this long are
+#: re-delivered (replay dedup makes duplicates harmless); this is what
+#: turns injected frame drops into mere delays.
+RESEND_AFTER = 1.0
 
 
 class DistributedKernel(ThreadedEngine):
@@ -70,7 +80,10 @@ class DistributedKernel(ThreadedEngine):
                  dial_deadline: float = 15.0,
                  tracer=None,
                  metrics=None,
-                 transport: Optional[TransportPolicy] = None):
+                 transport: Optional[TransportPolicy] = None,
+                 recover: bool = False,
+                 faults: Optional[FaultPolicy] = None,
+                 heartbeat_interval: float = 0.0):
         super().__init__(policy=policy, serialize_transfers=False,
                          tracer=tracer, metrics=metrics)
         self.transport = transport if transport is not None \
@@ -100,10 +113,41 @@ class DistributedKernel(ThreadedEngine):
         # it is taken with the engine lock held (from _send_ack) but
         # never the other way around.
         self._ack_lock = threading.Lock()
-        self._ack_pending: Dict[str, Dict[Tuple[str, int, int, int], int]] = {}
+        self._ack_pending: Dict[
+            str, Dict[Tuple[str, int, int, int, int, int], int]] = {}
         self._ack_counts: Dict[str, int] = {}
         self._ack_event = threading.Event()  # acks buffered, flusher needed
         self._ack_flusher: Optional[threading.Thread] = None
+
+        # -- fault tolerance ------------------------------------------
+        #: With recovery on, this kernel journals its windowed emissions
+        #: (replayed after a remap) and dedups replayed frames at
+        #: non-leaf inputs; see :mod:`repro.net.recovery`.
+        self.recover = recover
+        self.heartbeat_interval = heartbeat_interval
+        if recover:
+            self._journal = TokenJournal()
+            self._dedup = ReplayDedup()
+        self._recovery_lock = threading.Lock()
+        self._dead_kernels: set = set()
+        self._recovered = False
+        self._replayed_tokens = 0
+        self._recovery_epoch = 0
+        # remap/replay barrier (console side), same shape as the
+        # trace-merge barrier above
+        self._recovery_cond = threading.Condition()
+        self._barrier_epoch = 0
+        self._barrier_pending: set = set()
+        self._replay_counts: Dict[str, int] = {}
+        # deterministic chaos injection
+        self.faults = faults if faults is not None else FaultPolicy()
+        self._fault_rng = None
+        self._kill_after_messages: Optional[int] = None
+        if self.faults.drop_rate or self.faults.delay_ms:
+            self._fault_rng = self.faults.rng_for(name)
+        if self.faults.kills(name):
+            self._kill_after_messages = self.faults.kill_after_messages
+        self._data_message_counter = itertools.count(1)
 
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -132,7 +176,41 @@ class DistributedKernel(ThreadedEngine):
                 target=self._ack_flush_loop,
                 name=f"dps-ackflush:{self.name}", daemon=True)
             self._ack_flusher.start()
+        if self.heartbeat_interval > 0:
+            threading.Thread(target=self._heartbeat_loop,
+                             name=f"dps-heartbeat:{self.name}",
+                             daemon=True).start()
+        if self.recover:
+            threading.Thread(target=self._resend_loop,
+                             name=f"dps-resend:{self.name}",
+                             daemon=True).start()
+        if self.faults.kills(self.name) and self.faults.kill_after is not None:
+            # Wall-clock kill; the message-count flavour lives in
+            # _dispatch_message.  os._exit skips every finally/atexit —
+            # as close to SIGKILL as the process can do to itself.
+            timer = threading.Timer(self.faults.kill_after, os._exit,
+                                    args=(137,))
+            timer.daemon = True
+            timer.start()
         return self
+
+    def _heartbeat_loop(self) -> None:
+        while not self._shutdown_requested.wait(self.heartbeat_interval):
+            try:
+                self._ns.heartbeat(self.name)
+            except Exception:
+                return  # name server gone: the cluster is tearing down
+
+    def _resend_loop(self) -> None:
+        while not self._shutdown_requested.wait(RESEND_AFTER / 2):
+            journal = self._journal
+            if journal is None or not len(journal):
+                continue
+            now = time.monotonic()
+            with self._lock:
+                stale = journal.stale(RESEND_AFTER, now)
+            for env in stale:
+                self._deliver(env)
 
     def wait_for_shutdown(self) -> None:
         """Block until a peer (normally the console) orders shutdown."""
@@ -243,21 +321,24 @@ class DistributedKernel(ThreadedEngine):
             self._remote_send(target, segments)
 
     def _send_ack(self, graph_name: str, opener: int, opener_instance: int,
-                  origin_node: str, routed_instance: int) -> None:
+                  origin_node: str, routed_instance: int,
+                  group_id: int = 0, index: int = 0) -> None:
         if origin_node == self.name:
             self._apply_ack(graph_name, opener, opener_instance,
-                            routed_instance)
+                            routed_instance, group_id, index)
             return
         if not self.transport.ack_aggregation:
             # Queue append only — the caller holds the engine lock.
             self._pool.send(origin_node, P.encode_ack(
-                graph_name, opener, opener_instance, routed_instance))
+                graph_name, opener, opener_instance, routed_instance,
+                group_id, index))
             return
         # Buffer the ack; it leaves on the next timed flush, when the
         # batch fills, or piggybacked ahead of a data message.  Delay is
         # bounded by the flush window, so flow-control slack at the
         # opener arrives a little late but never stalls forever.
-        key = (graph_name, opener, opener_instance, routed_instance)
+        key = (graph_name, opener, opener_instance, routed_instance,
+               group_id, index)
         with self._ack_lock:
             bucket = self._ack_pending.setdefault(origin_node, {})
             bucket[key] = bucket.get(key, 0) + 1
@@ -352,8 +433,151 @@ class DistributedKernel(ThreadedEngine):
     def _on_peer_error(self, peer: str, exc: Exception) -> None:
         if self._shutdown_requested.is_set():
             return
+        if self.recover:
+            # Dead-connection detection: the writer thread is the first
+            # to see a broken pipe to a dead peer.  Declare the peer
+            # down instead of poisoning the run.
+            self.handle_kernel_down(peer, f"peer connection failed: {exc}")
+            return
         self._record_failure(
-            ConnectionError(f"kernel {self.name!r} lost peer {peer!r}: {exc}"))
+            KernelFailure(f"kernel {self.name!r} lost peer {peer!r}: {exc}"))
+
+    # ------------------------------------------------------------------
+    # failure recovery (remap + split-boundary replay)
+    # ------------------------------------------------------------------
+    def handle_kernel_down(self, name: str, reason: str = "",
+                           propagate: bool = True) -> None:
+        """Declare kernel *name* dead (idempotent).
+
+        Without recovery the run fails fast with
+        :class:`~repro.runtime.controller.KernelFailure`.  With recovery
+        on, the console kernel orchestrates remap + replay; worker
+        kernels forward the observation to the console.
+        """
+        with self._recovery_lock:
+            if name in self._dead_kernels:
+                return
+            self._dead_kernels.add(name)
+        if self._shutdown_requested.is_set():
+            return
+        if self.tracer is not None:
+            self.trace("kernel_down", kernel=name, reason=reason)
+        if self.metrics is not None:
+            self.metrics.counter("kernels_down").inc()
+        if not self.recover:
+            self._record_failure(KernelFailure(
+                f"kernel process {name!r} died unexpectedly ({reason})"),
+                propagate=propagate)
+            return
+        if self.name == CONSOLE_KERNEL:
+            # Orchestrate off the calling thread: this may be a
+            # connection writer thread or the engine's child monitor,
+            # and recovery blocks on cluster-wide barriers.
+            threading.Thread(target=self._recover_from_failure,
+                             args=(name,),
+                             name=f"dps-recover:{self.name}",
+                             daemon=True).start()
+        else:
+            try:
+                self._pool.send(CONSOLE_KERNEL,
+                                P.encode_kernel_down(name, reason))
+            except Exception:
+                pass  # console's own liveness checks will catch it
+
+    def _recover_from_failure(self, dead: str) -> None:
+        """Console side: remap the dead kernel's instances, then replay.
+
+        Two cluster-wide barriers, strictly ordered: every survivor must
+        have applied the remap before *any* journal replays, or a
+        replayed token could be routed to the dead kernel by a survivor
+        still holding the old placements and be lost forever.
+        """
+        try:
+            with self._recovery_lock:
+                survivors = [p for p in self._peer_names
+                             if p != dead and p not in self._dead_kernels]
+                self._recovery_epoch += 1
+                epoch = self._recovery_epoch
+            with self._lock:
+                graphs = list(self._graphs.values())
+                mapping = plan_remap(graphs, dead, survivors)
+                apply_remap(graphs, mapping)
+            if self.tracer is not None:
+                self.trace("remap", dead=dead,
+                           collections=sorted(mapping), epoch=epoch)
+            self._recovery_barrier("remap", epoch, survivors,
+                                   P.encode_remap(epoch, mapping, dead))
+            counts = self._recovery_barrier("replay", epoch, survivors,
+                                            P.encode_replay(epoch))
+            replayed = sum(counts.values()) + self._replay_local()
+            with self._recovery_lock:
+                self._recovered = True
+                self._replayed_tokens += replayed
+            if self.tracer is not None:
+                self.trace("replay", epoch=epoch, tokens=replayed)
+            if self.metrics is not None:
+                self.metrics.counter("tokens_replayed").inc(replayed)
+        except BaseException as exc:
+            failure = exc if isinstance(exc, KernelFailure) else \
+                KernelFailure(f"recovery from dead kernel {dead!r} "
+                              f"failed: {exc}")
+            self._record_failure(failure)
+
+    def _recovery_barrier(self, kind: str, epoch: int, peers: List[str],
+                          message, timeout: float = 10.0) -> Dict[str, int]:
+        with self._recovery_cond:
+            self._barrier_epoch = epoch
+            self._barrier_pending = set(peers)
+            self._replay_counts = {}
+        for peer in peers:
+            self._pool.send(peer, message)
+        with self._recovery_cond:
+            if not self._recovery_cond.wait_for(
+                    lambda: not self._barrier_pending, timeout=timeout):
+                raise KernelFailure(
+                    f"recovery {kind} barrier timed out waiting for "
+                    f"{sorted(self._barrier_pending)} (cascading failure?)")
+            return dict(self._replay_counts)
+
+    def _barrier_done(self, peer: str, epoch: int,
+                      count: Optional[int] = None) -> None:
+        with self._recovery_cond:
+            if epoch != self._barrier_epoch:
+                return
+            if count is not None:
+                self._replay_counts[peer] = count
+            self._barrier_pending.discard(peer)
+            self._recovery_cond.notify_all()
+
+    def _apply_remote_remap(self, epoch: int, mapping: Dict[str, List[str]],
+                            dead: str) -> None:
+        with self._recovery_lock:
+            self._dead_kernels.add(dead)
+        with self._lock:
+            apply_remap(self._graphs.values(), mapping)
+        try:
+            self._pool.send(CONSOLE_KERNEL,
+                            P.encode_remap_ok(self.name, epoch))
+        except Exception:
+            pass
+
+    def _replay_local(self) -> int:
+        """Re-deliver every journaled (un-acked) emission; routing is
+        recomputed from the post-remap placements in ``_deliver``."""
+        journal = self._journal
+        if journal is None:
+            return 0
+        now = time.monotonic()
+        with self._lock:
+            envs = journal.replay_all(now)
+        for env in envs:
+            self._deliver(env)
+        return len(envs)
+
+    def recovery_snapshot(self) -> Tuple[bool, int]:
+        """``(recovered, replayed_tokens)`` so far on this kernel."""
+        with self._recovery_lock:
+            return self._recovered, self._replayed_tokens
 
     # ------------------------------------------------------------------
     # receiving side
@@ -392,8 +616,15 @@ class DistributedKernel(ThreadedEngine):
                         kind, value = P.decode_message(raw, self._graphs)
                     self._dispatch_message(kind, value)
         except (OSError, WireError) as exc:
-            if not self._shutdown_requested.is_set():
-                self._record_failure(ConnectionError(
+            if self._shutdown_requested.is_set():
+                pass
+            elif self.recover:
+                # A broken inbound connection is anonymous (no peer name
+                # here); liveness is owned by the heartbeat/sentinel
+                # machinery and the named writer-side _on_peer_error.
+                pass
+            else:
+                self._record_failure(KernelFailure(
                     f"kernel {self.name!r} receive path failed: {exc}"))
         finally:
             if shm_rx is not None:
@@ -405,13 +636,34 @@ class DistributedKernel(ThreadedEngine):
 
     def _dispatch_message(self, kind: int, value) -> None:
         if kind == P.MSG_DATA:
+            if self._kill_after_messages is not None:
+                # Deterministic mid-phase death: die *before* processing
+                # the Nth data message, so its token is provably lost and
+                # must come back through journal replay.
+                if next(self._data_message_counter) >= \
+                        self._kill_after_messages:
+                    os._exit(137)
+            rng = self._fault_rng
+            if rng is not None:
+                # Injection applies to data frames only — dropping acks
+                # or barrier messages would test the injector, not the
+                # recovery protocol.
+                if self.faults.drop_rate and \
+                        rng.random() < self.faults.drop_rate:
+                    if self.metrics is not None:
+                        self.metrics.counter(
+                            "frames_dropped_injected").inc()
+                    return
+                if self.faults.delay_ms:
+                    time.sleep(rng.random() * self.faults.delay_ms / 1000.0)
             env: DataEnvelope = value
             node = env.graph.node(env.node_id)
             self._worker_for(node.collection, env.instance).inbox.put(env)
         elif kind == P.MSG_ACK:
             with self._lock:
                 self._apply_ack(value.graph_name, value.opener,
-                                value.opener_instance, value.routed_instance)
+                                value.opener_instance, value.routed_instance,
+                                value.group_id, value.index)
         elif kind == P.MSG_ACK_BATCH:
             # One lock acquisition for the whole batch — the receive-side
             # half of the aggregation win.
@@ -420,7 +672,8 @@ class DistributedKernel(ThreadedEngine):
                     for _ in range(count):
                         self._apply_ack(ack.graph_name, ack.opener,
                                         ack.opener_instance,
-                                        ack.routed_instance)
+                                        ack.routed_instance,
+                                        ack.group_id, ack.index)
         elif kind == P.MSG_GROUP_TOTAL:
             group_id, total = value
             self._apply_group_total(group_id, total)
@@ -449,6 +702,25 @@ class DistributedKernel(ThreadedEngine):
             with self._trace_cond:
                 self._trace_pending.discard(kernel_name)
                 self._trace_cond.notify_all()
+        elif kind == P.MSG_KERNEL_DOWN:
+            name, reason = value
+            self.handle_kernel_down(name, reason)
+        elif kind == P.MSG_REMAP:
+            epoch, mapping, dead = value
+            self._apply_remote_remap(epoch, mapping, dead)
+        elif kind == P.MSG_REPLAY:
+            count = self._replay_local()
+            try:
+                self._pool.send(CONSOLE_KERNEL,
+                                P.encode_replay_done(self.name, value, count))
+            except Exception:
+                pass  # console gone: barrier timeout handles it
+        elif kind == P.MSG_REPLAY_DONE:
+            name, epoch, count = value
+            self._barrier_done(name, epoch, count)
+        elif kind == P.MSG_REMAP_OK:
+            name, epoch = value
+            self._barrier_done(name, epoch)
         elif kind == P.MSG_SHUTDOWN:
             self._shutdown_requested.set()
         elif kind == P.MSG_HELLO:
@@ -464,7 +736,10 @@ def run_kernel_process(name: str, ordinal: int,
                        policy: Optional[FlowControlPolicy] = None,
                        ready=None,
                        trace: bool = False,
-                       transport: Optional[TransportPolicy] = None) -> None:
+                       transport: Optional[TransportPolicy] = None,
+                       recover: bool = False,
+                       faults: Optional[FaultPolicy] = None,
+                       heartbeat_interval: float = 0.0) -> None:
     """Child-process main for one kernel (forked by MultiprocessEngine).
 
     With *trace* set, the kernel records into a process-local tracer and
@@ -481,7 +756,9 @@ def run_kernel_process(name: str, ordinal: int,
         policy=policy if policy is not None else FlowControlPolicy(),
         tracer=tracer, metrics=metrics,
         transport=transport if transport is not None
-        else TransportPolicy.from_env())
+        else TransportPolicy.from_env(),
+        recover=recover, faults=faults,
+        heartbeat_interval=heartbeat_interval)
     for graph in graphs:
         kernel.register_graph(graph)
     kernel.start()

@@ -11,7 +11,11 @@ module provides both halves:
   connection*: when that connection drops, its names are removed.  A
   kernel that crashes therefore frees its name automatically, and a
   restarted kernel may re-register; a second registration while the first
-  owner is still alive is refused.
+  owner is still alive is refused.  Registrations double as *heartbeat
+  leases*: kernels beat periodically (``op=heartbeat``) and the console
+  asks for lease-expired kernels (``op=expired``) — a hung process keeps
+  its TCP connection alive but stops beating, which connection-drop
+  detection alone would miss.
 - :class:`NameServerClient` — a blocking client used by kernels to
   register themselves and resolve peers.
 
@@ -25,6 +29,7 @@ from __future__ import annotations
 import json
 import socket
 import threading
+import time
 from typing import Dict, List, Optional, Tuple
 
 __all__ = [
@@ -69,6 +74,10 @@ class NameServer:
         self._lock = threading.Lock()
         #: name -> (host, port, owning connection, metadata dict)
         self._registry: Dict[str, Tuple[str, int, socket.socket, dict]] = {}
+        #: name -> monotonic time of the last heartbeat (seeded at
+        #: registration so a kernel is never "expired" before it could
+        #: have beaten once)
+        self._beats: Dict[str, float] = {}
         self._accept_thread: Optional[threading.Thread] = None
         self._closed = False
 
@@ -148,7 +157,24 @@ class NameServer:
                     return {"ok": False, "error": "duplicate",
                             "detail": f"kernel {name!r} is already registered"}
                 self._registry[name] = (host, port, conn, dict(meta))
+                self._beats[name] = time.monotonic()
             return {"ok": True}
+        if op == "heartbeat":
+            name = request["name"]
+            with self._lock:
+                if name not in self._registry:
+                    return {"ok": False, "error": "unknown",
+                            "detail": f"no kernel registered as {name!r}"}
+                self._beats[name] = time.monotonic()
+            return {"ok": True}
+        if op == "expired":
+            max_age = float(request["max_age"])
+            now = time.monotonic()
+            with self._lock:
+                expired = [{"name": name, "age": now - beat}
+                           for name, beat in self._beats.items()
+                           if now - beat > max_age]
+            return {"ok": True, "expired": expired}
         if op == "lookup":
             name = request["name"]
             with self._lock:
@@ -172,6 +198,7 @@ class NameServer:
                     if entry[2] is conn]
             for name in dead:
                 del self._registry[name]
+                self._beats.pop(name, None)
 
 
 def run_name_server(sock: socket.socket) -> None:
@@ -233,6 +260,16 @@ class NameServerClient:
 
     def list(self) -> List[str]:
         return list(self._call({"op": "list"})["names"])
+
+    def heartbeat(self, name: str) -> None:
+        """Renew *name*'s liveness lease."""
+        self._call({"op": "heartbeat", "name": name})
+
+    def expired(self, max_age: float) -> List[dict]:
+        """Registered kernels that have not beaten for *max_age* seconds;
+        each entry is ``{"name": ..., "age": seconds_since_last_beat}``."""
+        return list(self._call({"op": "expired",
+                                "max_age": max_age})["expired"])
 
     def ping(self) -> bool:
         self._call({"op": "ping"})

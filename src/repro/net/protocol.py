@@ -42,6 +42,11 @@ __all__ = [
     "MSG_ACK_BATCH",
     "MSG_SHM_ATTACH",
     "MSG_SHM",
+    "MSG_KERNEL_DOWN",
+    "MSG_REMAP",
+    "MSG_REMAP_OK",
+    "MSG_REPLAY",
+    "MSG_REPLAY_DONE",
     "AckWire",
     "encode_hello",
     "encode_data",
@@ -56,6 +61,11 @@ __all__ = [
     "encode_trace",
     "encode_shm_attach",
     "encode_shm_data",
+    "encode_kernel_down",
+    "encode_remap",
+    "encode_remap_ok",
+    "encode_replay",
+    "encode_replay_done",
     "decode_message",
     "RemoteFailure",
 ]
@@ -83,6 +93,18 @@ MSG_SHM_ATTACH = 12
 #: A message whose large segments live in the peer's shm arena; the frame
 #: carries only small inline segments and (offset, length) descriptors.
 MSG_SHM = 13
+#: Worker → console: a peer connection broke; ``(kernel_name, reason)``.
+MSG_KERNEL_DOWN = 14
+#: Console → survivors: apply new placements for the dead kernel's
+#: collections; ``(epoch, {collection_name: placements}, dead_kernel)``.
+MSG_REMAP = 15
+#: Survivor → console: remap *epoch* applied; ``(kernel_name, epoch)``.
+MSG_REMAP_OK = 16
+#: Console → survivors: re-deliver your journaled un-acked tokens
+#: (sent only after every survivor acknowledged the remap).
+MSG_REPLAY = 17
+#: Survivor → console: ``(kernel_name, epoch, replayed_count)``.
+MSG_REPLAY_DONE = 18
 
 _U8 = struct.Struct("<B")
 _U16 = struct.Struct("<H")
@@ -90,7 +112,7 @@ _U32 = struct.Struct("<I")
 _U64 = struct.Struct("<Q")
 
 _FRAME_FIELDS = struct.Struct("<QIIII")  # group_id, index, opener, opener_instance, routed_instance
-_ACK_RUN = struct.Struct("<IIII")  # opener, opener_instance, routed_instance, count
+_ACK_RUN = struct.Struct("<QIIIII")  # group_id, index, opener, opener_instance, routed_instance, count
 _SHM_PART = struct.Struct("<QI")   # arena block offset, payload length
 
 
@@ -100,12 +122,19 @@ class RemoteFailure(RuntimeError):
 
 @dataclass(frozen=True)
 class AckWire:
-    """Decoded merge→split acknowledgement."""
+    """Decoded merge→split acknowledgement.
+
+    ``(group_id, index)`` identify the acked token's own group frame so
+    the split side can prune its replay journal; ``0, 0`` when the
+    sending side predates the journal (group ids are never 0).
+    """
 
     graph_name: str
     opener: int
     opener_instance: int
     routed_instance: int
+    group_id: int = 0
+    index: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -141,12 +170,15 @@ def encode_data(env: DataEnvelope, reg: TokenRegistry = registry) -> List[Segmen
 
 
 def encode_ack(graph_name: str, opener: int, opener_instance: int,
-               routed_instance: int) -> List[Segment]:
+               routed_instance: int, group_id: int = 0,
+               index: int = 0) -> List[Segment]:
     head = bytearray(_U8.pack(MSG_ACK))
     _pack_str(head, graph_name)
     head += _U32.pack(opener)
     head += _U32.pack(opener_instance)
     head += _U32.pack(routed_instance)
+    head += _U64.pack(group_id)
+    head += _U32.pack(index)
     return [head]
 
 
@@ -156,8 +188,9 @@ def encode_ack_batch(runs: List[Tuple["AckWire", int]]) -> List[Segment]:
     head += _U16.pack(len(runs))
     for ack, count in runs:
         _pack_str(head, ack.graph_name)
-        head += _ACK_RUN.pack(ack.opener, ack.opener_instance,
-                              ack.routed_instance, count)
+        head += _ACK_RUN.pack(ack.group_id, ack.index, ack.opener,
+                              ack.opener_instance, ack.routed_instance,
+                              count)
     return [head]
 
 
@@ -257,6 +290,47 @@ def encode_trace(kernel_name: str, events: List[tuple],
     return [head]
 
 
+def encode_kernel_down(kernel_name: str, reason: str) -> List[Segment]:
+    """Worker → console: the connection to *kernel_name* broke."""
+    head = bytearray(_U8.pack(MSG_KERNEL_DOWN))
+    _pack_str(head, kernel_name)
+    _pack_str(head, reason)
+    return [head]
+
+
+def encode_remap(epoch: int, mapping: Dict[str, List[str]],
+                 dead: str) -> List[Segment]:
+    """Console → survivors: new placements after *dead* failed.
+
+    Placement lists are short strings — pickle suffices (once-per-failure
+    control message, like MSG_TRACE)."""
+    head = bytearray(_U8.pack(MSG_REMAP))
+    head += pickle.dumps((epoch, mapping, dead))
+    return [head]
+
+
+def encode_remap_ok(kernel_name: str, epoch: int) -> List[Segment]:
+    head = bytearray(_U8.pack(MSG_REMAP_OK))
+    _pack_str(head, kernel_name)
+    head += _U32.pack(epoch)
+    return [head]
+
+
+def encode_replay(epoch: int) -> List[Segment]:
+    head = bytearray(_U8.pack(MSG_REPLAY))
+    head += _U32.pack(epoch)
+    return [head]
+
+
+def encode_replay_done(kernel_name: str, epoch: int,
+                       count: int) -> List[Segment]:
+    head = bytearray(_U8.pack(MSG_REPLAY_DONE))
+    _pack_str(head, kernel_name)
+    head += _U32.pack(epoch)
+    head += _U32.pack(count)
+    return [head]
+
+
 # ---------------------------------------------------------------------------
 # decoding
 # ---------------------------------------------------------------------------
@@ -311,19 +385,21 @@ def decode_message(payload: "bytes | bytearray | memoryview",
         graph_name, offset = _unpack_str(view, offset)
         opener, opener_instance, routed_instance = struct.unpack_from(
             "<III", view, offset)
+        (group_id,) = _U64.unpack_from(view, offset + 12)
+        (index,) = _U32.unpack_from(view, offset + 20)
         return MSG_ACK, AckWire(graph_name, opener, opener_instance,
-                                routed_instance)
+                                routed_instance, group_id, index)
     if kind == MSG_ACK_BATCH:
         (n_runs,) = _U16.unpack_from(view, offset)
         offset += 2
         runs = []
         for _ in range(n_runs):
             graph_name, offset = _unpack_str(view, offset)
-            opener, opener_instance, routed_instance, count = \
-                _ACK_RUN.unpack_from(view, offset)
+            group_id, index, opener, opener_instance, routed_instance, \
+                count = _ACK_RUN.unpack_from(view, offset)
             offset += _ACK_RUN.size
             runs.append((AckWire(graph_name, opener, opener_instance,
-                                 routed_instance), count))
+                                 routed_instance, group_id, index), count))
         return MSG_ACK_BATCH, runs
     if kind == MSG_SHM_ATTACH:
         arena_name, offset = _unpack_str(view, offset)
@@ -381,4 +457,25 @@ def decode_message(payload: "bytes | bytearray | memoryview",
         except Exception as err:
             raise WireError(f"undecodable trace message: {err}") from None
         return MSG_TRACE, (kernel_name, events, metrics_snapshot)
+    if kind == MSG_KERNEL_DOWN:
+        name, offset = _unpack_str(view, offset)
+        reason, _ = _unpack_str(view, offset)
+        return MSG_KERNEL_DOWN, (name, reason)
+    if kind == MSG_REMAP:
+        try:
+            epoch, mapping, dead = pickle.loads(bytes(view[offset:]))
+        except Exception as err:
+            raise WireError(f"undecodable remap message: {err}") from None
+        return MSG_REMAP, (epoch, mapping, dead)
+    if kind == MSG_REMAP_OK:
+        name, offset = _unpack_str(view, offset)
+        (epoch,) = _U32.unpack_from(view, offset)
+        return MSG_REMAP_OK, (name, epoch)
+    if kind == MSG_REPLAY:
+        (epoch,) = _U32.unpack_from(view, offset)
+        return MSG_REPLAY, epoch
+    if kind == MSG_REPLAY_DONE:
+        name, offset = _unpack_str(view, offset)
+        epoch, count = struct.unpack_from("<II", view, offset)
+        return MSG_REPLAY_DONE, (name, epoch, count)
     raise WireError(f"unknown protocol message kind {kind}")

@@ -162,6 +162,23 @@ class ShmSender:
         return P.encode_shm_data(parts)
 
     # -- lifecycle -------------------------------------------------------
+    def reclaim_all(self) -> None:
+        """Forcibly reclaim every in-flight block.
+
+        A peer that dies mid-``MSG_SHM`` handoff never clears the state
+        flags of the blocks whose descriptors it did not consume, and
+        because reclamation is FIFO from the ring tail, one such block
+        pins *everything* allocated after it — the arena silently shrinks
+        to nothing and every send falls back to inline TCP.  Call only
+        when the peer connection is torn down (the peer must never read
+        the arena again).
+        """
+        buf = self._buf
+        for offset, _ in self._pending:
+            buf[offset] = 0
+        self._pending.clear()
+        self._head = 0
+
     def destroy(self) -> None:
         """Close and unlink the arena (creator owns the name)."""
         try:

@@ -2,6 +2,7 @@
 
 from typing import Union
 
+from ..net.recovery import FaultPolicy
 from .base import (
     ACK_BYTES,
     DATA_HEADER_BYTES,
@@ -16,7 +17,7 @@ from .base import (
     coerce_run_result,
 )
 from .checkpoint import Checkpoint, CheckpointManager, fail_node
-from .controller import ScheduleError, SimController
+from .controller import KernelFailure, ScheduleError, SimController
 from .kernel import KernelEnvironment, KernelSpec, NameServer
 from .multiprocess_engine import MultiprocessEngine
 from .sim_engine import SimEngine
@@ -29,7 +30,9 @@ __all__ = [
     "Checkpoint",
     "CheckpointManager",
     "Engine",
+    "FaultPolicy",
     "KernelEnvironment",
+    "KernelFailure",
     "KernelSpec",
     "NameServer",
     "fail_node",
@@ -52,15 +55,68 @@ __all__ = [
 #: Engine kinds :func:`create_engine` understands.
 ENGINE_KINDS = ("sim", "threaded", "multiprocess")
 
+#: Options every engine kind accepts.  ``transport`` and ``faults`` are
+#: accepted uniformly so harnesses can pass one option dict to any kind;
+#: engines that cannot honour a *non-None* value reject it with an
+#: explanation rather than silently ignoring it.  ``nodes`` sizes the
+#: simulated cluster and is accepted (and ignored) elsewhere because
+#: real-execution placements need no declaration.
+_COMMON_OPTS = frozenset({
+    "policy", "tracer", "metrics", "transport", "faults", "nodes",
+})
+
+#: Engine-specific options on top of :data:`_COMMON_OPTS`.
+_ENGINE_OPTS = {
+    "sim": frozenset({"cluster", "serialize_payloads",
+                      "charge_serialization"}),
+    "threaded": frozenset({"serialize_transfers"}),
+    "multiprocess": frozenset({"dial_deadline", "startup_timeout",
+                               "recover", "heartbeat_interval",
+                               "heartbeat_miss_limit"}),
+}
+
+#: Only the multiprocess engine has a wire (transport tuning) and real
+#: processes to kill (fault injection).
+_MP_ONLY = frozenset({"transport", "faults"})
+
+
+def _check_opts(kind: str, opts: dict) -> None:
+    allowed = _COMMON_OPTS | _ENGINE_OPTS[kind]
+    unknown = sorted(set(opts) - allowed)
+    if unknown:
+        hints = []
+        for name in unknown:
+            owners = sorted(k for k, extra in _ENGINE_OPTS.items()
+                            if name in extra)
+            if owners:
+                hints.append(f"{name!r} is a {'/'.join(owners)} option")
+            else:
+                hints.append(f"{name!r} is not an engine option")
+        raise ValueError(
+            f"unknown option(s) for create_engine({kind!r}): "
+            f"{', '.join(hints)}; {kind!r} accepts {sorted(allowed)}")
+    if kind != "multiprocess":
+        for name in _MP_ONLY:
+            if opts.get(name) is not None:
+                raise ValueError(
+                    f"{name}= is only honoured by the multiprocess engine "
+                    f"(the {kind!r} engine has no "
+                    f"{'wire' if name == 'transport' else 'kernel processes'}"
+                    f"); pass {name}=None or use "
+                    f"create_engine('multiprocess')")
+
 
 def create_engine(kind: str, **opts) -> Union[SimEngine, ThreadedEngine,
                                               MultiprocessEngine]:
     """Build an execution engine by name with uniform options.
 
-    *kind* is ``"sim"``, ``"threaded"`` or ``"multiprocess"``.  All
-    engines accept ``policy=``, ``tracer=`` and ``metrics=``; remaining
-    keyword options are engine-specific (e.g. ``serialize_payloads=``
-    on sim, ``startup_timeout=`` on multiprocess).
+    *kind* is ``"sim"``, ``"threaded"`` or ``"multiprocess"``.  Every
+    kind accepts ``policy=``, ``tracer=``, ``metrics=``, ``transport=``
+    and ``faults=`` (the last two must be ``None`` outside the
+    multiprocess engine, which is the only one with a wire to tune and
+    kernel processes to kill); remaining options are engine-specific —
+    see the engine matrix in ``DESIGN.md``.  Unknown options raise
+    ``ValueError`` naming the engine kinds that do accept them.
 
     The simulated engine needs a cluster; pass ``cluster=`` explicitly,
     or ``nodes=N`` to build the paper's homogeneous cluster, defaulting
@@ -70,19 +126,23 @@ def create_engine(kind: str, **opts) -> Union[SimEngine, ThreadedEngine,
         with create_engine("threaded") as engine:
             ...
     """
+    if kind not in ENGINE_KINDS:
+        raise ValueError(
+            f"unknown engine kind {kind!r}; expected one of {ENGINE_KINDS}")
+    _check_opts(kind, opts)
     if kind == "sim":
         from ..cluster import paper_cluster
+        opts.pop("transport", None)
+        opts.pop("faults", None)
         cluster = opts.pop("cluster", None)
         nodes = opts.pop("nodes", 4)
         if cluster is None:
             cluster = paper_cluster(nodes)
         return SimEngine(cluster, **opts)
     if kind == "threaded":
+        opts.pop("transport", None)
+        opts.pop("faults", None)
         opts.pop("nodes", None)  # placement labels need no declaration
         return ThreadedEngine(**opts)
-    if kind == "multiprocess":
-        opts.pop("nodes", None)  # kernels come from the graph mappings
-        return MultiprocessEngine(**opts)
-    raise ValueError(
-        f"unknown engine kind {kind!r}; expected one of {ENGINE_KINDS}"
-    )
+    opts.pop("nodes", None)  # kernels come from the graph mappings
+    return MultiprocessEngine(**opts)

@@ -155,13 +155,21 @@ class Application:
 
 @dataclass
 class RunResult:
-    """Outcome of one graph activation on the simulated cluster."""
+    """Outcome of one graph activation."""
 
     token: Token
     #: Virtual time when the activation started / its result reached the
     #: driver node.
     started_at: float
     finished_at: float
+    #: ``True`` when the engine lost an execution node at some point and
+    #: replayed journaled tokens to finish (sticky across runs on the
+    #: multiprocess engine — once a kernel died, every later result was
+    #: produced by the degraded cluster).
+    recovered: bool = False
+    #: Journaled tokens re-delivered so far to mask failures (cumulative
+    #: per engine; ``0`` on a fault-free run).
+    replayed_tokens: int = 0
 
     @property
     def makespan(self) -> float:
@@ -201,6 +209,11 @@ class Engine:
         #: Process label stamped on trace events (kernel name on the
         #: multiprocess runtime); ``None`` on single-process engines.
         self._trace_pid: Optional[str] = None
+        #: :class:`RunResult` of the most recent ``run()`` on this engine,
+        #: with wall-clock (or virtual) timestamps and the recovery
+        #: fields filled in.  Engines that return a bare token from
+        #: ``run()`` still publish the full result here.
+        self.last_result: Optional["RunResult"] = None
 
     # ------------------------------------------------------------------
     # registration (defined once; historical per-engine spellings such as
@@ -240,6 +253,20 @@ class Engine:
     # ------------------------------------------------------------------
     def run(self, graph, token: Token, **kwargs):
         raise NotImplementedError
+
+    def fail_node(self, node_name: str) -> int:
+        """Fail the execution node *node_name* mid-run.
+
+        Returns the number of thread instances (SimEngine) or kernel
+        processes (MultiprocessEngine) lost.  Engines that have no
+        notion of an independently failing node raise
+        :class:`NotImplementedError`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support fail_node(); it is "
+            "supported on SimEngine (discards the node's thread state) "
+            "and MultiprocessEngine (kills the node's kernel process)"
+        )
 
     def shutdown(self) -> None:
         """Release engine resources (idempotent; no-op by default)."""

@@ -11,9 +11,9 @@ cluster:
   between activations onto a striped file service (paper Figure 5) —
   checkpoint shards are written round-robin across the storage nodes,
   charging disk and network time;
-- :meth:`SimEngine.lose_node <repro.runtime.sim_engine.SimEngine>` —
-  modelled here as :func:`fail_node` — discards every thread living on a
-  node (its state is gone);
+- :meth:`SimEngine.fail_node <repro.runtime.sim_engine.SimEngine.fail_node>`
+  discards every thread living on a node (its state is gone); the
+  module-level :func:`fail_node` remains as a deprecated alias;
 - :meth:`CheckpointManager.restore` re-creates the threads from the last
   snapshot on the collection's *current* mapping, so recovery is:
   fail → remap the collections away from the dead node → restore →
@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import copy
 import itertools
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -45,24 +46,17 @@ _checkpoint_ids = itertools.count(1)
 
 
 def fail_node(engine: SimEngine, node_name: str) -> int:
-    """Simulate a node crash: every DPS thread on it is lost.
+    """Deprecated alias for :meth:`Engine.fail_node`.
 
-    The machine itself stays in the cluster model (it may be rebooted /
-    replaced); what disappears is the application state.  Returns the
-    number of threads lost.  The schedule must be quiescent — mid-flight
-    failure semantics are beyond the paper's lightweight approach.
+    Failure injection is part of the engine API now (it exists on the
+    multiprocess engine too, where it kills a kernel process); call
+    ``engine.fail_node(node_name)`` directly.
     """
-    engine.check_quiescent()
-    controller = engine.controllers[node_name]
-    lost = 0
-    for key in list(controller._threads):
-        ts = controller._threads.pop(key)
-        if ts.proc is not None and ts.proc.is_alive:
-            ts.proc.interrupt("node failure")
-        lost += 1
-    controller._launched.clear()
-    engine.trace("node_failed", node=node_name, lost_threads=lost)
-    return lost
+    warnings.warn(
+        "repro.runtime.checkpoint.fail_node(engine, node) is deprecated; "
+        "call engine.fail_node(node) instead",
+        DeprecationWarning, stacklevel=2)
+    return engine.fail_node(node_name)
 
 
 @dataclass

@@ -55,7 +55,7 @@ from .base import (
 if TYPE_CHECKING:  # pragma: no cover
     from .sim_engine import SimEngine
 
-__all__ = ["SimController", "ScheduleError"]
+__all__ = ["SimController", "ScheduleError", "KernelFailure"]
 
 #: Bound on remembered group totals for groups this instance never saw
 #: (stale broadcast entries); oldest entries are pruned beyond this.
@@ -77,6 +77,18 @@ def _is_generator_body(op) -> bool:
 
 class ScheduleError(RuntimeError):
     """Raised for runtime schedule violations (routing, group misuse)."""
+
+
+class KernelFailure(ScheduleError, ConnectionError):
+    """A kernel process (or simulated node) died and the run cannot finish.
+
+    The one failure type every engine raises when an execution node is
+    lost: the multiprocess runtime raises it for dead kernel processes
+    and lost peer connections, the simulated engine for node failures
+    past the recovery contract.  It multiply-inherits
+    :class:`ScheduleError` and :class:`ConnectionError` so callers that
+    caught either of the historical ad-hoc types keep working.
+    """
 
 
 class _ThreadState:

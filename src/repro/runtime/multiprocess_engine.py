@@ -31,7 +31,9 @@ from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.connection
+import os
 import threading
+import time
 from typing import Any, Dict, List, Optional, Union
 
 from ..core.flowcontrol import FlowControlPolicy
@@ -39,8 +41,9 @@ from ..core.graph import Flowgraph
 from ..net.connections import TransportPolicy
 from ..net.kernel import CONSOLE_KERNEL, DistributedKernel, run_kernel_process
 from ..net.nameserver import run_name_server
+from ..net.recovery import FaultPolicy
 from ..serial.token import Token
-from .base import Engine
+from .base import Engine, RunResult
 from .controller import ScheduleError
 
 __all__ = ["MultiprocessEngine"]
@@ -54,7 +57,11 @@ class MultiprocessEngine(Engine):
                  startup_timeout: float = 30.0,
                  tracer: Optional[Any] = None,
                  metrics: Optional[Any] = None,
-                 transport: Optional[TransportPolicy] = None):
+                 transport: Optional[TransportPolicy] = None,
+                 recover: Optional[bool] = None,
+                 faults: Optional[FaultPolicy] = None,
+                 heartbeat_interval: float = 0.25,
+                 heartbeat_miss_limit: int = 4):
         try:
             self._mp = multiprocessing.get_context("fork")
         except ValueError as exc:  # pragma: no cover - non-POSIX platforms
@@ -69,6 +76,17 @@ class MultiprocessEngine(Engine):
         #: kernel inherits the same resolved policy.
         self.transport = transport if transport is not None \
             else TransportPolicy.from_env()
+        #: Failure recovery (split-boundary replay) is opt-in: the
+        #: default preserves fail-fast semantics — a dead kernel fails
+        #: the caller with KernelFailure instead of being masked.
+        #: ``recover=None`` defers to ``REPRO_RECOVER=1``.
+        self.recover = (os.environ.get("REPRO_RECOVER") == "1"
+                        if recover is None else bool(recover))
+        #: Deterministic chaos injection, shipped to every forked kernel;
+        #: ``faults=None`` defers to the ``REPRO_FAULT_*`` variables.
+        self.faults = faults if faults is not None else FaultPolicy.from_env()
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_miss_limit = heartbeat_miss_limit
         self.dial_deadline = dial_deadline
         self.startup_timeout = startup_timeout
         self._console: Optional[DistributedKernel] = None
@@ -137,7 +155,8 @@ class MultiprocessEngine(Engine):
             proc = self._mp.Process(
                 target=run_kernel_process,
                 args=(name, ordinal, ns_address, peers, graphs,
-                      self.policy, ready, trace_children, self.transport),
+                      self.policy, ready, trace_children, self.transport,
+                      self.recover, self.faults, self.heartbeat_interval),
                 name=f"dps-kernel:{name}", daemon=True)
             proc.start()
             self._kernel_procs[name] = proc
@@ -156,7 +175,7 @@ class MultiprocessEngine(Engine):
             CONSOLE_KERNEL, 0, ns_address, peers,
             policy=self.policy, dial_deadline=self.dial_deadline,
             tracer=self.tracer, metrics=self.metrics,
-            transport=self.transport)
+            transport=self.transport, recover=self.recover)
         for graph in graphs:
             console.register_graph(graph)
         console.start()
@@ -164,6 +183,9 @@ class MultiprocessEngine(Engine):
 
         threading.Thread(target=self._monitor_children,
                          name="dps-kernel-monitor", daemon=True).start()
+        if self.heartbeat_interval > 0:
+            threading.Thread(target=self._liveness_loop,
+                             name="dps-liveness", daemon=True).start()
         return console
 
     def _monitor_children(self) -> None:
@@ -180,11 +202,42 @@ class MultiprocessEngine(Engine):
                 proc.join(timeout=1)
                 console = self._console
                 if console is not None:
-                    console._record_failure(
-                        ScheduleError(
-                            f"kernel process {name!r} died unexpectedly "
-                            f"(exitcode {proc.exitcode})"),
-                        propagate=False)
+                    console.handle_kernel_down(
+                        name, f"exitcode {proc.exitcode}", propagate=False)
+
+    def _liveness_loop(self) -> None:
+        """Poll the name server's heartbeat leases.
+
+        Process-exit sentinels catch dead kernels; this catches *hung*
+        ones — a wedged process keeps its TCP registration alive but
+        stops beating, which connection-drop detection cannot see.
+        """
+        max_age = self.heartbeat_interval * self.heartbeat_miss_limit
+        while not self._closing.wait(self.heartbeat_interval):
+            console = self._console
+            if console is None:
+                return
+            try:
+                expired = console._ns.expired(max_age)
+            except Exception:
+                return  # name server is gone: teardown in progress
+            for entry in expired:
+                name = entry["name"]
+                # The console registers but never beats (it cannot miss
+                # its own heartbeats — it is the observer).
+                if name == CONSOLE_KERNEL or name not in self._kernel_procs:
+                    continue
+                with console._recovery_lock:
+                    already_dead = name in console._dead_kernels
+                if already_dead:
+                    continue
+                if self.metrics is not None:
+                    self.metrics.counter("heartbeats_missed").inc(
+                        max(1, int(entry["age"] / self.heartbeat_interval)))
+                console.handle_kernel_down(
+                    name, f"heartbeat lease expired "
+                          f"({entry['age']:.2f}s since last beat)",
+                    propagate=False)
 
     def collect_traces(self, timeout: float = 5.0) -> List[str]:
         """Merge every kernel's trace buffer/metrics into this engine's.
@@ -242,6 +295,36 @@ class MultiprocessEngine(Engine):
         self.shutdown()
 
     # ------------------------------------------------------------------
+    # failure injection
+    # ------------------------------------------------------------------
+    def fail_node(self, node_name: str) -> int:
+        """Kill the kernel process hosting *node_name* (SIGKILL).
+
+        An in-flight run observes the death through the process
+        sentinel: with ``recover=True`` the console remaps the dead
+        kernel's thread instances onto survivors and replays un-acked
+        tokens; otherwise the caller fails fast with
+        :class:`~repro.runtime.controller.KernelFailure`.  Returns the
+        number of thread instances that lived on the killed kernel.
+        """
+        proc = self._kernel_procs.get(node_name)
+        if proc is None:
+            raise ValueError(
+                f"unknown kernel {node_name!r}; running kernels: "
+                f"{sorted(self._kernel_procs)}")
+        lost = 0
+        seen = set()
+        for graph in self._graphs.values():
+            for collection in graph.collections():
+                if id(collection) in seen:
+                    continue
+                seen.add(id(collection))
+                lost += collection.placements.count(node_name)
+        proc.kill()
+        proc.join(timeout=5)
+        return lost
+
+    # ------------------------------------------------------------------
     # running
     # ------------------------------------------------------------------
     def run(self, graph: Union[Flowgraph, str], token: Token,
@@ -253,4 +336,10 @@ class MultiprocessEngine(Engine):
         elif graph.name not in self._graphs:
             self.register_graph(graph)
         console = self._ensure_started()
-        return console.run(graph, token, timeout=timeout)
+        started = time.monotonic()
+        result = console.run(graph, token, timeout=timeout)
+        recovered, replayed = console.recovery_snapshot()
+        self.last_result = RunResult(result, started, time.monotonic(),
+                                     recovered=recovered,
+                                     replayed_tokens=replayed)
+        return result

@@ -410,6 +410,7 @@ class SimEngine(Engine):
         if not event.triggered:
             self._raise_stuck()
         self.check_quiescent()
+        self.last_result = event.value
         return event.value
 
     def run_until(self, event: Event, limit: Optional[float] = None) -> Any:
@@ -478,6 +479,28 @@ class SimEngine(Engine):
                 problems.append(f"activation {act.ctx_id} never completed")
         if problems:
             raise ScheduleError("non-quiescent schedule: " + "; ".join(problems))
+
+    def fail_node(self, node_name: str) -> int:
+        """Simulate a node crash: every DPS thread on it is lost.
+
+        The machine itself stays in the cluster model (it may be
+        rebooted / replaced); what disappears is the application state.
+        Returns the number of threads lost.  The schedule must be
+        quiescent — mid-flight failure in the simulated engine is beyond
+        the paper's lightweight checkpointing approach (use
+        MultiprocessEngine with ``recover=True`` for that).
+        """
+        self.check_quiescent()
+        controller = self.controllers[node_name]
+        lost = 0
+        for key in list(controller._threads):
+            ts = controller._threads.pop(key)
+            if ts.proc is not None and ts.proc.is_alive:
+                ts.proc.interrupt("node failure")
+            lost += 1
+        controller._launched.clear()
+        self.trace("node_failed", node=node_name, lost_threads=lost)
+        return lost
 
     # ------------------------------------------------------------------
     # dynamic reshaping

@@ -41,7 +41,7 @@ from ..core.routing import Route, RoutingContext
 from ..core.threads import ThreadCollection
 from ..serial.token import Token
 from ..serial.wire import decode, encode_segments, gather
-from .base import DataEnvelope, Engine, GroupFrame
+from .base import DataEnvelope, Engine, GroupFrame, RunResult
 from .controller import ScheduleError
 
 import inspect
@@ -166,6 +166,13 @@ class ThreadedEngine(Engine):
         #: Kernel name stamped on activations this engine starts; ``None``
         #: keeps results local (the multiprocess kernel overrides it).
         self._origin_name: Optional[str] = None
+        #: Split-boundary replay hooks, populated only by the
+        #: recovery-enabled distributed kernel: a
+        #: :class:`~repro.net.recovery.TokenJournal` of un-acked emitted
+        #: tokens and a :class:`~repro.net.recovery.ReplayDedup`
+        #: admitting each (group, index) frame at non-leaf inputs once.
+        self._journal = None
+        self._dedup = None
 
     # ------------------------------------------------------------------
     # lifecycle (registration comes from the shared Engine base; the old
@@ -224,6 +231,7 @@ class ThreadedEngine(Engine):
                        driver=entry.collection.node_of(instance))
         env = DataEnvelope(token, graph, graph.entry, instance, ctx_id, (),
                            ctx_origin=self._origin_name)
+        started_at = time.monotonic()
         self._deliver(env)
         try:
             outcome = result_q.get(timeout=timeout)
@@ -242,6 +250,7 @@ class ThreadedEngine(Engine):
             raise outcome
         if self.tracer is not None:
             self.trace("activation_done", ctx=ctx_id)
+        self.last_result = RunResult(outcome, started_at, time.monotonic())
         return outcome
 
     def _run_scatter(self, request: ScatterCallRequest, body: _Body) -> int:
@@ -385,11 +394,30 @@ class ThreadedEngine(Engine):
         if self.metrics is not None:
             self.metrics.gauge("queue_depth").set(worker.inbox.qsize())
         if node.kind in (OpKind.LEAF, OpKind.SPLIT):
+            if node.kind is OpKind.SPLIT and env.frames \
+                    and self._dedup is not None:
+                # Replay dedup at the split's input: re-executing an
+                # already-processed token here would mint a fresh inner
+                # group and re-drive stateful merges downstream.  Leaf
+                # inputs deliberately re-execute — they are stateless
+                # and their outputs carry the same frame, so duplicates
+                # die at the next non-leaf hop.
+                frame = env.top_frame()
+                with self._lock:
+                    if not self._dedup.fresh(
+                            (env.graph.name, env.node_id),
+                            frame.group_id, frame.index):
+                        return
             body = self._make_body(env, worker)
             self._drive(body, env.token)
             return
         frame = env.top_frame()
         with self._lock:
+            if self._dedup is not None \
+                    and not self._dedup.fresh(
+                        (env.graph.name, env.node_id),
+                        frame.group_id, frame.index):
+                return  # replayed duplicate; the original was acked
             group = self._groups.get(frame.group_id)
             if group is None:
                 group = _Group(frame.group_id)
@@ -634,9 +662,15 @@ class ThreadedEngine(Engine):
             ),)
         if window is not None:
             window.on_post(instance)
-        return DataEnvelope(token, body.graph, succ, instance,
-                            body.ctx_id, frames,
-                            ctx_origin=body.ctx_origin)
+        env = DataEnvelope(token, body.graph, succ, instance,
+                           body.ctx_id, frames,
+                           ctx_origin=body.ctx_origin)
+        if window is not None and self._journal is not None:
+            # Journal every windowed emission for split-boundary replay;
+            # pruned when the merge's ack arrives, so the journal is
+            # bounded by the flow-control window (tokens in flight).
+            self._journal.record(env, time.monotonic())
+        return env
 
     def _window_for(self, body: _Body) -> SplitWindow:
         key = (body.graph.name, body.node_id, body.worker.index)
@@ -696,19 +730,25 @@ class ThreadedEngine(Engine):
         if self.metrics is not None:
             self.metrics.counter("acks").inc()
         self._send_ack(env.graph.name, frame.opener, frame.opener_instance,
-                       frame.origin_node, frame.routed_instance)
+                       frame.origin_node, frame.routed_instance,
+                       frame.group_id, frame.index)
 
     def _send_ack(self, graph_name: str, opener: int, opener_instance: int,
-                  origin_node: str, routed_instance: int) -> None:
+                  origin_node: str, routed_instance: int,
+                  group_id: int = 0, index: int = 0) -> None:
         """Hook: route the ack to the opener's window (local here)."""
-        self._apply_ack(graph_name, opener, opener_instance, routed_instance)
+        self._apply_ack(graph_name, opener, opener_instance, routed_instance,
+                        group_id, index)
 
     def _apply_ack(self, graph_name: str, opener: int, opener_instance: int,
-                   routed_instance: int) -> None:
+                   routed_instance: int, group_id: int = 0,
+                   index: int = 0) -> None:
         """Feed an ack into the opener's window; release stalled posts.
 
         Caller must hold the lock.
         """
+        if self._journal is not None and group_id:
+            self._journal.prune(group_id, index)
         key = (graph_name, opener, opener_instance)
         window = self._windows.get(key)
         if window is None:

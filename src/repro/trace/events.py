@@ -25,6 +25,14 @@ ADMIT               ``node``/``graph``, ``waited`` — a stalled post left
 ACK                 ``node``, ``graph``, ``opener``, ``group``
 TOKEN_DROP          ``peer``, ``dropped`` — messages discarded after a
                     peer kernel failed (multiprocess engine only)
+KERNEL_DOWN         ``kernel``, ``reason`` — a kernel process was
+                    declared dead (heartbeat lease expired, sentinel
+                    fired, or a peer connection broke)
+REMAP               ``dead``, ``collections``, ``epoch`` — thread
+                    instances of the dead kernel were remapped onto
+                    survivors
+REPLAY              ``epoch``, ``tokens`` — journaled un-acked tokens
+                    were re-delivered after a remap
 ==================  =====================================================
 
 Events recorded in a kernel process additionally carry ``pid`` (the
@@ -45,6 +53,9 @@ __all__ = [
     "ADMIT",
     "ACK",
     "TOKEN_DROP",
+    "KERNEL_DOWN",
+    "REMAP",
+    "REPLAY",
     "EVENT_KINDS",
     "DETERMINISTIC_KINDS",
 ]
@@ -60,6 +71,9 @@ STALL = "stall"
 ADMIT = "admit"
 ACK = "ack"
 TOKEN_DROP = "token_drop"
+KERNEL_DOWN = "kernel_down"
+REMAP = "remap"
+REPLAY = "replay"
 
 #: Every kind an engine may emit (open set: engines may add kinds such as
 #: ``thread_migrated``; the unified vocabulary above is the guaranteed
@@ -67,6 +81,7 @@ TOKEN_DROP = "token_drop"
 EVENT_KINDS = frozenset({
     ACTIVATION_START, ACTIVATION_DONE, OP_START, OP_END,
     TOKEN_SEND, TOKEN_RECV, SERIALIZE, STALL, ADMIT, ACK, TOKEN_DROP,
+    KERNEL_DOWN, REMAP, REPLAY,
 })
 
 #: Kinds whose *counts* are determined by the schedule alone (not by

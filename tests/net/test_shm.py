@@ -149,3 +149,30 @@ def test_receiver_rejects_undersized_arena(lane):
     sender, _ = lane
     with pytest.raises(ValueError, match="smaller than announced"):
         ShmReceiver(sender.name, sender.size + (1 << 20))
+
+
+def test_reclaim_all_recovers_slots_leaked_by_dead_peer():
+    """A peer that dies mid-MSG_SHM handoff never clears its blocks'
+    state flags; because reclamation is FIFO, those blocks would pin the
+    ring tail forever.  reclaim_all (called at connection teardown) must
+    restore the full arena."""
+    sender, receiver = _pair(arena_bytes=1 << 14)
+    try:
+        # Descriptors "sent" but the peer dies before consuming them.
+        leaked = [sender.place(memoryview(b"L" * 4096)) for _ in range(3)]
+        assert all(p is not None for p in leaked)
+        # The un-cleared flags block the whole ring: a full-size block no
+        # longer fits even though nothing will ever be consumed.
+        assert sender.place(memoryview(b"f" * 8192)) is None
+        sender._reclaim()
+        assert len(sender._pending) == 3  # nothing reclaimable via FIFO
+
+        sender.reclaim_all()
+        assert not sender._pending
+        # Full capacity is back: the large block fits again.
+        placed = sender.place(memoryview(b"f" * 8192))
+        assert placed is not None
+        assert bytes(receiver.reassemble([("shm",) + placed])) == b"f" * 8192
+    finally:
+        receiver.close()
+        sender.destroy()

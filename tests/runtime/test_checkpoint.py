@@ -63,7 +63,7 @@ def test_failure_recovery_end_to_end():
 
     gol.step(improved=True)  # progress that will be lost
 
-    lost = fail_node(engine, "node02")
+    lost = engine.fail_node("node02")
     assert lost > 0
 
     # reshape away from the dead node, restore, replay
@@ -81,10 +81,17 @@ def test_failure_recovery_end_to_end():
 
 def test_fail_node_requires_quiescence_and_traces():
     engine, gol, world = make_gol()
-    lost = fail_node(engine, "node01")
+    lost = engine.fail_node("node01")
     assert lost >= 1
     # failing an empty node is fine (0 threads lost)
-    assert fail_node(engine, "node04") == 0
+    assert engine.fail_node("node04") == 0
+
+
+def test_fail_node_module_shim_warns_and_delegates():
+    engine, gol, world = make_gol()
+    with pytest.warns(DeprecationWarning, match="engine.fail_node"):
+        lost = fail_node(engine, "node01")
+    assert lost >= 1
 
 
 def test_checkpoint_requires_collections():

@@ -1,0 +1,73 @@
+"""create_engine(): uniform options, helpful rejection of the rest."""
+
+import pytest
+
+from repro.core import FlowControlPolicy
+from repro.net import TransportPolicy
+from repro.net.recovery import FaultPolicy
+from repro.runtime import (
+    MultiprocessEngine,
+    SimEngine,
+    ThreadedEngine,
+    create_engine,
+)
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown engine kind"):
+        create_engine("cloud")
+
+
+def test_common_options_accepted_by_every_kind():
+    policy = FlowControlPolicy(window=2)
+    for kind, cls in (("sim", SimEngine), ("threaded", ThreadedEngine),
+                      ("multiprocess", MultiprocessEngine)):
+        engine = create_engine(kind, policy=policy, nodes=3,
+                               transport=None, faults=None)
+        assert isinstance(engine, cls)
+        assert engine.policy.window == 2
+        engine.shutdown()
+
+
+def test_unknown_option_names_owning_engines():
+    with pytest.raises(ValueError) as exc:
+        create_engine("threaded", recover=True)
+    # The message teaches where the option belongs...
+    assert "'recover' is a multiprocess option" in str(exc.value)
+    # ...and lists what this kind does accept.
+    assert "serialize_transfers" in str(exc.value)
+
+
+def test_option_that_no_engine_accepts():
+    with pytest.raises(ValueError, match="'retries' is not an engine option"):
+        create_engine("sim", retries=3)
+
+
+def test_non_none_transport_rejected_outside_multiprocess():
+    with pytest.raises(ValueError, match="only honoured by the multiprocess"):
+        create_engine("sim", transport=TransportPolicy())
+    with pytest.raises(ValueError, match="no wire"):
+        create_engine("threaded", transport=TransportPolicy())
+
+
+def test_non_none_faults_rejected_outside_multiprocess():
+    faults = FaultPolicy(drop_rate=0.1)
+    with pytest.raises(ValueError, match="no kernel processes"):
+        create_engine("threaded", faults=faults)
+
+
+def test_multiprocess_accepts_recovery_options():
+    engine = create_engine("multiprocess", recover=True,
+                           faults=FaultPolicy(delay_ms=1.0),
+                           heartbeat_interval=0.5, heartbeat_miss_limit=2)
+    try:
+        assert engine.recover is True
+        assert engine.faults.delay_ms == 1.0
+        assert engine.heartbeat_interval == 0.5
+    finally:
+        engine.shutdown()
+
+
+def test_sim_specific_options_still_work():
+    engine = create_engine("sim", nodes=2, serialize_payloads=False)
+    assert len(engine.cluster.node_names) == 2

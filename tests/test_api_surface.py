@@ -31,9 +31,63 @@ def test_documented_api_present():
         "StreamOperation", "FlowControlPolicy",
         # cluster + tokens
         "paper_cluster", "Token", "Buffer", "Application",
+        # fault tolerance (README "Fault tolerance")
+        "FaultPolicy", "KernelFailure",
     }
     missing = documented - set(repro.__all__)
     assert not missing, f"documented names absent from __all__: {missing}"
+
+
+def test_exact_public_surface():
+    """The package's public surface, name for name.
+
+    Additions are deliberate API decisions: extend this list *and* the
+    docs in the same change.  Removals must go through a deprecation
+    shim first (see ``repro.runtime.checkpoint.fail_node``).
+    """
+    assert list(repro.__all__) == [
+        "Application", "Buffer", "Cluster", "ClusterSpec", "ComplexToken",
+        "ConstantRoute", "DpsThread", "Engine", "FaultPolicy",
+        "FlowControlPolicy", "Flowgraph", "FlowgraphBuilder",
+        "FlowgraphNode", "GraphError", "KernelFailure", "LeafOperation",
+        "LoadBalancedRoute", "MergeOperation", "MetricsRegistry",
+        "MultiprocessEngine", "NetworkSpec", "NodeSpec", "Operation",
+        "RoundRobinRoute", "Route", "RunResult", "ScheduleError",
+        "SimEngine", "SimpleToken", "SplitOperation", "StreamOperation",
+        "ThreadCollection", "ThreadedEngine", "Token", "Tracer",
+        "TransportPolicy", "Vector", "create_engine",
+        "export_chrome_trace", "paper_cluster", "route_fn",
+    ]
+
+
+def test_failure_and_faultpolicy_semantics():
+    """The redesigned failure API: one exception type, engine-level
+    fail_node, RunResult recovery fields."""
+    import pytest
+
+    from repro import (Engine, FaultPolicy, KernelFailure, RunResult,
+                       ScheduleError, ThreadedEngine)
+
+    # KernelFailure is catchable both as a schedule error (new code) and
+    # as a ConnectionError (pre-redesign call sites).
+    assert issubclass(KernelFailure, ScheduleError)
+    assert issubclass(KernelFailure, ConnectionError)
+
+    # Engines expose fail_node; engines without kill support say so.
+    assert hasattr(Engine, "fail_node")
+    with pytest.raises(NotImplementedError, match="fail_node"):
+        ThreadedEngine().fail_node("node01")
+
+    # RunResult carries the recovery outcome.
+    r = RunResult(None, 0.0, 1.0)
+    assert r.recovered is False and r.replayed_tokens == 0
+    r = RunResult(None, 0.0, 1.0, recovered=True, replayed_tokens=7)
+    assert r.recovered is True and r.replayed_tokens == 7
+
+    # FaultPolicy is frozen and validates its spec.
+    with pytest.raises(ValueError, match="kill_after"):
+        FaultPolicy(kill_kernel="node01")
+    assert FaultPolicy().enabled is False
 
 
 def test_star_import_matches_all():
