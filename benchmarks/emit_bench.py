@@ -1,0 +1,184 @@
+"""Emit a committed benchmark snapshot: ``BENCH_<date>_<sha>.json``.
+
+Runs the small-token ring demo on the multiprocess engine in both I/O
+modes — the selectors event loop (ISSUE 6 default) and the per-peer
+writer / per-connection reader threads fallback — and records, per mode:
+
+- ``tokens_per_sec``        ring throughput (median over pooled runs)
+- ``frames_per_syscall``    mean coalescing factor at the senders
+- ``latency_us_p50/p99``    per-token latency percentiles over runs
+- ``threads_per_kernel``    live thread count in the console kernel
+- ``io_loop_wakeups`` / ``partial_writes``  loop-health counters
+
+Scheduling noise on a shared box dwarfs the mode difference within any
+single engine lifetime (per-run rates vary 2-3x), so the protocol
+interleaves lifetimes: eventloop, threads, eventloop, threads, ... for
+``--reps`` rounds, pooling every timed run before taking the median.
+Slow drift (another tenant, thermal state) then lands on both modes
+symmetrically instead of biasing whichever ran second.
+
+The JSON lands in the repository root so the performance trajectory is
+versioned next to the code it measures (CI re-emits one per push; see
+``.github/workflows/ci.yml``).  Usage::
+
+    PYTHONPATH=src python benchmarks/emit_bench.py [--blocks N]
+        [--block-bytes B] [--runs R] [--reps K] [--out DIR]
+"""
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.apps.ring import RingJobToken, build_ring_graph  # noqa: E402
+from repro.net import TransportPolicy  # noqa: E402
+from repro.runtime import MultiprocessEngine  # noqa: E402
+from repro.trace import MetricsRegistry  # noqa: E402
+
+RING_NODES = ["node01", "node02", "node03", "node04"]
+MODES = ("eventloop", "threads")
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _git_short_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10,
+        ).stdout.strip() or "nogit"
+    except OSError:
+        return "nogit"
+
+
+def bench_lifetime(io_mode: str, metrics: MetricsRegistry, *,
+                   blocks: int, block_bytes: int, runs: int):
+    """One engine lifetime: warm up, then time *runs* rings.
+
+    Returns ``(elapsed_seconds_per_run, threads_per_kernel)``.  The
+    metrics registry is shared across a mode's lifetimes so counters and
+    the frames_per_syscall histogram accumulate over the whole session.
+    """
+    transport = TransportPolicy(io_mode=io_mode)
+    samples = []
+    with MultiprocessEngine(transport=transport, metrics=metrics) as engine:
+        graph = build_ring_graph(RING_NODES)
+        engine.register_graph(graph)
+        # warm-up: cluster fork, lazy dials, shm attach
+        engine.run(graph, RingJobToken(block_bytes, 4), timeout=120)
+        for _ in range(runs):
+            t0 = time.perf_counter()
+            done = engine.run(graph, RingJobToken(block_bytes, blocks),
+                              timeout=120)
+            elapsed = time.perf_counter() - t0
+            assert done.blocks == blocks
+            samples.append(elapsed)
+        threads_per_kernel = len(threading.enumerate())
+        engine.collect_traces()
+    return samples, threads_per_kernel
+
+
+def summarize(io_mode: str, samples, threads_per_kernel: int,
+              metrics: MetricsRegistry, *, blocks: int) -> dict:
+    tok_rates = sorted(blocks / s for s in samples)
+    lat_us = sorted(s / blocks * 1e6 for s in samples)
+
+    def pct(values, q):
+        idx = min(len(values) - 1, max(0, round(q * (len(values) - 1))))
+        return values[idx]
+
+    fps = metrics.histogram("frames_per_syscall")
+    counters = metrics.snapshot().get("counters", {})
+    return {
+        "tokens_per_sec": round(statistics.median(tok_rates), 1),
+        "frames_per_syscall":
+            round(fps.total / fps.count, 3) if fps.count else 0.0,
+        "latency_us_p50": round(pct(lat_us, 0.50), 1),
+        "latency_us_p99": round(pct(lat_us, 0.99), 1),
+        "threads_per_kernel": threads_per_kernel,
+        "io_loop_wakeups": counters.get("io_loop_wakeups", 0),
+        "partial_writes": counters.get("partial_writes", 0),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--blocks", type=int, default=300)
+    parser.add_argument("--block-bytes", type=int, default=512)
+    parser.add_argument("--runs", type=int, default=4,
+                        help="timed ring runs per engine lifetime")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="interleaved engine lifetimes per mode")
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), ".."))
+    args = parser.parse_args(argv)
+
+    registries = {mode: MetricsRegistry() for mode in MODES}
+    pooled = {mode: [] for mode in MODES}
+    threads_per_kernel = {}
+    for rep in range(args.reps):
+        for io_mode in MODES:
+            print(f"[emit_bench] rep {rep + 1}/{args.reps} {io_mode}: ring "
+                  f"{args.blocks} x {args.block_bytes} B x {args.runs} runs",
+                  flush=True)
+            samples, tpk = bench_lifetime(
+                io_mode, registries[io_mode], blocks=args.blocks,
+                block_bytes=args.block_bytes, runs=args.runs)
+            pooled[io_mode].extend(samples)
+            threads_per_kernel[io_mode] = tpk
+
+    modes = {}
+    for io_mode in MODES:
+        modes[io_mode] = summarize(
+            io_mode, pooled[io_mode], threads_per_kernel[io_mode],
+            registries[io_mode], blocks=args.blocks)
+        print(f"[emit_bench] {io_mode}: {modes[io_mode]}", flush=True)
+
+    speedup = (modes["eventloop"]["tokens_per_sec"]
+               / max(1e-9, modes["threads"]["tokens_per_sec"]))
+    date = datetime.date.today().strftime("%Y%m%d")
+    sha = _git_short_sha()
+    doc = {
+        "benchmark": "ring-small-token",
+        "date": date,
+        "sha": sha,
+        "host": {
+            "cpus": _usable_cpus(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "config": {
+            "nodes": RING_NODES,
+            "blocks": args.blocks,
+            "block_bytes": args.block_bytes,
+            "runs": args.runs,
+            "reps": args.reps,
+        },
+        "modes": modes,
+        "speedup_eventloop_vs_threads": round(speedup, 3),
+    }
+    out_path = os.path.join(args.out, f"BENCH_{date}_{sha}.json")
+    with open(out_path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(f"[emit_bench] eventloop/threads speedup {speedup:.2f}x "
+          f"-> {out_path}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

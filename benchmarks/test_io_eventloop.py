@@ -1,0 +1,130 @@
+"""A/B benchmark for the event-loop I/O core (ISSUE 6).
+
+Compares the two ``TransportPolicy.io_mode`` flavours on the small-token
+ring: one ``selectors`` event loop per kernel versus the per-peer writer
+/ per-connection reader threads fallback.  The ≥15% eventloop win needs
+real parallelism — on a single shared core all five processes serialize
+on the CPU and the threads fallback's *lazy* batching (writer threads
+that wake late and slurp ~8 frames per syscall) edges ahead instead, as
+the committed ``BENCH_*.json`` trajectory from such boxes records — so
+the speedup assert gates on ≥4 usable cores.  The ungated tests pin the
+structural properties that hold on any box: the loop actually carries
+the traffic (wakeup and coalescing counters move), the thread census
+per kernel shrinks, and the ``emit_bench`` harness emits a well-formed
+snapshot.
+"""
+
+import json
+import os
+import statistics
+import threading
+import time
+
+import pytest
+
+from repro.apps.ring import RingJobToken, build_ring_graph
+from repro.net import TransportPolicy
+from repro.runtime import MultiprocessEngine
+from repro.trace import MetricsRegistry
+
+RING_NODES = ["node01", "node02", "node03", "node04"]
+SMALL_BLOCK_BYTES = 512  # syscall-bound, not bandwidth-bound
+SMALL_BLOCKS = 300
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _ring_rates(io_mode, *, runs=3, blocks=SMALL_BLOCKS,
+                block_bytes=SMALL_BLOCK_BYTES, metrics=None):
+    """One engine lifetime; per-run tokens/sec for *runs* timed rings."""
+    transport = TransportPolicy(io_mode=io_mode)
+    rates = []
+    with MultiprocessEngine(transport=transport, metrics=metrics) as engine:
+        graph = build_ring_graph(RING_NODES)
+        engine.register_graph(graph)
+        # warm-up: cluster fork / lazy dials / shm attach
+        engine.run(graph, RingJobToken(block_bytes, 4), timeout=120)
+        for _ in range(runs):
+            t0 = time.perf_counter()
+            done = engine.run(graph, RingJobToken(block_bytes, blocks),
+                              timeout=120)
+            elapsed = time.perf_counter() - t0
+            assert done.blocks == blocks
+            rates.append(blocks / elapsed)
+        census = len(threading.enumerate())
+    return rates, census
+
+
+@pytest.mark.skipif(_usable_cpus() < 4,
+                    reason="A/B throughput comparison needs >= 4 cores")
+def test_eventloop_beats_threads_on_small_tokens(capsys):
+    """Small-token ring, eventloop vs threads: >= 15% more tokens/sec
+    (the ISSUE 6 target).  Lifetimes are interleaved and pooled so box
+    drift lands on both modes symmetrically."""
+    pooled = {"eventloop": [], "threads": []}
+    for _ in range(2):
+        for io_mode in ("eventloop", "threads"):
+            rates, _ = _ring_rates(io_mode)
+            pooled[io_mode].extend(rates)
+    ev = statistics.median(pooled["eventloop"])
+    th = statistics.median(pooled["threads"])
+    speedup = ev / th
+    with capsys.disabled():
+        print(f"\n[io-eventloop] ring {SMALL_BLOCK_BYTES} B blocks: "
+              f"threads {th:,.0f} tok/s, eventloop {ev:,.0f} tok/s "
+              f"({speedup:.2f}x)")
+    assert speedup >= 1.15, (
+        f"eventloop only {speedup:.2f}x over writer/reader threads "
+        f"(need >= 1.15x)")
+
+
+def test_eventloop_thread_census_is_smaller(capsys):
+    """The whole point of the single loop: strictly fewer live threads
+    per kernel than the writer/reader-thread fallback, same traffic."""
+    _, census_ev = _ring_rates("eventloop", runs=1, blocks=50)
+    _, census_th = _ring_rates("threads", runs=1, blocks=50)
+    with capsys.disabled():
+        print(f"\n[io-eventloop] console thread census: "
+              f"eventloop {census_ev}, threads {census_th}")
+    assert census_ev < census_th, (
+        f"eventloop census {census_ev} not below threads {census_th}")
+
+
+def test_loop_carries_traffic_and_counters_move():
+    """Under eventloop the loop-health counters must actually move:
+    passes are counted and sends still coalesce (>1 frame/syscall)."""
+    metrics = MetricsRegistry()
+    _ring_rates("eventloop", runs=1, blocks=200, block_bytes=256,
+                metrics=metrics)
+    counters = metrics.snapshot()["counters"]
+    assert counters.get("io_loop_wakeups", 0) > 0, "loop never ticked"
+    hist = metrics.histogram("frames_per_syscall")
+    assert hist.count > 0, "no flushes recorded"
+    assert hist.mean > 1.0, (
+        f"eventloop pump is not coalescing (mean {hist.mean:.2f})")
+
+
+def test_emit_bench_writes_wellformed_snapshot(tmp_path):
+    """The published-trajectory harness end to end, at toy scale: one
+    ``BENCH_<date>_<sha>.json`` with both modes and a finite speedup."""
+    from benchmarks import emit_bench
+
+    rc = emit_bench.main(["--blocks", "24", "--block-bytes", "128",
+                          "--runs", "1", "--reps", "1",
+                          "--out", str(tmp_path)])
+    assert rc == 0
+    files = list(tmp_path.glob("BENCH_*.json"))
+    assert len(files) == 1
+    doc = json.loads(files[0].read_text())
+    assert set(doc["modes"]) == {"eventloop", "threads"}
+    for mode in doc["modes"].values():
+        assert mode["tokens_per_sec"] > 0
+        assert mode["latency_us_p99"] >= mode["latency_us_p50"]
+    assert doc["speedup_eventloop_vs_threads"] > 0
+    assert doc["modes"]["eventloop"]["io_loop_wakeups"] > 0
+    assert doc["modes"]["threads"]["io_loop_wakeups"] == 0

@@ -159,6 +159,12 @@ def main(argv: Optional[List[str]] = None) -> int:
              "between co-located kernels (sets REPRO_SHM=0)",
     )
     parser.add_argument(
+        "--io-mode", choices=["eventloop", "threads"], default=None,
+        help="multiprocess engine: socket I/O core — one selectors event "
+             "loop per kernel (default) or the per-peer writer / "
+             "per-connection reader threads (sets REPRO_IO_MODE)",
+    )
+    parser.add_argument(
         "--kill-kernel", metavar="NODE@WHEN", default=None,
         help="multiprocess engine chaos: kill the named kernel process, "
              "e.g. 'node03@0.5' (seconds after start) or 'node03@#5' "
@@ -189,6 +195,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.environ["REPRO_TRANSPORT_BATCH"] = "0"
     if args.no_shm:
         os.environ["REPRO_SHM"] = "0"
+    if args.io_mode is not None:
+        os.environ["REPRO_IO_MODE"] = args.io_mode
     # Chaos flags, resolved by FaultPolicy.from_env() in the engine.  A
     # kill without recovery would just fail the run, so --kill-kernel
     # also opts into recovery unless the caller chose explicitly.

@@ -15,6 +15,12 @@ from .connections import (
     TransportPolicy,
     dial_kernel,
 )
+from .eventloop import (
+    EventLoopPeer,
+    IOLoop,
+    VectoredSender,
+    eventloop_supported,
+)
 from .framing import (
     MAX_SENDMSG_SEGMENTS,
     FrameReader,
@@ -51,8 +57,10 @@ __all__ = [
     "DialError",
     "DistributedKernel",
     "DuplicateRegistration",
+    "EventLoopPeer",
     "FaultPolicy",
     "FrameReader",
+    "IOLoop",
     "KERNEL_ORDINAL_SHIFT",
     "MAX_SENDMSG_SEGMENTS",
     "NameServer",
@@ -65,8 +73,10 @@ __all__ = [
     "TokenJournal",
     "TransportPolicy",
     "UnknownKernel",
+    "VectoredSender",
     "apply_remap",
     "dial_kernel",
+    "eventloop_supported",
     "host_fingerprint",
     "plan_remap",
     "recv_message",

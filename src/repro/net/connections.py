@@ -81,6 +81,19 @@ class TransportPolicy:
     shm_arena_bytes: int = 1 << 24
     #: ``recv`` size of the batch-aware frame reader.
     recv_buffer_bytes: int = 1 << 18
+    #: I/O core for the kernel wire path: ``"eventloop"`` multiplexes
+    #: every peer socket on one selectors loop thread per kernel;
+    #: ``"threads"`` keeps the per-peer writer / per-connection reader
+    #: threads (the PR 4 shape) for A/B runs and as the fallback on
+    #: platforms without a working selector.
+    io_mode: str = "eventloop"
+
+    def __post_init__(self) -> None:
+        if self.io_mode not in ("eventloop", "threads"):
+            raise ValueError(
+                f"io_mode must be 'eventloop' or 'threads', "
+                f"got {self.io_mode!r}"
+            )
 
     @property
     def ack_aggregation(self) -> bool:
@@ -100,7 +113,8 @@ class TransportPolicy:
         - ``REPRO_TRANSPORT_BATCH=0`` — disable coalescing *and* ack
           aggregation (the frame-at-a-time path);
         - ``REPRO_SHM=0`` / ``REPRO_SHM=1`` — force the shm lane off/on;
-        - ``REPRO_SHM_THRESHOLD=<bytes>`` — shm size threshold.
+        - ``REPRO_SHM_THRESHOLD=<bytes>`` — shm size threshold;
+        - ``REPRO_IO_MODE=eventloop|threads`` — pick the I/O core.
         """
         env = os.environ if env is None else env
         policy = cls()
@@ -112,6 +126,8 @@ class TransportPolicy:
         if "REPRO_SHM_THRESHOLD" in env:
             policy = replace(policy,
                              shm_threshold=int(env["REPRO_SHM_THRESHOLD"]))
+        if "REPRO_IO_MODE" in env:
+            policy = replace(policy, io_mode=env["REPRO_IO_MODE"])
         return policy
 
 
@@ -298,6 +314,11 @@ class ConnectionPool:
     lock-free dict probe (GIL-atomic; connections are only ever added,
     under the lock, and cleared at close).  The lock is taken only to
     create a connection on first use.
+
+    When an *io_loop* is attached, new peers are
+    :class:`~repro.net.eventloop.EventLoopPeer` channels drained by that
+    loop; otherwise each peer gets a :class:`PeerConnection` writer
+    thread.
     """
 
     def __init__(self, ns: NameServerClient, *, hello_from: str,
@@ -305,7 +326,8 @@ class ConnectionPool:
                  dial_deadline: float = 15.0,
                  transport: Optional[TransportPolicy] = None,
                  metrics=None,
-                 trace: Optional[Callable] = None):
+                 trace: Optional[Callable] = None,
+                 io_loop=None):
         self._ns = ns
         self._hello_from = hello_from
         self._on_error = on_error
@@ -313,6 +335,7 @@ class ConnectionPool:
         self._transport = transport
         self._metrics = metrics
         self._trace = trace
+        self._io_loop = io_loop
         self._lock = threading.Lock()
         self._peers: Dict[str, PeerConnection] = {}
 
@@ -320,13 +343,24 @@ class ConnectionPool:
         with self._lock:
             conn = self._peers.get(name)
             if conn is None:
-                conn = PeerConnection(
-                    name, self._ns, hello_from=self._hello_from,
-                    on_error=self._on_error,
-                    dial_deadline=self._dial_deadline,
-                    transport=self._transport,
-                    metrics=self._metrics,
-                    trace=self._trace)
+                if self._io_loop is not None:
+                    from .eventloop import EventLoopPeer  # avoid cycle
+                    conn = EventLoopPeer(
+                        name, self._ns, loop=self._io_loop,
+                        hello_from=self._hello_from,
+                        on_error=self._on_error,
+                        dial_deadline=self._dial_deadline,
+                        transport=self._transport,
+                        metrics=self._metrics,
+                        trace=self._trace)
+                else:
+                    conn = PeerConnection(
+                        name, self._ns, hello_from=self._hello_from,
+                        on_error=self._on_error,
+                        dial_deadline=self._dial_deadline,
+                        transport=self._transport,
+                        metrics=self._metrics,
+                        trace=self._trace)
                 self._peers[name] = conn
             return conn
 

@@ -1,0 +1,627 @@
+"""Single-threaded I/O core for the distributed kernel (ISSUE 6).
+
+PR 4's transport batched the syscalls but kept the PR 2 threading shape:
+one writer thread per peer plus one reader thread per inbound
+connection.  On an N-kernel cluster that is O(N) blocking threads per
+process fighting the GIL for work that is almost never CPU-bound —
+every token pays queue handoffs, lock wakeups and context switches
+before a single byte moves.  This module replaces all of them with one
+:class:`IOLoop` per kernel: a single thread owning a
+``selectors.DefaultSelector`` (epoll on Linux, kqueue on BSD/macOS)
+that multiplexes *every* peer socket, both directions.
+
+- **Writes** drain per-peer outboxes with non-blocking vectored
+  ``sendmsg`` (:class:`VectoredSender`), resuming partial writes with
+  sliced ``memoryview``\\ s and registering for ``EVENT_WRITE`` only
+  while the kernel socket buffer is full — natural backpressure that is
+  *observable*: a blocked peer's queued frames show up in the
+  ``outbox_depth`` gauge, and every short write increments
+  ``partial_writes``.
+- **Reads** are readiness-driven: accepted connections register for
+  ``EVENT_READ`` and feed :meth:`~repro.net.framing.FrameReader.recv_ready`
+  batches straight into the kernel's dispatch path.
+- **Wakeups** use a ``socketpair`` self-pipe: posting a token from any
+  engine thread is a lock-free ``deque.append`` plus (at most) one
+  one-byte ``send`` — :meth:`IOLoop.call` never blocks and never takes
+  a lock, so ``ConnectionPool.send`` stays safe under the engine lock.
+  ``io_loop_wakeups`` counts loop iterations.
+
+The per-peer writer threads and per-connection reader threads are gone
+in this mode (accept/heartbeat/resend/ack-flush threads remain); the
+threads flavour survives behind ``TransportPolicy(io_mode="threads")``
+for A/B benchmarking and for platforms where
+:func:`eventloop_supported` fails.  Wire bytes are bit-identical across
+modes — an eventloop sender interoperates with a threads receiver and
+vice versa.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import sys
+import threading
+import traceback
+from collections import deque
+from typing import Callable, List, Optional
+
+from ..serial.wire import Segment, frame
+from .framing import MAX_SENDMSG_SEGMENTS, _as_byte_views
+from .nameserver import NameServerError
+from .shm import ShmSender, host_fingerprint
+
+__all__ = ["IOLoop", "VectoredSender", "EventLoopPeer",
+           "eventloop_supported"]
+
+_WAKE = b"\x00"
+
+
+def eventloop_supported() -> bool:
+    """Whether this platform can run the selectors I/O core.
+
+    ``DefaultSelector`` and ``socketpair`` exist on every platform
+    CPython supports, but both can fail in exotic sandboxes (no epoll
+    device, no AF_UNIX); the threads transport remains as the fallback.
+    """
+    try:
+        sel = selectors.DefaultSelector()
+        sel.close()
+        r, w = socket.socketpair()
+        r.close()
+        w.close()
+        return True
+    except (AttributeError, OSError):  # pragma: no cover - exotic platforms
+        return False
+
+
+class VectoredSender:
+    """Non-blocking vectored frame writer with partial-write resumption.
+
+    Framed messages are queued whole (:meth:`push`); :meth:`pump` then
+    flushes them through as few ``sendmsg`` calls as the socket buffer
+    allows — chunked under ``MAX_SENDMSG_SEGMENTS`` and a byte budget
+    when *coalescing*, exactly one frame per syscall otherwise (the A/B
+    baseline).  A short write (``EAGAIN`` or fewer bytes accepted than
+    offered) leaves the remainder queued with the partially-sent view
+    sliced, so the next :meth:`pump` resumes mid-frame; frame bytes on
+    the wire are identical to the blocking
+    :func:`~repro.net.framing.send_messages` path.
+
+    Single-consumer: only the loop thread pumps.  The class itself owns
+    no socket, which keeps it drivable by property tests with a mock
+    whose ``sendmsg`` accepts arbitrary byte counts.
+    """
+
+    def __init__(self, *, coalescing: bool = True,
+                 max_batch_bytes: int = 1 << 20,
+                 max_batch_segments: int = MAX_SENDMSG_SEGMENTS):
+        self._coalescing = coalescing
+        self._max_batch_bytes = max_batch_bytes
+        self._max_batch_segments = max_batch_segments
+        #: queued frames, each a list of byte views (header first)
+        self._frames: deque = deque()
+        self._pending_bytes = 0
+        # per-drain-episode accounting for the frames_per_syscall series
+        self._episode_frames = 0
+        self._episode_syscalls = 0
+        #: total short writes (EAGAIN or partial sendmsg) observed
+        self.partial_writes = 0
+
+    @property
+    def pending_frames(self) -> int:
+        return len(self._frames)
+
+    @property
+    def pending_bytes(self) -> int:
+        return self._pending_bytes
+
+    def push(self, message: List[Segment]) -> None:
+        """Queue one message (an unframed segment list) for sending."""
+        # Empty views carry no wire bytes but would wedge the
+        # consume-by-sent-bytes walk below; drop them up front.
+        views = [v for v in _as_byte_views(frame(message)) if v.nbytes]
+        self._frames.append(views)
+        self._pending_bytes += sum(v.nbytes for v in views)
+        self._episode_frames += 1
+
+    def pump(self, sock) -> bool:
+        """Write queued frames until drained or the socket would block.
+
+        Returns ``True`` when everything queued has hit the socket.
+        Propagates ``OSError`` other than ``EAGAIN``/``EINTR`` (broken
+        pipe, reset) to the caller.
+        """
+        frames = self._frames
+        while frames:
+            iov: List[memoryview] = []
+            nbytes = 0
+            if self._coalescing:
+                for views in frames:
+                    take = len(views)
+                    for i, v in enumerate(views):
+                        if iov and (
+                                len(iov) >= self._max_batch_segments
+                                or nbytes + v.nbytes > self._max_batch_bytes):
+                            take = i
+                            break
+                        iov.append(v)
+                        nbytes += v.nbytes
+                    if take < len(views):
+                        break
+            else:
+                iov = list(frames[0])
+                nbytes = sum(v.nbytes for v in iov)
+            try:
+                sent = sock.sendmsg(iov)
+            except InterruptedError:  # pragma: no cover - signal race
+                continue
+            except BlockingIOError:
+                self.partial_writes += 1
+                return False
+            self._episode_syscalls += 1
+            self._pending_bytes -= sent
+            if sent < nbytes:
+                self.partial_writes += 1
+            while sent and frames:
+                views = frames[0]
+                head = views[0]
+                if sent >= head.nbytes:
+                    sent -= head.nbytes
+                    views.pop(0)
+                    if not views:
+                        frames.popleft()
+                else:
+                    views[0] = head[sent:]
+                    sent = 0
+        return True
+
+    def take_episode(self) -> "tuple[int, int]":
+        """``(frames, syscalls)`` since the last fully-drained flush."""
+        episode = (self._episode_frames, self._episode_syscalls)
+        self._episode_frames = self._episode_syscalls = 0
+        return episode
+
+    def clear(self) -> int:
+        """Drop everything queued; returns the number of frames dropped."""
+        dropped = len(self._frames)
+        self._frames.clear()
+        self._pending_bytes = 0
+        self._episode_frames = self._episode_syscalls = 0
+        return dropped
+
+
+class IOLoop:
+    """One ``selectors`` event loop owning all of a kernel's socket I/O.
+
+    Everything that touches the selector or per-peer write state runs on
+    the loop thread; other threads hand work over with :meth:`call`
+    (lock-free append + self-pipe wakeup).  Readers are registered with
+    :meth:`add_connection`; writers are :class:`EventLoopPeer` objects
+    that register themselves for ``EVENT_WRITE`` only while blocked.
+    """
+
+    def __init__(self, name: str, metrics=None):
+        self.name = name
+        self._metrics = metrics
+        self._selector = selectors.DefaultSelector()
+        r, w = socket.socketpair()
+        r.setblocking(False)
+        w.setblocking(False)
+        self._wake_r, self._wake_w = r, w
+        self._selector.register(r, selectors.EVENT_READ, self._on_wake)
+        self._pending: deque = deque()
+        self._wake_pending = False
+        self._in_select = False
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._run, name=f"dps-io:{name}", daemon=True)
+
+    # -- cross-thread interface ----------------------------------------
+    def start(self) -> "IOLoop":
+        self._thread.start()
+        return self
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def on_loop_thread(self) -> bool:
+        return threading.current_thread() is self._thread
+
+    def call(self, fn: Callable[[], None]) -> None:
+        """Run *fn* on the loop thread, soon; never blocks.
+
+        After :meth:`close` the loop thread is gone, so *fn* runs inline
+        (teardown-only; callbacks must tolerate a closed selector).
+        """
+        if self._closed:
+            fn()
+            return
+        self._pending.append(fn)
+        # The byte is only needed to interrupt a blocking select(); when
+        # the loop is mid-pass it re-checks the queue before blocking
+        # (the zero-timeout guard in _run), so skipping the syscall here
+        # is safe — and avoids a GIL drop per call() under bursts.
+        if self._in_select and not self._wake_pending:
+            self._wake_pending = True
+            try:
+                self._wake_w.send(_WAKE)
+            except (BlockingIOError, OSError):
+                pass  # a wakeup is already queued, or we are closing
+
+    def close(self) -> None:
+        """Stop the loop and close every socket it still owns."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._wake_w.send(_WAKE)
+        except (BlockingIOError, OSError):
+            pass
+        if self._thread.is_alive() and not self.on_loop_thread():
+            self._thread.join(timeout=2.0)
+        for key in list(self._selector.get_map().values()):
+            if key.fileobj is self._wake_r:
+                continue
+            try:
+                key.fileobj.close()
+            except OSError:
+                pass
+        self._selector.close()
+        self._wake_r.close()
+        self._wake_w.close()
+
+    # -- reading side ---------------------------------------------------
+    def add_connection(self, sock: socket.socket, *, recv_bytes: int,
+                       on_frames: Callable[[list], None],
+                       on_close: Callable[[Optional[Exception]], None],
+                       ) -> None:
+        """Adopt an accepted connection: readiness-driven frame reads.
+
+        *on_frames* receives each non-empty batch of complete frames (on
+        the loop thread); *on_close* fires exactly once with ``None`` on
+        clean EOF or the exception that broke the connection.  The
+        socket is closed by the loop in either case.
+        """
+        from .framing import FrameReader  # late: framing imports nothing back
+        sock.setblocking(False)
+        reader = FrameReader(sock, recv_bytes=recv_bytes)
+        done = [False]
+
+        def finish(exc: Optional[Exception]) -> None:
+            if done[0]:
+                return
+            done[0] = True
+            try:
+                self._selector.unregister(sock)
+            except (KeyError, ValueError, OSError):
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+            on_close(exc)
+
+        def on_readable(_mask: int) -> None:
+            if done[0]:
+                return
+            try:
+                frames, eof = reader.recv_ready()
+            except Exception as exc:
+                finish(exc)
+                return
+            if frames:
+                try:
+                    on_frames(frames)
+                except Exception as exc:
+                    finish(exc)
+                    return
+            if eof:
+                finish(None)
+
+        def register() -> None:
+            if self._closed:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                return
+            self._selector.register(sock, selectors.EVENT_READ, on_readable)
+
+        self.call(register)
+
+    # -- loop internals -------------------------------------------------
+    def _on_wake(self, _mask: int) -> None:
+        try:
+            self._wake_r.recv(4096)
+        except (BlockingIOError, OSError):
+            pass
+        # Clear AFTER the recv: the flag may only read "wake queued"
+        # while a byte is (about to be) in the pipe.  Clearing it at the
+        # top of the loop pass instead loses wakeups: a byte sent
+        # mid-pass gets consumed by this same recv while the flag stays
+        # set, and the next call() then skips its wake with the pipe
+        # empty — the loop blocks in select() over queued work.
+        self._wake_pending = False
+
+    def _run(self) -> None:
+        selector = self._selector
+        pending = self._pending
+        counter = None
+        if self._metrics is not None:
+            counter = self._metrics.counter("io_loop_wakeups")
+        while True:
+            # Never block while work is queued: a call() racing the
+            # flag/byte handoff above can leave pending non-empty with
+            # no wake byte in flight for at most one pass.  _in_select
+            # must go up BEFORE the timeout check: a producer that reads
+            # it as False appended earlier, so this check sees its work;
+            # one that reads True sends a (possibly spurious) wake byte.
+            self._in_select = True
+            events = selector.select(0 if pending else None)
+            self._in_select = False
+            if self._closed:
+                return
+            if counter is not None:
+                counter.inc()
+            for key, mask in events:
+                try:
+                    key.data(mask)
+                except Exception:
+                    traceback.print_exc(file=sys.stderr)
+            while pending:
+                try:
+                    fn = pending.popleft()
+                except IndexError:  # pragma: no cover - producer race
+                    break
+                try:
+                    fn()
+                except Exception:
+                    traceback.print_exc(file=sys.stderr)
+
+
+class EventLoopPeer:
+    """Send-only channel to one peer kernel, drained by the
+    :class:`IOLoop` instead of a dedicated writer thread.
+
+    Drop-in for :class:`~repro.net.connections.PeerConnection`:
+    :meth:`send` is a lock-free queue append from any thread; the peer
+    is dialed lazily (a transient ``dps-dial`` thread owns the blocking
+    resolve/connect/backoff, then hands the non-blocking socket to the
+    loop), the shm lane attaches exactly as in threads mode, transport
+    errors are reported once through *on_error*, and messages queued
+    after a failure are counted as ``token_drops``.  Per-peer FIFO
+    order is preserved end to end: the outbox is drained in order onto
+    the :class:`VectoredSender`, which never reorders frames.
+    """
+
+    def __init__(self, peer_name: str, ns, *, loop: IOLoop,
+                 hello_from: str,
+                 on_error: Callable[[str, Exception], None],
+                 dial_deadline: float = 15.0,
+                 transport=None,
+                 metrics=None,
+                 trace: Optional[Callable] = None):
+        from .connections import TransportPolicy  # late: avoid cycle
+        self.peer_name = peer_name
+        self._ns = ns
+        self._loop = loop
+        self._hello_from = hello_from
+        self._on_error = on_error
+        self._dial_deadline = dial_deadline
+        self._transport = transport if transport is not None \
+            else TransportPolicy()
+        self._metrics = metrics
+        self._trace = trace
+        self._outbox: deque = deque()
+        self._scheduled = False
+        self._sender = VectoredSender(
+            coalescing=self._transport.coalescing,
+            max_batch_bytes=self._transport.max_batch_bytes)
+        self._partial_writes_reported = 0
+        self._sock: Optional[socket.socket] = None
+        self._shm: Optional[ShmSender] = None
+        self._dialing = False
+        self._failed = False
+        self._closing = False
+        self._write_registered = False
+        self._flushed = threading.Event()
+
+    # -- any-thread interface ------------------------------------------
+    def send(self, segments: List[Segment]) -> None:
+        # Deliberately no caller-thread "inline write when idle" fast
+        # path: measurement showed it serializes the post-sendmsg
+        # reschedule penalty into the producing thread and defeats
+        # outbox coalescing under pipelined load (one frame per syscall
+        # instead of a batch per loop pass).  The append is lock-free
+        # and the wake byte is elided whenever the loop is mid-pass, so
+        # the handoff is already a deque.append most of the time.
+        self._outbox.append(segments)
+        if not self._scheduled:
+            self._scheduled = True
+            self._loop.call(self._pump)
+
+    def close(self, flush_timeout: float = 5.0) -> None:
+        """Flush what the loop can within *flush_timeout*, then close."""
+        self._loop.call(self._begin_close)
+        self._flushed.wait(timeout=flush_timeout)
+        self._loop.call(self._teardown)
+
+    # -- loop-thread internals -----------------------------------------
+    def _pump(self) -> None:
+        self._scheduled = False
+        if self._failed or (self._closing and self._flushed.is_set()):
+            self._count_drops(self._drop_queued())
+            return
+        if self._sock is None:
+            if not self._dialing:
+                self._dialing = True
+                threading.Thread(
+                    target=self._dial,
+                    name=f"dps-dial:{self.peer_name}", daemon=True).start()
+            return  # _attach re-pumps once the dial lands
+        sender = self._sender
+        outbox = self._outbox
+        shm = self._shm
+        while outbox:
+            message = outbox.popleft()
+            if shm is not None:
+                message = shm.rewrite(message)
+            sender.push(message)
+        try:
+            drained = sender.pump(self._sock)
+        except OSError as exc:
+            self._fail(exc)
+            return
+        if drained:
+            self._set_write_interest(False)
+            self._note_drained()
+        else:
+            self._set_write_interest(True)
+            self._report_partials()
+            if self._metrics is not None:
+                # Write-blocked: surface the backlog as backpressure so
+                # queue-depth dashboards see the stalled peer.
+                self._metrics.gauge("outbox_depth").set(
+                    sender.pending_frames + len(outbox))
+
+    def _note_drained(self) -> None:
+        """Post-flush bookkeeping once everything queued hit the socket."""
+        self._report_partials()
+        frames, syscalls = self._sender.take_episode()
+        if self._metrics is not None:
+            if frames:
+                self._metrics.histogram("frames_per_syscall").observe(
+                    frames / max(1, syscalls))
+            self._metrics.gauge("outbox_depth").set(0)
+        if self._closing:
+            self._flushed.set()
+
+    def _on_writable(self, _mask: int) -> None:
+        self._pump()
+
+    def _set_write_interest(self, on: bool) -> None:
+        if on == self._write_registered or self._sock is None:
+            return
+        self._write_registered = on
+        try:
+            if on:
+                self._loop._selector.register(
+                    self._sock, selectors.EVENT_WRITE, self._on_writable)
+            else:
+                self._loop._selector.unregister(self._sock)
+        except (KeyError, ValueError, OSError):  # pragma: no cover - teardown
+            self._write_registered = False
+
+    def _dial(self) -> None:
+        """Transient thread: blocking resolve + connect + handshakes."""
+        from .connections import DialError, dial_kernel
+        from .framing import send_message
+        from .protocol import encode_shm_attach
+        try:
+            sock, meta = dial_kernel(
+                self._ns, self.peer_name, hello_from=self._hello_from,
+                deadline=self._dial_deadline, return_meta=True)
+        except (OSError, NameServerError, DialError) as exc:
+            # Bind now: `exc` is unbound once the except block exits.
+            self._loop.call(lambda err=exc: self._fail(err))
+            return
+        shm: Optional[ShmSender] = None
+        policy = self._transport
+        if (policy.shm_enabled
+                and meta.get("fingerprint") == host_fingerprint()):
+            try:
+                shm = ShmSender(policy.shm_arena_bytes, policy.shm_threshold,
+                                metrics=self._metrics)
+            except (OSError, ValueError):
+                shm = None  # no shm on this platform; TCP lane still works
+            if shm is not None:
+                try:
+                    # Must precede the first descriptor frame; the socket
+                    # is still blocking here and nothing else has been
+                    # queued on it, so FIFO is trivially preserved.
+                    send_message(sock, encode_shm_attach(shm.name, shm.size))
+                except OSError as exc:
+                    shm.destroy()
+                    sock.close()
+                    self._loop.call(lambda err=exc: self._fail(err))
+                    return
+        sock.setblocking(False)
+
+        def attach() -> None:
+            if self._failed or self._loop.closed:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                if shm is not None:
+                    shm.destroy()
+                return
+            self._sock = sock
+            self._shm = shm
+            self._pump()
+
+        self._loop.call(attach)
+
+    def _fail(self, exc: Exception) -> None:
+        if self._failed:
+            return
+        self._failed = True
+        self._count_drops(self._drop_queued())
+        if self._shm is not None:
+            # The peer is gone: blocks it never consumed would pin the
+            # FIFO ring tail forever.  Safe here — the loop thread is
+            # the arena's only producer and no more descriptors follow.
+            self._shm.reclaim_all()
+        self._set_write_interest(False)
+        self._flushed.set()
+        if not self._closing:
+            self._on_error(self.peer_name, exc)
+
+    def _begin_close(self) -> None:
+        self._closing = True
+        if self._failed or (self._sock is not None and not self._outbox
+                            and not self._sender.pending_frames):
+            self._flushed.set()
+            return
+        if self._sock is None and not self._dialing:
+            # Never dialed and nothing forced it: nothing to flush.
+            self._flushed.set()
+            return
+        self._pump()  # flush sets _flushed on drain (or _fail does)
+
+    def _teardown(self) -> None:
+        self._closing = True
+        self._failed = True  # late sends become counted drops
+        self._set_write_interest(False)
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        shm, self._shm = self._shm, None
+        if shm is not None:
+            shm.destroy()
+
+    # -- bookkeeping ----------------------------------------------------
+    def _drop_queued(self) -> int:
+        dropped = len(self._outbox)
+        self._outbox.clear()
+        dropped += self._sender.clear()
+        return dropped
+
+    def _report_partials(self) -> None:
+        total = self._sender.partial_writes
+        delta = total - self._partial_writes_reported
+        if delta and self._metrics is not None:
+            self._metrics.counter("partial_writes").inc(delta)
+        self._partial_writes_reported = total
+
+    def _count_drops(self, n: int) -> None:
+        if not n:
+            return
+        if self._metrics is not None:
+            self._metrics.counter("token_drops").inc(n)
+        if self._trace is not None:
+            self._trace("token_drop", peer=self.peer_name, dropped=n)

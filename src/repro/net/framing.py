@@ -153,7 +153,7 @@ def recv_message(sock: socket.socket) -> Optional[bytearray]:
     header = _recv_exact(sock, FRAME_HEADER_BYTES)
     if header is None:
         return None
-    length, version = _FRAME_HEADER.unpack(bytes(header))
+    length, version = _FRAME_HEADER.unpack_from(header)
     if version != FRAME_VERSION:
         raise WireError(
             f"frame protocol version mismatch: got {version}, "
@@ -179,6 +179,15 @@ class FrameReader:
     Frames larger than the staging buffer are read straight into their
     own destination buffer (one copy, no staging-buffer growth), so the
     large-payload path stays as cheap as the frame-at-a-time reader.
+    Every ``recv`` lands in one persistent staging buffer via
+    ``recv_into`` — the reader itself allocates nothing per call beyond
+    the frames it hands back.
+
+    :meth:`recv_ready` is the non-blocking flavour for the event-loop
+    I/O core: called on read-readiness, it drains the socket until
+    ``EAGAIN`` and returns every complete frame plus an EOF flag, with
+    partial frames (including a partially-received oversized frame)
+    carried across calls.
     """
 
     def __init__(self, sock: socket.socket, *,
@@ -186,6 +195,14 @@ class FrameReader:
         self._sock = sock
         self._recv_bytes = recv_bytes
         self._buf = bytearray()
+        # Persistent staging buffer reused across every recv.
+        self._staging = bytearray(recv_bytes)
+        self._staging_view = memoryview(self._staging)
+        # Incremental oversized-frame state: destination buffer, its
+        # view, and how many payload bytes have landed so far.
+        self._large_buf: Optional[bytearray] = None
+        self._large_view: Optional[memoryview] = None
+        self._large_have = 0
 
     def recv_batch(self) -> Optional[List[bytearray]]:
         """Block until at least one complete frame is available.
@@ -195,26 +212,98 @@ class FrameReader:
         on a version mismatch or a connection that dies mid-frame.
         """
         while True:
-            frames = self._extract_frames()
+            got, _ = self._recv_once()
+            if got == 0:
+                self._check_clean_eof()
+                return None
+            frames = self._harvest()
             if frames:
                 return frames
-            buf = self._buf
-            if len(buf) >= FRAME_HEADER_BYTES:
-                # _extract_frames validated the header; if the pending
-                # frame dwarfs the staging buffer, receive its payload
-                # directly into the destination bytearray.
-                length = _FRAME_HEADER.unpack_from(buf, 0)[0]
-                if length > self._recv_bytes:
-                    return [self._recv_large(length)]
-            chunk = self._sock.recv(self._recv_bytes)
-            if not chunk:
-                if buf:
-                    raise WireError(
-                        f"connection closed mid-message: {len(buf)} "
-                        f"trailing bytes"
-                    )
-                return None
-            buf += chunk
+
+    def recv_ready(self) -> Tuple[List[bytearray], bool]:
+        """Drain a non-blocking socket without blocking.
+
+        Returns ``(frames, eof)``: every complete frame the socket had
+        ready, and whether it reached EOF.  Partial frames are carried
+        over to the next call.  Raises
+        :class:`~repro.serial.wire.WireError` on a version mismatch or
+        EOF mid-frame.
+        """
+        frames: List[bytearray] = []
+        while True:
+            try:
+                got, asked = self._recv_once()
+            except (BlockingIOError, InterruptedError):
+                return frames, False
+            if got == 0:
+                self._check_clean_eof()
+                return frames, True
+            frames.extend(self._harvest())
+            if got < asked:
+                # Short read == the kernel buffer is drained; skip the
+                # EAGAIN probe recv.  If more bytes race in, the
+                # level-triggered selector re-fires immediately.
+                return frames, False
+
+    # -- internals ------------------------------------------------------
+    def _recv_once(self) -> "Tuple[int, int]":
+        """One ``recv_into`` step; ``(received, asked)``, 0 == EOF."""
+        if self._large_buf is not None:
+            need = len(self._large_buf) - self._large_have
+            got = self._sock.recv_into(self._large_view[self._large_have:],
+                                       need)
+            self._large_have += got
+            return got, need
+        got = self._sock.recv_into(self._staging_view, self._recv_bytes)
+        if got:
+            self._buf += self._staging_view[:got]
+        return got, self._recv_bytes
+
+    def _harvest(self) -> List[bytearray]:
+        """Emit every frame completed so far; arm oversized mode."""
+        frames: List[bytearray] = []
+        large = self._large_buf
+        if large is not None:
+            if self._large_have < len(large):
+                return frames
+            self._large_buf = self._large_view = None
+            self._large_have = 0
+            frames.append(large)
+        frames.extend(self._extract_frames())
+        buf = self._buf
+        if len(buf) >= FRAME_HEADER_BYTES:
+            # _extract_frames validated the header; if the pending frame
+            # dwarfs the staging buffer, stream the rest of its payload
+            # directly into the destination bytearray.
+            length = _FRAME_HEADER.unpack_from(buf, 0)[0]
+            if length > self._recv_bytes:
+                self._begin_large(length)
+        return frames
+
+    def _begin_large(self, length: int) -> None:
+        buf = self._buf
+        out = bytearray(length)
+        view = memoryview(out)
+        have = len(buf) - FRAME_HEADER_BYTES
+        # All buffered bytes past the header belong to this frame —
+        # _extract_frames already consumed every complete predecessor.
+        view[:have] = memoryview(buf)[FRAME_HEADER_BYTES:]
+        buf.clear()
+        self._large_buf = out
+        self._large_view = view
+        self._large_have = have
+
+    def _check_clean_eof(self) -> None:
+        if self._large_buf is not None:
+            raise WireError(
+                f"connection closed mid-message: got {self._large_have} "
+                f"of {len(self._large_buf)} bytes"
+            )
+        if self._buf:
+            raise WireError(
+                f"connection closed mid-message: {len(self._buf)} "
+                f"trailing bytes"
+            )
 
     def _extract_frames(self) -> List[bytearray]:
         buf = self._buf
@@ -235,20 +324,3 @@ class FrameReader:
         if pos:
             del buf[:pos]
         return frames
-
-    def _recv_large(self, length: int) -> bytearray:
-        """Read one oversized frame's payload straight into its buffer."""
-        out = bytearray(length)
-        view = memoryview(out)
-        have = len(self._buf) - FRAME_HEADER_BYTES
-        view[:have] = memoryview(self._buf)[FRAME_HEADER_BYTES:]
-        self._buf.clear()
-        while have < length:
-            got = self._sock.recv_into(view[have:], length - have)
-            if got == 0:
-                raise WireError(
-                    f"connection closed mid-message: got {have} of "
-                    f"{length} bytes"
-                )
-            have += got
-        return out

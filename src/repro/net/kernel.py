@@ -47,6 +47,7 @@ from ..runtime.base import DataEnvelope
 from ..serial.token import Token
 from ..serial.wire import WireError
 from .connections import ConnectionPool, TransportPolicy
+from .eventloop import IOLoop, eventloop_supported
 from .framing import FrameReader
 from .nameserver import NameServerClient
 from .recovery import FaultPolicy, ReplayDedup, TokenJournal, apply_remap, \
@@ -67,6 +68,25 @@ KERNEL_ORDINAL_SHIFT = 40
 #: re-delivered (replay dedup makes duplicates harmless); this is what
 #: turns injected frame drops into mere delays.
 RESEND_AFTER = 1.0
+
+
+class _ConnState:
+    """Per-inbound-connection decode state (the peer's shm attachment).
+
+    Shared by both receive paths: the per-connection reader thread in
+    ``io_mode="threads"`` and the loop-registered readiness callback in
+    ``io_mode="eventloop"``.
+    """
+
+    __slots__ = ("shm_rx",)
+
+    def __init__(self) -> None:
+        self.shm_rx: Optional[ShmReceiver] = None
+
+    def close(self) -> None:
+        shm_rx, self.shm_rx = self.shm_rx, None
+        if shm_rx is not None:
+            shm_rx.close()
 
 
 class DistributedKernel(ThreadedEngine):
@@ -155,11 +175,23 @@ class DistributedKernel(ThreadedEngine):
         self._listener.listen(64)
         self.address: Tuple[str, int] = self._listener.getsockname()[:2]
 
+        # I/O core: one selectors loop thread multiplexing every peer
+        # socket, unless the policy (or a platform without a working
+        # selector) picks the per-peer/per-connection thread flavour.
+        io_mode = self.transport.io_mode
+        if io_mode == "eventloop" and not eventloop_supported():
+            io_mode = "threads"
+        #: Resolved I/O mode ("eventloop" or "threads") for this kernel.
+        self.io_mode = io_mode
+        self._io_loop: Optional[IOLoop] = \
+            IOLoop(name, metrics=metrics) if io_mode == "eventloop" else None
+
         self._ns = NameServerClient(ns_address)
         self._pool = ConnectionPool(
             self._ns, hello_from=name, on_error=self._on_peer_error,
             dial_deadline=dial_deadline, transport=self.transport,
-            metrics=metrics, trace=self.trace if tracer is not None else None)
+            metrics=metrics, trace=self.trace if tracer is not None else None,
+            io_loop=self._io_loop)
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name=f"dps-accept:{name}", daemon=True)
 
@@ -170,6 +202,8 @@ class DistributedKernel(ThreadedEngine):
         """Register with the name server and begin accepting peers."""
         self._ns.register(self.name, *self.address,
                           meta={"fingerprint": host_fingerprint()})
+        if self._io_loop is not None:
+            self._io_loop.start()
         self._accept_thread.start()
         if self.transport.ack_aggregation:
             self._ack_flusher = threading.Thread(
@@ -279,7 +313,9 @@ class DistributedKernel(ThreadedEngine):
             self._listener.close()
         except OSError:
             pass
-        self._pool.close_all()
+        self._pool.close_all()  # flush needs the loop still running
+        if self._io_loop is not None:
+            self._io_loop.close()
         self._ns.close()
         super().shutdown()
 
@@ -589,46 +625,70 @@ class DistributedKernel(ThreadedEngine):
             except OSError:
                 return  # listener closed during shutdown
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            threading.Thread(target=self._reader_loop, args=(conn,),
-                             name=f"dps-recv:{self.name}",
-                             daemon=True).start()
+            if self._io_loop is not None:
+                state = _ConnState()
+                self._io_loop.add_connection(
+                    conn, recv_bytes=self.transport.recv_buffer_bytes,
+                    on_frames=lambda frames, s=state:
+                        self._process_frames(s, frames),
+                    on_close=lambda exc, s=state:
+                        self._on_conn_close(s, exc))
+            else:
+                threading.Thread(target=self._reader_loop, args=(conn,),
+                                 name=f"dps-recv:{self.name}",
+                                 daemon=True).start()
+
+    def _process_frames(self, state: _ConnState, frames) -> None:
+        for payload in frames:
+            kind, value = P.decode_message(payload, self._graphs)
+            if kind == P.MSG_SHM_ATTACH:
+                arena_name, size = value
+                state.shm_rx = ShmReceiver(arena_name, size)
+                continue
+            if kind == P.MSG_SHM:
+                if state.shm_rx is None:
+                    raise WireError(
+                        "shm descriptor frame before MSG_SHM_ATTACH")
+                raw = state.shm_rx.reassemble(value)
+                kind, value = P.decode_message(raw, self._graphs)
+            self._dispatch_message(kind, value)
+
+    def _on_conn_close(self, state: _ConnState,
+                       exc: Optional[Exception]) -> None:
+        """Loop-side mirror of the reader thread's failure handling."""
+        state.close()
+        if exc is None or self._shutdown_requested.is_set():
+            return
+        if self.recover:
+            # A broken inbound connection is anonymous (no peer name
+            # here); liveness is owned by the heartbeat/sentinel
+            # machinery and the named writer-side _on_peer_error.
+            return
+        self._record_failure(KernelFailure(
+            f"kernel {self.name!r} receive path failed: {exc}"))
 
     def _reader_loop(self, conn: socket.socket) -> None:
         reader = FrameReader(conn,
                              recv_bytes=self.transport.recv_buffer_bytes)
-        shm_rx: Optional[ShmReceiver] = None
+        state = _ConnState()
         try:
             while True:
                 frames = reader.recv_batch()
                 if frames is None:
                     return  # peer closed cleanly
-                for payload in frames:
-                    kind, value = P.decode_message(payload, self._graphs)
-                    if kind == P.MSG_SHM_ATTACH:
-                        arena_name, size = value
-                        shm_rx = ShmReceiver(arena_name, size)
-                        continue
-                    if kind == P.MSG_SHM:
-                        if shm_rx is None:
-                            raise WireError(
-                                "shm descriptor frame before MSG_SHM_ATTACH")
-                        raw = shm_rx.reassemble(value)
-                        kind, value = P.decode_message(raw, self._graphs)
-                    self._dispatch_message(kind, value)
+                self._process_frames(state, frames)
         except (OSError, WireError) as exc:
             if self._shutdown_requested.is_set():
                 pass
             elif self.recover:
-                # A broken inbound connection is anonymous (no peer name
-                # here); liveness is owned by the heartbeat/sentinel
-                # machinery and the named writer-side _on_peer_error.
+                # See _on_conn_close: anonymous inbound failures defer
+                # to heartbeats and the writer-side _on_peer_error.
                 pass
             else:
                 self._record_failure(KernelFailure(
                     f"kernel {self.name!r} receive path failed: {exc}"))
         finally:
-            if shm_rx is not None:
-                shm_rx.close()
+            state.close()
             try:
                 conn.close()
             except OSError:

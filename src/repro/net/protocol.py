@@ -114,6 +114,10 @@ _U64 = struct.Struct("<Q")
 _FRAME_FIELDS = struct.Struct("<QIIII")  # group_id, index, opener, opener_instance, routed_instance
 _ACK_RUN = struct.Struct("<QIIIII")  # group_id, index, opener, opener_instance, routed_instance, count
 _SHM_PART = struct.Struct("<QI")   # arena block offset, payload length
+_DATA_IDS = struct.Struct("<IIQ")  # node_id, instance, ctx_id
+_ACK_IDS = struct.Struct("<IIIQI")  # opener, opener_instance, routed_instance, group_id, index
+_U64_PAIR = struct.Struct("<QQ")   # (group_id|ctx_id, total)
+_U32_PAIR = struct.Struct("<II")   # (epoch, count)
 
 
 class RemoteFailure(RuntimeError):
@@ -157,9 +161,7 @@ def encode_data(env: DataEnvelope, reg: TokenRegistry = registry) -> List[Segmen
     """Serialize a :class:`DataEnvelope` header + token, zero-copy payload."""
     head = bytearray(_U8.pack(MSG_DATA))
     _pack_str(head, env.graph.name)
-    head += _U32.pack(env.node_id)
-    head += _U32.pack(env.instance)
-    head += _U64.pack(env.ctx_id)
+    head += _DATA_IDS.pack(env.node_id, env.instance, env.ctx_id)
     _pack_str(head, env.ctx_origin or "")
     head += _U16.pack(len(env.frames))
     for f in env.frames:
@@ -361,10 +363,8 @@ def decode_message(payload: "bytes | bytearray | memoryview",
         graph = graphs.get(graph_name)
         if graph is None:
             raise WireError(f"data message for unknown graph {graph_name!r}")
-        (node_id,) = _U32.unpack_from(view, offset)
-        (instance,) = _U32.unpack_from(view, offset + 4)
-        (ctx_id,) = _U64.unpack_from(view, offset + 8)
-        offset += 16
+        node_id, instance, ctx_id = _DATA_IDS.unpack_from(view, offset)
+        offset += _DATA_IDS.size
         ctx_origin, offset = _unpack_str(view, offset)
         (n_frames,) = _U16.unpack_from(view, offset)
         offset += 2
@@ -383,10 +383,8 @@ def decode_message(payload: "bytes | bytearray | memoryview",
                                       ctx_origin=ctx_origin or None)
     if kind == MSG_ACK:
         graph_name, offset = _unpack_str(view, offset)
-        opener, opener_instance, routed_instance = struct.unpack_from(
-            "<III", view, offset)
-        (group_id,) = _U64.unpack_from(view, offset + 12)
-        (index,) = _U32.unpack_from(view, offset + 20)
+        opener, opener_instance, routed_instance, group_id, index = \
+            _ACK_IDS.unpack_from(view, offset)
         return MSG_ACK, AckWire(graph_name, opener, opener_instance,
                                 routed_instance, group_id, index)
     if kind == MSG_ACK_BATCH:
@@ -425,14 +423,14 @@ def decode_message(payload: "bytes | bytearray | memoryview",
                 raise WireError(f"unknown shm part tag {tag}")
         return MSG_SHM, parts
     if kind == MSG_GROUP_TOTAL:
-        group_id, total = struct.unpack_from("<QQ", view, offset)
+        group_id, total = _U64_PAIR.unpack_from(view, offset)
         return MSG_GROUP_TOTAL, (group_id, total)
     if kind in (MSG_RESULT, MSG_SCATTER_RESULT):
         (ctx_id,) = _U64.unpack_from(view, offset)
         token = decode(view[offset + 8:], reg, copy=False)
         return kind, (ctx_id, token)
     if kind == MSG_SCATTER_TOTAL:
-        ctx_id, total = struct.unpack_from("<QQ", view, offset)
+        ctx_id, total = _U64_PAIR.unpack_from(view, offset)
         return MSG_SCATTER_TOTAL, (ctx_id, total)
     if kind == MSG_FAILURE:
         try:
@@ -476,6 +474,6 @@ def decode_message(payload: "bytes | bytearray | memoryview",
         return MSG_REPLAY, epoch
     if kind == MSG_REPLAY_DONE:
         name, offset = _unpack_str(view, offset)
-        epoch, count = struct.unpack_from("<II", view, offset)
+        epoch, count = _U32_PAIR.unpack_from(view, offset)
         return MSG_REPLAY_DONE, (name, epoch, count)
     raise WireError(f"unknown protocol message kind {kind}")

@@ -309,7 +309,7 @@ def decode(
         raise WireError("bad magic; not a DPS wire message")
     (name_len,) = _U16.unpack_from(view, 4)
     offset = 6
-    name = bytes(view[offset : offset + name_len]).decode("utf-8")
+    name = str(view[offset : offset + name_len], "utf-8")
     offset += name_len
     cls = reg.lookup(name)
     fields, offset = _decode_value(view, offset, copy)
@@ -566,7 +566,7 @@ def _decode_value(view: memoryview, offset: int, copy: bool = True) -> tuple[Any
     if tag == _T_BIGINT:
         (n,) = _U32.unpack_from(view, offset)
         offset += 4
-        return int(bytes(view[offset : offset + n]).decode("ascii")), offset + n
+        return int(str(view[offset : offset + n], "ascii")), offset + n
     if tag == _T_NDARRAY:
         return _decode_ndarray(view, offset, copy)
     if tag == _T_BUFFER:
@@ -603,10 +603,18 @@ def _decode_value(view: memoryview, offset: int, copy: bool = True) -> tuple[Any
     raise WireError(f"unknown wire tag {tag}")
 
 
+#: dtype-string -> np.dtype, so the hot decode path never re-parses a
+#: dtype spec it has seen before (dtype objects are immutable).
+_DTYPE_CACHE: dict[bytes, np.dtype] = {}
+
+
 def _decode_ndarray(view: memoryview, offset: int, copy: bool = True) -> tuple[np.ndarray, int]:
     dlen = view[offset]
     offset += 1
-    dtype = np.dtype(bytes(view[offset : offset + dlen]).decode("ascii"))
+    key = bytes(view[offset : offset + dlen])
+    dtype = _DTYPE_CACHE.get(key)
+    if dtype is None:
+        dtype = _DTYPE_CACHE[key] = np.dtype(key.decode("ascii"))
     offset += dlen
     ndim = view[offset]
     offset += 1

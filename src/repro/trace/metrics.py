@@ -27,7 +27,13 @@ derived: ``tokens_posted / elapsed``.  The multiprocess transport adds
 amortizing syscalls), ``acks_coalesced`` (acks that rode in a batch
 frame instead of paying for their own), ``shm_bytes_bypassed`` (payload
 bytes that took the shared-memory lane instead of TCP) and
-``token_drops`` (messages discarded after a peer kernel failed).
+``token_drops`` (messages discarded after a peer kernel failed).  The
+event-loop I/O core (``TransportPolicy(io_mode="eventloop")``, the
+default) adds ``io_loop_wakeups`` (counter — selector passes; zero in
+threads mode), ``partial_writes`` (counter — short ``sendmsg`` calls,
+i.e. EAGAIN or fewer bytes accepted than offered) and ``outbox_depth``
+(gauge — frames queued behind a write-blocked peer socket; its peak is
+the high-water backpressure mark).
 """
 
 from __future__ import annotations

@@ -3,6 +3,7 @@ scatter calls between applications in different processes, dead-kernel
 detection, lifecycle rules and thread-state persistence."""
 
 import os
+import threading
 import time
 
 import pytest
@@ -19,6 +20,7 @@ from repro.core import (
     SplitOperation,
     ThreadCollection,
 )
+from repro.net.connections import TransportPolicy
 from repro.runtime import MultiprocessEngine, ScheduleError
 from repro.serial import SimpleToken
 
@@ -127,6 +129,33 @@ def counting_graph(name, worker_mapping="node02"):
         >> FlowgraphNode(MpCollect, main),
         name,
     )
+
+
+def test_eventloop_mode_thread_census():
+    """The point of the I/O core: after a run in the default eventloop
+    mode, the console kernel owns one ``dps-io:`` loop thread and zero
+    per-peer ``dps-send:`` / per-connection ``dps-recv:`` threads."""
+    g = counting_graph("census-ev")
+    with MultiprocessEngine() as engine:
+        engine.register_graph(g)
+        assert engine.run(g, MpJob(2), timeout=60).total == 1 + 2
+        names = [t.name for t in threading.enumerate()]
+        assert any(n.startswith("dps-io:") for n in names)
+        assert not any(n.startswith("dps-send:") for n in names)
+        assert not any(n.startswith("dps-recv:") for n in names)
+
+
+def test_threads_mode_thread_census():
+    """The PR 4 fallback shape survives behind io_mode="threads": writer
+    threads per peer, no loop thread."""
+    g = counting_graph("census-th")
+    transport = TransportPolicy(io_mode="threads")
+    with MultiprocessEngine(transport=transport) as engine:
+        engine.register_graph(g)
+        assert engine.run(g, MpJob(2), timeout=60).total == 1 + 2
+        names = [t.name for t in threading.enumerate()]
+        assert any(n.startswith("dps-send:") for n in names)
+        assert not any(n.startswith("dps-io:") for n in names)
 
 
 def test_thread_state_persists_across_runs():
