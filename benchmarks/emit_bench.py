@@ -17,6 +17,11 @@ interleaves lifetimes: eventloop, threads, eventloop, threads, ... for
 Slow drift (another tenant, thermal state) then lands on both modes
 symmetrically instead of biasing whichever ran second.
 
+A ``service_tier`` section is appended from the resident-service load
+harness (``test_service_tier.run_load``): a Game of Life service under
+eight external client processes, publishing correct requests/sec,
+latency p50/p99, and how many calls admission shed.
+
 The JSON lands in the repository root so the performance trajectory is
 versioned next to the code it measures (CI re-emits one per push; see
 ``.github/workflows/ci.yml``).  Usage::
@@ -37,6 +42,9 @@ import threading
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from test_service_tier import run_load  # noqa: E402
 
 from repro.apps.ring import RingJobToken, build_ring_graph  # noqa: E402
 from repro.net import TransportPolicy  # noqa: E402
@@ -123,6 +131,8 @@ def main(argv=None) -> int:
                         help="timed ring runs per engine lifetime")
     parser.add_argument("--reps", type=int, default=3,
                         help="interleaved engine lifetimes per mode")
+    parser.add_argument("--service-clients", type=int, default=8,
+                        help="client processes for the service-tier load")
     parser.add_argument("--out", default=os.path.join(
         os.path.dirname(os.path.abspath(__file__)), ".."))
     args = parser.parse_args(argv)
@@ -148,6 +158,11 @@ def main(argv=None) -> int:
             registries[io_mode], blocks=args.blocks)
         print(f"[emit_bench] {io_mode}: {modes[io_mode]}", flush=True)
 
+    print(f"[emit_bench] service tier: {args.service_clients} client "
+          f"processes on the resident GoL service", flush=True)
+    service_tier = run_load(n_clients=args.service_clients)
+    print(f"[emit_bench] service_tier: {service_tier}", flush=True)
+
     speedup = (modes["eventloop"]["tokens_per_sec"]
                / max(1e-9, modes["threads"]["tokens_per_sec"]))
     date = datetime.date.today().strftime("%Y%m%d")
@@ -170,6 +185,7 @@ def main(argv=None) -> int:
         },
         "modes": modes,
         "speedup_eventloop_vs_threads": round(speedup, 3),
+        "service_tier": service_tier,
     }
     out_path = os.path.join(args.out, f"BENCH_{date}_{sha}.json")
     with open(out_path, "w") as fh:

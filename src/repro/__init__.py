@@ -67,11 +67,13 @@ from .runtime import (
 )
 from .net import TransportPolicy
 from .serial import Buffer, ComplexToken, SimpleToken, Token, Vector
+from .service import AdmissionPolicy, ServiceClient, ServiceEngine
 from .trace import MetricsRegistry, Tracer, export_chrome_trace
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionPolicy",
     "Application",
     "Buffer",
     "Cluster",
@@ -99,6 +101,8 @@ __all__ = [
     "Route",
     "RunResult",
     "ScheduleError",
+    "ServiceClient",
+    "ServiceEngine",
     "SimEngine",
     "SimpleToken",
     "SplitOperation",

@@ -176,8 +176,14 @@ class GameOfLifeService(DistributedGameOfLife):
         return self.read_graph.name
 
     def read_block(self, row: int, col: int, height: int, width: int) -> np.ndarray:
-        """Synchronous block read (runs the engine to completion)."""
-        result = self.engine.run(
+        """Synchronous block read (runs the engine to completion).
+
+        Engine-agnostic like :meth:`~DistributedGameOfLife.gather`: the
+        same call works on the simulated, threaded and multiprocess
+        engines (and therefore on the resident service path, which runs
+        this graph through the console kernel).
+        """
+        result = self._run(
             self.read_graph, GolReadRequest(row, col, height, width)
         )
         return result.token.data.array

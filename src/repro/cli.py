@@ -9,6 +9,10 @@ Usage::
     python -m repro.cli demo --engine multiprocess   # real OS processes
     python -m repro.cli ring --engine threaded --trace ring.json
     python -m repro.cli ring --engine multiprocess --kill-kernel node03@#5
+    python -m repro.cli serve --ns-port 7780      # resident GoL service
+    python -m repro.cli call --ns-port 7780 --discover
+    python -m repro.cli call --ns-port 7780 --service gol.read \
+        --block 0 0 8 8 --count 20
     python -m repro.cli fig9 --fast --trace fig9.json
 
 Each experiment prints its measured table next to the paper's reference
@@ -121,6 +125,78 @@ def _ring(engine_kind: str = "threaded",
         _export_trace(tracer, trace_path)
 
 
+def _serve(args) -> int:
+    """Boot a resident GoL service and serve until interrupted."""
+    import numpy as np
+
+    from .apps.gol_service import GameOfLifeService
+    from .service import AdmissionPolicy, ServiceEngine
+
+    worker_nodes = [f"node{i + 1:02d}" for i in range(args.workers)]
+    rows, cols = args.world
+    rng = np.random.default_rng(args.seed)
+    world = rng.integers(0, 2, size=(rows, cols), dtype=np.uint8)
+    engine = ServiceEngine(
+        admission=AdmissionPolicy(max_concurrent=args.max_concurrent,
+                                  max_queue=args.max_queue,
+                                  session_window=args.session_window),
+        ns_port=args.ns_port)
+    gol = GameOfLifeService(engine, world, worker_nodes)
+    engine.expose(gol.read_graph, "gol.read")
+    host, port = engine.serve()
+    gol.load()
+    print(f"resident GoL service: {rows}x{cols} world on "
+          f"{len(worker_nodes)} workers")
+    print(f"name server at {host}:{port} — call with:")
+    print(f"    python -m repro.cli call --ns-port {port} --discover")
+    print("Ctrl-C to drain and shut down")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\ndraining ...")
+        drained = engine.drain_and_shutdown()
+        print(f"drained={drained}")
+    return 0
+
+
+def _call(args) -> int:
+    """Call a resident service (or just discover what is registered)."""
+    from .apps.gol_service import GolReadRequest  # registers the tokens
+    from .service import ServiceClient
+
+    address = ("127.0.0.1", args.ns_port)
+    with ServiceClient(address) as client:
+        if args.discover:
+            records = client.discover()
+            if not records:
+                print("(no live services registered)")
+            for rec in records:
+                ins = ", ".join(rec["in_types"])
+                outs = ", ".join(rec["out_types"])
+                print(f"{rec['service']:<20} {rec['provider']:<12} "
+                      f"({ins}) -> ({outs})")
+            return 0
+        row, col, height, width = args.block
+        latencies = []
+        for _ in range(args.count):
+            t0 = time.perf_counter()
+            result = client.call(args.service,
+                                 GolReadRequest(row, col, height, width),
+                                 timeout=60, retries=8)
+            latencies.append(time.perf_counter() - t0)
+        latencies.sort()
+        block = result.data.array
+        print(f"{args.count} x {args.service} "
+              f"[{row}:{row + height}, {col}:{col + width}] "
+              f"-> {block.shape[0]}x{block.shape[1]} block, "
+              f"{int(block.sum())} live cells")
+        print(f"latency p50 {latencies[len(latencies) // 2] * 1e3:.1f} ms, "
+              f"max {latencies[-1] * 1e3:.1f} ms; "
+              f"busy retries {client.busy_retries}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="dps-repro",
@@ -129,8 +205,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(ALL) + ["all", "list", "demo", "ring"],
-        help="experiment id (table/figure), 'all', 'list', 'demo' or 'ring'",
+        choices=sorted(ALL) + ["all", "list", "demo", "ring", "serve",
+                               "call"],
+        help="experiment id (table/figure), 'all', 'list', 'demo', 'ring', "
+             "'serve' (resident GoL service) or 'call' (service client)",
     )
     parser.add_argument(
         "--fast", action="store_true",
@@ -187,6 +265,56 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="seed for the deterministic chaos schedule "
              "(sets REPRO_FAULT_SEED)",
     )
+    svc = parser.add_argument_group("service tier ('serve' / 'call')")
+    svc.add_argument(
+        "--ns-port", type=int, metavar="PORT", default=7780,
+        help="name-server TCP port the service binds / the client "
+             "connects to (default 7780)",
+    )
+    svc.add_argument(
+        "--workers", type=int, metavar="N", default=4,
+        help="serve: worker kernels hosting world bands (default 4)",
+    )
+    svc.add_argument(
+        "--world", type=int, nargs=2, metavar=("ROWS", "COLS"),
+        default=(64, 64),
+        help="serve: Game of Life world shape (default 64 64)",
+    )
+    svc.add_argument(
+        "--seed", type=int, metavar="N", default=12345,
+        help="serve: RNG seed for the initial world (default 12345)",
+    )
+    svc.add_argument(
+        "--max-concurrent", type=int, metavar="N", default=4,
+        help="serve: graph calls executing at once (default 4)",
+    )
+    svc.add_argument(
+        "--max-queue", type=int, metavar="N", default=16,
+        help="serve: admitted calls allowed to queue; beyond this "
+             "requests are shed with MSG_SVC_BUSY (default 16)",
+    )
+    svc.add_argument(
+        "--session-window", type=int, metavar="N", default=8,
+        help="serve: per-client in-flight window (default 8)",
+    )
+    svc.add_argument(
+        "--discover", action="store_true",
+        help="call: list live service records (name, provider, token "
+             "signature) instead of calling",
+    )
+    svc.add_argument(
+        "--service", metavar="NAME", default="gol.read",
+        help="call: service name to invoke (default gol.read)",
+    )
+    svc.add_argument(
+        "--block", type=int, nargs=4, metavar=("ROW", "COL", "H", "W"),
+        default=(0, 0, 8, 8),
+        help="call: world block to read (default 0 0 8 8)",
+    )
+    svc.add_argument(
+        "--count", type=int, metavar="N", default=1,
+        help="call: number of calls to issue (default 1)",
+    )
     args = parser.parse_args(argv)
 
     # Resolved by TransportPolicy.from_env() in the engine and inherited
@@ -224,6 +352,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment == "ring":
         _ring(args.engine, args.trace)
         return 0
+    if args.experiment == "serve":
+        return _serve(args)
+    if args.experiment == "call":
+        return _call(args)
     names = sorted(ALL) if args.experiment == "all" else [args.experiment]
     for name in names:
         _run_experiment(name, args.fast, args.trace)

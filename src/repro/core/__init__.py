@@ -16,6 +16,7 @@ from .ops import (
     SplitOperation,
     StreamOperation,
 )
+from .remotecall import make_service_stub, resolve_token_types
 from .routing import (
     ConstantRoute,
     LoadBalancedRoute,
@@ -51,6 +52,8 @@ __all__ = [
     "SplitWindow",
     "StreamOperation",
     "ThreadCollection",
+    "make_service_stub",
     "parse_mapping",
+    "resolve_token_types",
     "route_fn",
 ]

@@ -1,0 +1,80 @@
+"""Graph-call stubs: a remote resident service as a local leaf operation.
+
+The paper's parallel services (§ "Parallel services", Figure 10) let one
+application invoke another application's flow graph *as if it were a
+leaf operation*: the caller posts a token, the service runs its whole
+split/compute/merge schedule, and the merged result comes back as the
+leaf's single output.  :func:`make_service_stub` manufactures exactly
+that adapter for the resident service tier: given a callable that
+performs one remote graph call (normally
+``repro.service.ServiceClient.call``) and the service's token-type
+signature from the name-server record, it returns a
+:class:`~repro.core.ops.LeafOperation` subclass that can be dropped into
+any local flow graph — the remote cluster becomes one node of the local
+schedule.
+
+:func:`resolve_token_types` turns the wire-format type names carried in
+a service record back into registered token classes, so a discovered
+service can be stubbed without importing the provider's modules by hand
+(they must be imported *somewhere*, or the registry lookup fails with a
+pointed message).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Tuple, Type
+
+from ..serial.registry import TokenRegistry, registry
+from ..serial.token import Token
+from .ops import LeafOperation
+from .threads import DpsThread
+
+__all__ = ["make_service_stub", "resolve_token_types"]
+
+
+def resolve_token_types(names: Iterable[str],
+                        reg: TokenRegistry = registry
+                        ) -> Tuple[Type[Token], ...]:
+    """Map wire-format token-type *names* to registered token classes.
+
+    Raises ``KeyError`` (with an import hint) for unknown names — the
+    module defining a service's tokens must be imported before its
+    record can be resolved into a stub signature.
+    """
+    return tuple(reg.lookup(str(name)) for name in names)
+
+
+def make_service_stub(call: Callable[[str, Token], Token],
+                      service: str, *,
+                      in_types: Tuple[Type[Token], ...],
+                      out_types: Tuple[Type[Token], ...],
+                      thread_type: Type[DpsThread] = DpsThread,
+                      name: Optional[str] = None) -> Type[LeafOperation]:
+    """Build a leaf-operation class that proxies to a remote service.
+
+    *call* performs one blocking graph call — ``call(service, token)``
+    returning the result token; the stub's ``execute`` posts that result
+    downstream.  *in_types* / *out_types* become the stub's declared
+    signature so local graph type-checking still holds at the remote
+    boundary (resolve them from a discovered record with
+    :func:`resolve_token_types`).
+    """
+    if not in_types or not out_types:
+        raise ValueError(
+            f"service stub for {service!r} needs non-empty in_types and "
+            f"out_types (got {in_types!r} / {out_types!r})")
+
+    def execute(self, token: Token) -> None:
+        self.post(call(service, token))
+
+    cls_name = name or f"ServiceStub_{service.replace('.', '_')}"
+    stub = type(cls_name, (LeafOperation,), {
+        "thread_type": thread_type,
+        "in_types": tuple(in_types),
+        "out_types": tuple(out_types),
+        "execute": execute,
+        "__doc__": f"Graph-call stub for the remote service {service!r}.",
+        "__module__": __name__,
+    })
+    stub.check_signature()
+    return stub

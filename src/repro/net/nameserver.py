@@ -15,7 +15,12 @@ module provides both halves:
   leases*: kernels beat periodically (``op=heartbeat``) and the console
   asks for lease-expired kernels (``op=expired``) — a hung process keeps
   its TCP connection alive but stops beating, which connection-drop
-  detection alone would miss.
+  detection alone would miss.  Beyond kernel addresses the directory also
+  carries *service records* — named flow graphs a resident service tier
+  exposes, each with its token-type signature — listed through the
+  ``services`` RPC with the same lease semantics: a service whose
+  providing kernel dropped its registration (or stopped beating, when the
+  caller passes ``max_age``) is filtered out of the listing.
 - :class:`NameServerClient` — a blocking client used by kernels to
   register themselves and resolve peers.
 
@@ -78,6 +83,10 @@ class NameServer:
         #: registration so a kernel is never "expired" before it could
         #: have beaten once)
         self._beats: Dict[str, float] = {}
+        #: service name -> (provider kernel, in_types, out_types, owning
+        #: connection); listed only while the provider's lease is live
+        self._services: Dict[
+            str, Tuple[str, List[str], List[str], socket.socket]] = {}
         self._accept_thread: Optional[threading.Thread] = None
         self._closed = False
 
@@ -188,6 +197,45 @@ class NameServer:
             with self._lock:
                 names = sorted(self._registry)
             return {"ok": True, "names": names}
+        if op == "register_service":
+            service = request["service"]
+            provider = request["provider"]
+            in_types = [str(t) for t in request.get("in_types") or []]
+            out_types = [str(t) for t in request.get("out_types") or []]
+            with self._lock:
+                existing = self._services.get(service)
+                if existing is not None and existing[3] is not conn:
+                    return {"ok": False, "error": "duplicate",
+                            "detail": f"service {service!r} is already "
+                                      f"registered by {existing[0]!r}"}
+                self._services[service] = (provider, in_types, out_types,
+                                           conn)
+            return {"ok": True}
+        if op == "unregister_service":
+            service = request["service"]
+            with self._lock:
+                existing = self._services.get(service)
+                if existing is not None and existing[3] is conn:
+                    del self._services[service]
+            return {"ok": True}
+        if op == "services":
+            max_age = request.get("max_age")
+            now = time.monotonic()
+            with self._lock:
+                entries = []
+                for service in sorted(self._services):
+                    provider, in_types, out_types, _ = \
+                        self._services[service]
+                    beat = self._beats.get(provider)
+                    if beat is None:
+                        continue  # provider lease is gone
+                    if max_age is not None and now - beat > float(max_age):
+                        continue  # provider stopped beating
+                    entries.append({"service": service,
+                                    "provider": provider,
+                                    "in_types": in_types,
+                                    "out_types": out_types})
+            return {"ok": True, "services": entries}
         if op == "ping":
             return {"ok": True}
         return {"ok": False, "error": f"unknown op {op!r}"}
@@ -199,6 +247,10 @@ class NameServer:
             for name in dead:
                 del self._registry[name]
                 self._beats.pop(name, None)
+            dead_services = [name for name, entry in self._services.items()
+                             if entry[3] is conn]
+            for name in dead_services:
+                del self._services[name]
 
 
 def run_name_server(sock: socket.socket) -> None:
@@ -260,6 +312,30 @@ class NameServerClient:
 
     def list(self) -> List[str]:
         return list(self._call({"op": "list"})["names"])
+
+    def register_service(self, service: str, provider: str,
+                         in_types: Tuple[str, ...] = (),
+                         out_types: Tuple[str, ...] = ()) -> None:
+        """Publish a service record: *service* is the public graph name,
+        *provider* the kernel that accepts its calls, and the type lists
+        the wire-format token-type names of its entry/exit operations."""
+        self._call({"op": "register_service", "service": service,
+                    "provider": provider, "in_types": list(in_types),
+                    "out_types": list(out_types)})
+
+    def unregister_service(self, service: str) -> None:
+        """Withdraw a service record this connection registered."""
+        self._call({"op": "unregister_service", "service": service})
+
+    def services(self, max_age: Optional[float] = None) -> List[dict]:
+        """Registered services whose provider lease is live; each entry is
+        ``{"service", "provider", "in_types", "out_types"}``.  With
+        *max_age*, providers that have not beaten for that many seconds
+        are filtered out as well."""
+        request: dict = {"op": "services"}
+        if max_age is not None:
+            request["max_age"] = float(max_age)
+        return list(self._call(request)["services"])
 
     def heartbeat(self, name: str) -> None:
         """Renew *name*'s liveness lease."""

@@ -47,6 +47,14 @@ __all__ = [
     "MSG_REMAP_OK",
     "MSG_REPLAY",
     "MSG_REPLAY_DONE",
+    "MSG_SVC_OPEN",
+    "MSG_SVC_OPEN_OK",
+    "MSG_SVC_CALL",
+    "MSG_SVC_REPLY",
+    "MSG_SVC_BUSY",
+    "MSG_SERVICE_BUSY",
+    "MSG_SVC_ERROR",
+    "MSG_SVC_CLOSE",
     "AckWire",
     "encode_hello",
     "encode_data",
@@ -66,6 +74,13 @@ __all__ = [
     "encode_remap_ok",
     "encode_replay",
     "encode_replay_done",
+    "encode_svc_open",
+    "encode_svc_open_ok",
+    "encode_svc_call",
+    "encode_svc_reply",
+    "encode_svc_busy",
+    "encode_svc_error",
+    "encode_svc_close",
     "decode_message",
     "RemoteFailure",
 ]
@@ -105,6 +120,30 @@ MSG_REMAP_OK = 16
 MSG_REPLAY = 17
 #: Survivor → console: ``(kernel_name, epoch, replayed_count)``.
 MSG_REPLAY_DONE = 18
+#: Client → service console: open (or re-open, idempotently) a session;
+#: ``(client_name, requested_window)`` — ``0`` requests the server default.
+MSG_SVC_OPEN = 19
+#: Service console → client: session granted;
+#: ``(granted_window, session_id)``.
+MSG_SVC_OPEN_OK = 20
+#: Client → service console: invoke a named service graph;
+#: ``(client_name, request_id, service_name, token)``.  Request ids are
+#: client-scoped: replies correlate out of order by id.
+MSG_SVC_CALL = 21
+#: Service console → client: graph-call result; ``(request_id, token)``.
+MSG_SVC_REPLY = 22
+#: Service console → client: the request was shed by admission control;
+#: ``(request_id, reason)``.  Retry later *under a new request id*.
+MSG_SVC_BUSY = 23
+#: Service console → client: the graph call failed remotely;
+#: ``(request_id, exception)``.
+MSG_SVC_ERROR = 24
+#: Client → service console: close the session; ``client_name``.
+MSG_SVC_CLOSE = 25
+
+#: Spec alias for :data:`MSG_SVC_BUSY` (the admission-control shed
+#: message of the resident service tier).
+MSG_SERVICE_BUSY = MSG_SVC_BUSY
 
 _U8 = struct.Struct("<B")
 _U16 = struct.Struct("<H")
@@ -333,6 +372,64 @@ def encode_replay_done(kernel_name: str, epoch: int,
     return [head]
 
 
+def encode_svc_open(client_name: str, window: int = 0) -> List[Segment]:
+    """Open a service session; ``window=0`` asks for the server default."""
+    head = bytearray(_U8.pack(MSG_SVC_OPEN))
+    _pack_str(head, client_name)
+    head += _U32.pack(window)
+    return [head]
+
+
+def encode_svc_open_ok(granted: int, session_id: int) -> List[Segment]:
+    head = bytearray(_U8.pack(MSG_SVC_OPEN_OK))
+    head += _U32.pack(granted)
+    head += _U64.pack(session_id)
+    return [head]
+
+
+def encode_svc_call(client_name: str, request_id: int, service: str,
+                    token: Token,
+                    reg: TokenRegistry = registry) -> List[Segment]:
+    """One graph call: correlation header + token, zero-copy payload."""
+    head = bytearray(_U8.pack(MSG_SVC_CALL))
+    _pack_str(head, client_name)
+    head += _U64.pack(request_id)
+    _pack_str(head, service)
+    return [head, *encode_segments(token, reg)]
+
+
+def encode_svc_reply(request_id: int, token: Token,
+                     reg: TokenRegistry = registry) -> List[Segment]:
+    head = bytearray(_U8.pack(MSG_SVC_REPLY))
+    head += _U64.pack(request_id)
+    return [head, *encode_segments(token, reg)]
+
+
+def encode_svc_busy(request_id: int, reason: str) -> List[Segment]:
+    head = bytearray(_U8.pack(MSG_SVC_BUSY))
+    head += _U64.pack(request_id)
+    _pack_str(head, reason)
+    return [head]
+
+
+def encode_svc_error(request_id: int, exc: BaseException) -> List[Segment]:
+    head = bytearray(_U8.pack(MSG_SVC_ERROR))
+    head += _U64.pack(request_id)
+    try:
+        raw = pickle.dumps(exc)
+        pickle.loads(raw)  # ensure the receiving side can rebuild it
+    except Exception:
+        raw = pickle.dumps(RemoteFailure(f"{type(exc).__name__}: {exc}"))
+    head += raw
+    return [head]
+
+
+def encode_svc_close(client_name: str) -> List[Segment]:
+    head = bytearray(_U8.pack(MSG_SVC_CLOSE))
+    _pack_str(head, client_name)
+    return [head]
+
+
 # ---------------------------------------------------------------------------
 # decoding
 # ---------------------------------------------------------------------------
@@ -476,4 +573,39 @@ def decode_message(payload: "bytes | bytearray | memoryview",
         name, offset = _unpack_str(view, offset)
         epoch, count = _U32_PAIR.unpack_from(view, offset)
         return MSG_REPLAY_DONE, (name, epoch, count)
+    if kind == MSG_SVC_OPEN:
+        name, offset = _unpack_str(view, offset)
+        (window,) = _U32.unpack_from(view, offset)
+        return MSG_SVC_OPEN, (name, window)
+    if kind == MSG_SVC_OPEN_OK:
+        (granted,) = _U32.unpack_from(view, offset)
+        (session_id,) = _U64.unpack_from(view, offset + 4)
+        return MSG_SVC_OPEN_OK, (granted, session_id)
+    if kind == MSG_SVC_CALL:
+        name, offset = _unpack_str(view, offset)
+        (request_id,) = _U64.unpack_from(view, offset)
+        offset += 8
+        service, offset = _unpack_str(view, offset)
+        token = decode(view[offset:], reg, copy=False)
+        return MSG_SVC_CALL, (name, request_id, service, token)
+    if kind == MSG_SVC_REPLY:
+        (request_id,) = _U64.unpack_from(view, offset)
+        token = decode(view[offset + 8:], reg, copy=False)
+        return MSG_SVC_REPLY, (request_id, token)
+    if kind == MSG_SVC_BUSY:
+        (request_id,) = _U64.unpack_from(view, offset)
+        reason, _ = _unpack_str(view, offset + 8)
+        return MSG_SVC_BUSY, (request_id, reason)
+    if kind == MSG_SVC_ERROR:
+        (request_id,) = _U64.unpack_from(view, offset)
+        try:
+            exc = pickle.loads(bytes(view[offset + 8:]))
+        except Exception as err:
+            exc = RemoteFailure(f"undecodable remote failure: {err}")
+        if not isinstance(exc, BaseException):
+            exc = RemoteFailure(f"remote failure payload {exc!r}")
+        return MSG_SVC_ERROR, (request_id, exc)
+    if kind == MSG_SVC_CLOSE:
+        name, _ = _unpack_str(view, offset)
+        return MSG_SVC_CLOSE, name
     raise WireError(f"unknown protocol message kind {kind}")

@@ -72,7 +72,7 @@ _ENGINE_OPTS = {
     "threaded": frozenset({"serialize_transfers"}),
     "multiprocess": frozenset({"dial_deadline", "startup_timeout",
                                "recover", "heartbeat_interval",
-                               "heartbeat_miss_limit"}),
+                               "heartbeat_miss_limit", "ns_port"}),
 }
 
 #: Only the multiprocess engine has a wire (transport tuning) and real

@@ -34,7 +34,8 @@ import multiprocessing.connection
 import os
 import threading
 import time
-from typing import Any, Dict, List, Optional, Union
+import weakref
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..core.flowcontrol import FlowControlPolicy
 from ..core.graph import Flowgraph
@@ -49,6 +50,25 @@ from .controller import ScheduleError
 __all__ = ["MultiprocessEngine"]
 
 
+def _reap_processes(procs: List[multiprocessing.process.BaseProcess]) -> None:
+    """Terminate any forked child still alive in *procs*.
+
+    Module-level (no reference back to the engine) so it can serve as a
+    :func:`weakref.finalize` callback: it fires when the engine is
+    garbage-collected without :meth:`MultiprocessEngine.shutdown` — e.g.
+    a KeyboardInterrupt or an exception mid-startup — and again at
+    interpreter exit, so an aborted run cannot orphan the name-server
+    process and leak its port.
+    """
+    for proc in procs:
+        try:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2)
+        except Exception:
+            pass  # best-effort: reaping must never raise during teardown
+
+
 class MultiprocessEngine(Engine):
     """Run DPS schedules on one OS process per logical node."""
 
@@ -61,7 +81,8 @@ class MultiprocessEngine(Engine):
                  recover: Optional[bool] = None,
                  faults: Optional[FaultPolicy] = None,
                  heartbeat_interval: float = 0.25,
-                 heartbeat_miss_limit: int = 4):
+                 heartbeat_miss_limit: int = 4,
+                 ns_port: int = 0):
         try:
             self._mp = multiprocessing.get_context("fork")
         except ValueError as exc:  # pragma: no cover - non-POSIX platforms
@@ -89,11 +110,21 @@ class MultiprocessEngine(Engine):
         self.heartbeat_miss_limit = heartbeat_miss_limit
         self.dial_deadline = dial_deadline
         self.startup_timeout = startup_timeout
+        #: Requested name-server port; 0 picks an ephemeral one.  The
+        #: resolved ``(host, port)`` lands in :attr:`ns_address` once the
+        #: cluster is up, so external clients can be pointed at it.
+        self.ns_port = ns_port
+        self.ns_address: Optional[Tuple[str, int]] = None
         self._console: Optional[DistributedKernel] = None
         self._kernel_procs: Dict[str, multiprocessing.process.BaseProcess] = {}
         self._ns_proc: Optional[multiprocessing.process.BaseProcess] = None
         self._closing = threading.Event()
         self._closed = False
+        # Every forked child is appended here; the finalizer reaps
+        # whatever shutdown() did not get to (GC after an exception,
+        # interpreter exit after SIGINT) so no orphan keeps the port.
+        self._orphans: List[multiprocessing.process.BaseProcess] = []
+        self._reaper = weakref.finalize(self, _reap_processes, self._orphans)
 
     # ------------------------------------------------------------------
     # registration (shared Engine base + fork-time freeze)
@@ -132,54 +163,59 @@ class MultiprocessEngine(Engine):
         import socket as _socket
         ns_sock = _socket.socket(_socket.AF_INET, _socket.SOCK_STREAM)
         ns_sock.setsockopt(_socket.SOL_SOCKET, _socket.SO_REUSEADDR, 1)
-        ns_sock.bind(("127.0.0.1", 0))
+        ns_sock.bind(("127.0.0.1", self.ns_port))
         ns_sock.listen(64)
         ns_address = ns_sock.getsockname()[:2]
+        self.ns_address = (ns_address[0], ns_address[1])
         # Bind in the parent, serve in the child: the port is known before
         # any kernel starts, so there is no registration race to retry.
         self._ns_proc = self._mp.Process(
             target=run_name_server, args=(ns_sock,),
             name="dps-nameserver", daemon=True)
         self._ns_proc.start()
+        self._orphans.append(self._ns_proc)
         ns_sock.close()
 
-        graphs = list(self._graphs.values())
-        peers = [CONSOLE_KERNEL, *kernels]
-        ready_events = []
-        # Fork the kernels BEFORE the console kernel spins up its service
-        # threads — forking a multi-threaded parent is where the dragons
-        # live.  Ordinal 0 is the console; workers start at 1.
-        trace_children = self.tracer is not None or self.metrics is not None
-        for ordinal, name in enumerate(kernels, start=1):
-            ready = self._mp.Event()
-            proc = self._mp.Process(
-                target=run_kernel_process,
-                args=(name, ordinal, ns_address, peers, graphs,
-                      self.policy, ready, trace_children, self.transport,
-                      self.recover, self.faults, self.heartbeat_interval),
-                name=f"dps-kernel:{name}", daemon=True)
-            proc.start()
-            self._kernel_procs[name] = proc
-            ready_events.append((name, ready))
-        for name, ready in ready_events:
-            if not ready.wait(timeout=self.startup_timeout):
-                self.shutdown()
-                raise ScheduleError(
-                    f"kernel process {name!r} failed to start within "
-                    f"{self.startup_timeout}s")
+        # From here on any failure — a kernel that never comes up, a
+        # KeyboardInterrupt while waiting, a console that cannot dial —
+        # must tear down what was already forked, or the name-server
+        # process outlives the run and leaks its port.
+        try:
+            graphs = list(self._graphs.values())
+            peers = [CONSOLE_KERNEL, *kernels]
+            ready_events = []
+            # Fork the kernels BEFORE the console kernel spins up its
+            # service threads — forking a multi-threaded parent is where
+            # the dragons live.  Ordinal 0 is the console; workers start
+            # at 1.
+            trace_children = (self.tracer is not None
+                              or self.metrics is not None)
+            for ordinal, name in enumerate(kernels, start=1):
+                ready = self._mp.Event()
+                proc = self._mp.Process(
+                    target=run_kernel_process,
+                    args=(name, ordinal, ns_address, peers, graphs,
+                          self.policy, ready, trace_children, self.transport,
+                          self.recover, self.faults, self.heartbeat_interval),
+                    name=f"dps-kernel:{name}", daemon=True)
+                proc.start()
+                self._kernel_procs[name] = proc
+                self._orphans.append(proc)
+                ready_events.append((name, ready))
+            for name, ready in ready_events:
+                if not ready.wait(timeout=self.startup_timeout):
+                    raise ScheduleError(
+                        f"kernel process {name!r} failed to start within "
+                        f"{self.startup_timeout}s")
 
-        # The console records straight into the engine-level tracer and
-        # metrics registry; worker-kernel buffers merge into the same
-        # objects at collect_traces() time.
-        console = DistributedKernel(
-            CONSOLE_KERNEL, 0, ns_address, peers,
-            policy=self.policy, dial_deadline=self.dial_deadline,
-            tracer=self.tracer, metrics=self.metrics,
-            transport=self.transport, recover=self.recover)
-        for graph in graphs:
-            console.register_graph(graph)
-        console.start()
-        self._console = console
+            console = self._make_console(ns_address, peers)
+            for graph in graphs:
+                console.register_graph(graph)
+            console.start()
+            self._console = console
+        except BaseException:
+            self.shutdown()
+            raise
 
         threading.Thread(target=self._monitor_children,
                          name="dps-kernel-monitor", daemon=True).start()
@@ -187,6 +223,20 @@ class MultiprocessEngine(Engine):
             threading.Thread(target=self._liveness_loop,
                              name="dps-liveness", daemon=True).start()
         return console
+
+    def _make_console(self, ns_address, peers) -> DistributedKernel:
+        """Build the driver-side console kernel (ServiceEngine overrides
+        this to substitute its session-aware subclass).
+
+        The console records straight into the engine-level tracer and
+        metrics registry; worker-kernel buffers merge into the same
+        objects at collect_traces() time.
+        """
+        return DistributedKernel(
+            CONSOLE_KERNEL, 0, ns_address, peers,
+            policy=self.policy, dial_deadline=self.dial_deadline,
+            tracer=self.tracer, metrics=self.metrics,
+            transport=self.transport, recover=self.recover)
 
     def _monitor_children(self) -> None:
         sentinels = {proc.sentinel: name
@@ -287,6 +337,8 @@ class MultiprocessEngine(Engine):
             self._ns_proc.terminate()
             self._ns_proc.join(timeout=2)
             self._ns_proc = None
+        # Everything is reaped; the GC/exit finalizer has nothing to do.
+        self._orphans.clear()
 
     def __enter__(self) -> "MultiprocessEngine":
         return self

@@ -1,0 +1,43 @@
+"""The resident service tier: one DPS cluster, many client processes.
+
+The paper's parallel services (§ "Parallel services", Figure 10,
+Table 2) made applications callable: a flow graph registered under a
+name, invoked by *other* applications as if it were a leaf operation.
+This package is that story on the multiprocess engine —
+
+- :class:`ServiceEngine` boots a kernel cluster once, publishes named
+  graphs (with token-type signatures) in the TCP name server, and stays
+  resident serving graph calls,
+- :class:`AdmissionPolicy` bounds concurrency, queueing and per-client
+  session windows, shedding overload with ``MSG_SVC_BUSY``,
+- :class:`ServiceClient` is the external caller: sessions, windowed
+  in-flight calls, out-of-order reply correlation, busy/failure retries
+  and same-id resends with server-side exactly-once dedup.
+
+See ``DESIGN.md`` §5f for the protocol, ``repro.cli serve`` /
+``repro.cli call`` for the command-line surface, and
+``benchmarks/test_service_tier.py`` for the multi-client load harness.
+"""
+
+from .admission import AdmissionPolicy
+from .client import (
+    ServiceBusy,
+    ServiceCall,
+    ServiceClient,
+    ServiceError,
+    ServiceTimeout,
+)
+from .engine import ServiceEngine, ServiceKernel
+from .records import graph_signature
+
+__all__ = [
+    "AdmissionPolicy",
+    "ServiceBusy",
+    "ServiceCall",
+    "ServiceClient",
+    "ServiceEngine",
+    "ServiceError",
+    "ServiceKernel",
+    "ServiceTimeout",
+    "graph_signature",
+]

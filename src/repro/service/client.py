@@ -1,0 +1,357 @@
+"""External client for the resident service tier.
+
+A :class:`ServiceClient` lives in any process — it is *not* a kernel
+and hosts no thread instances.  It registers a listener in the
+cluster's name server (so the console can dial back with replies),
+opens a session to obtain its flow-control window, and then issues
+graph calls that correlate out of order by request id:
+
+    with ServiceClient((host, port)) as client:
+        result = client.call("gol.read", GolReadRequest(0, 0, 8, 8))
+
+Concurrency and flow control: :meth:`ServiceClient.call_async` returns
+a :class:`ServiceCall` future; a bounded semaphore sized to the granted
+session window keeps at most *window* calls in flight, blocking the
+caller — the client-side half of the
+:class:`~repro.core.flowcontrol.SplitWindow` the console maintains.
+
+Failure semantics mirror the admission protocol:
+
+- ``MSG_SVC_BUSY`` raises :class:`ServiceBusy`; :meth:`ServiceClient.call`
+  retries with exponential backoff under a **new** request id (the shed
+  burned the old one).
+- A lost frame is recovered by *resending the same id* after
+  ``resend_after`` seconds of silence; the console's dedup drops the
+  duplicate if the original was admitted, so a call is never executed
+  twice (exactly-once).
+- A broken connection or console failure settles every pending call
+  with :class:`~repro.runtime.controller.KernelFailure`, which
+  :meth:`ServiceClient.call` also retries — the resident cluster may
+  just be remapping around a dead kernel.
+- ``MSG_SVC_ERROR`` re-raises the remote exception in the caller.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..net import protocol as P
+from ..net.connections import ConnectionPool, TransportPolicy
+from ..net.framing import FrameReader
+from ..net.kernel import CONSOLE_KERNEL
+from ..net.nameserver import NameServerClient
+from ..runtime.controller import KernelFailure
+from ..serial.token import Token
+from ..serial.wire import WireError
+
+__all__ = ["ServiceBusy", "ServiceCall", "ServiceClient", "ServiceError",
+           "ServiceTimeout"]
+
+
+class ServiceError(RuntimeError):
+    """Base class for client-side service failures."""
+
+
+class ServiceBusy(ServiceError):
+    """The console shed the request (admission control); retry later."""
+
+
+class ServiceTimeout(ServiceError):
+    """No reply within the caller's deadline."""
+
+
+class ServiceCall:
+    """One in-flight graph call; settled by the reader thread."""
+
+    def __init__(self, client: "ServiceClient", request_id: int,
+                 service: str, token: Token):
+        self._client = client
+        self.request_id = request_id
+        self.service = service
+        self._token = token
+        self._event = threading.Event()
+        self._kind: Optional[str] = None
+        self._value = None
+        self._released = False
+        self._sent_at = time.monotonic()
+
+    def _settle(self, kind: str, value) -> None:
+        self._kind = kind
+        self._value = value
+        self._event.set()
+
+    def result(self, timeout: float = 30.0,
+               resend_after: Optional[float] = None) -> Token:
+        """Block for the reply.
+
+        With *resend_after*, the request is retransmitted under the
+        **same** id after that many seconds of silence — safe against
+        double execution because admitted ids are deduplicated
+        server-side; this is the lost-frame recovery path, distinct
+        from the new-id retry that follows a shed.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._client._forget(self)
+                raise ServiceTimeout(
+                    f"no reply for request {self.request_id} "
+                    f"({self.service!r}) within {timeout}s")
+            wait = remaining if resend_after is None else min(
+                remaining, max(0.0, resend_after
+                               - (time.monotonic() - self._sent_at)))
+            if self._event.wait(timeout=max(wait, 0.001)):
+                break
+            if resend_after is not None and \
+                    time.monotonic() - self._sent_at >= resend_after:
+                self._client._resend(self)
+                self._sent_at = time.monotonic()
+        if self._kind == "ok":
+            return self._value
+        if self._kind == "busy":
+            raise ServiceBusy(
+                f"request {self.request_id} ({self.service!r}) shed: "
+                f"{self._value}")
+        raise self._value  # remote exception, re-raised natively
+
+
+class ServiceClient:
+    """A session to one resident service console."""
+
+    def __init__(self, ns_address: Tuple[str, int], *,
+                 window: int = 0,
+                 server: str = CONSOLE_KERNEL,
+                 name: Optional[str] = None,
+                 dial_deadline: float = 15.0):
+        self.name = name or \
+            f"svc-client-{os.getpid()}-{os.urandom(3).hex()}"
+        self.server = server
+        self._requested_window = window
+        self.session_id: Optional[int] = None
+        self.window: Optional[int] = None
+        self.busy_retries = 0
+        self.failure_retries = 0
+        self._lock = threading.Lock()
+        self._pending: Dict[int, ServiceCall] = {}
+        self._request_counter = 0
+        self._slots: Optional[threading.BoundedSemaphore] = None
+        self._open_event = threading.Event()
+        self._failure: Optional[BaseException] = None
+        self._closed = False
+
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.address = self._listener.getsockname()[:2]
+
+        self._ns = NameServerClient(ns_address)
+        # Register WITHOUT a host fingerprint: the console then dials
+        # back over plain TCP (no shared-memory lane handshake with a
+        # non-kernel process).
+        self._ns.register(self.name, *self.address)
+        # The client is a leaf talker, not a kernel: plain per-peer
+        # writer threads, no shm lane.
+        self._pool = ConnectionPool(
+            self._ns, hello_from=self.name, on_error=self._on_pool_error,
+            dial_deadline=dial_deadline,
+            transport=TransportPolicy(shm_enabled=False, io_mode="threads"))
+        threading.Thread(target=self._accept_loop,
+                         name=f"svc-accept:{self.name}",
+                         daemon=True).start()
+
+    # ------------------------------------------------------------------
+    # session
+    # ------------------------------------------------------------------
+    def open(self, timeout: float = 10.0) -> int:
+        """Open the session; returns the granted window.  Idempotent."""
+        if self._slots is not None:
+            return self.window or 0
+        self._pool.send(self.server,
+                        P.encode_svc_open(self.name,
+                                          self._requested_window))
+        if not self._open_event.wait(timeout=timeout):
+            raise ServiceTimeout(
+                f"service console {self.server!r} did not answer "
+                f"MSG_SVC_OPEN within {timeout}s")
+        with self._lock:
+            if self._slots is None:
+                self._slots = threading.BoundedSemaphore(self.window or 1)
+        return self.window or 0
+
+    def discover(self, max_age: Optional[float] = None) -> List[dict]:
+        """Live service records from the name server (lease-filtered)."""
+        return self._ns.services(max_age=max_age)
+
+    # ------------------------------------------------------------------
+    # calls
+    # ------------------------------------------------------------------
+    def call_async(self, service: str, token: Token) -> ServiceCall:
+        """Issue one call; blocks only for session-window space."""
+        if self._closed:
+            raise ServiceError("client is closed")
+        self.open()
+        failure = self._failure
+        if failure is not None:
+            raise failure
+        assert self._slots is not None
+        self._slots.acquire()
+        with self._lock:
+            self._request_counter += 1
+            call = ServiceCall(self, self._request_counter, service, token)
+            self._pending[call.request_id] = call
+        try:
+            self._pool.send(self.server, P.encode_svc_call(
+                self.name, call.request_id, service, token))
+        except Exception as exc:
+            self._forget(call)
+            raise KernelFailure(
+                f"send to service console failed: {exc}") from exc
+        return call
+
+    def call(self, service: str, token: Token, timeout: float = 30.0,
+             retries: int = 0, backoff: float = 0.05,
+             resend_after: Optional[float] = None) -> Token:
+        """One graph call with shed/failure retries.
+
+        ``ServiceBusy`` (admission shed) and ``KernelFailure``
+        (connection or cluster trouble) are retried up to *retries*
+        times with exponential *backoff*, each attempt under a fresh
+        request id.  Remote application exceptions are not retried —
+        they re-raise immediately.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self.call_async(service, token).result(
+                    timeout, resend_after=resend_after)
+            except (ServiceBusy, KernelFailure) as exc:
+                if attempt >= retries:
+                    raise
+                if isinstance(exc, ServiceBusy):
+                    self.busy_retries += 1
+                else:
+                    self.failure_retries += 1
+                    self._failure = None  # give the cluster another shot
+                time.sleep(min(1.0, backoff * (2 ** attempt)))
+                attempt += 1
+
+    def _resend(self, call: ServiceCall) -> None:
+        """Retransmit under the SAME id (server dedup absorbs it)."""
+        try:
+            self._pool.send(self.server, P.encode_svc_call(
+                self.name, call.request_id, call.service, call._token))
+        except Exception:
+            pass  # the pool error callback settles the call
+
+    def _forget(self, call: ServiceCall) -> None:
+        with self._lock:
+            self._pending.pop(call.request_id, None)
+        self._release(call)
+
+    def _release(self, call: ServiceCall) -> None:
+        if not call._released and self._slots is not None:
+            call._released = True
+            self._slots.release()
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            threading.Thread(target=self._reader_loop, args=(conn,),
+                             name=f"svc-recv:{self.name}",
+                             daemon=True).start()
+
+    def _reader_loop(self, conn: socket.socket) -> None:
+        reader = FrameReader(conn)
+        try:
+            while True:
+                frames = reader.recv_batch()
+                if frames is None:
+                    return
+                for payload in frames:
+                    kind, value = P.decode_message(payload, {})
+                    self._dispatch(kind, value)
+        except (OSError, WireError) as exc:
+            if not self._closed:
+                self._fail(KernelFailure(
+                    f"service reply connection failed: {exc}"))
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _dispatch(self, kind: int, value) -> None:
+        if kind == P.MSG_SVC_OPEN_OK:
+            granted, session_id = value
+            self.window = granted
+            self.session_id = session_id
+            self._open_event.set()
+            return
+        if kind in (P.MSG_SVC_REPLY, P.MSG_SVC_BUSY, P.MSG_SVC_ERROR):
+            request_id, payload = value
+            with self._lock:
+                call = self._pending.pop(request_id, None)
+            if call is None:
+                return  # late duplicate reply for a forgotten call
+            self._release(call)
+            call._settle({P.MSG_SVC_REPLY: "ok",
+                          P.MSG_SVC_BUSY: "busy",
+                          P.MSG_SVC_ERROR: "error"}[kind], payload)
+            return
+        # HELLO and any broadcast traffic a console might fan out are
+        # irrelevant to a session client.
+
+    def _on_pool_error(self, peer: str, exc: Exception) -> None:
+        if not self._closed:
+            self._fail(KernelFailure(
+                f"connection to service console {peer!r} failed: {exc}"))
+
+    def _fail(self, exc: BaseException) -> None:
+        self._failure = exc
+        with self._lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for call in pending:
+            self._release(call)
+            call._settle("error", exc)
+
+    # ------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._pool.send(self.server, P.encode_svc_close(self.name))
+        except Exception:
+            pass  # console already gone
+        try:
+            self._pool.close_all()
+        except Exception:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._ns.close()
+
+    def __enter__(self) -> "ServiceClient":
+        self.open()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,42 @@
+"""Service records: a graph's publishable token-type signature.
+
+A resident service registers each exposed graph in the TCP name server
+as ``(service name, provider kernel, in_types, out_types)``; the type
+lists are the wire-format token-type names of the graph's entry and
+exit operations.  Clients use the record for two things: the provider
+name routes their session to the right console, and the signature lets
+:func:`repro.core.remotecall.make_service_stub` materialise a typed
+local leaf operation without importing the provider's graph code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..core.graph import Flowgraph
+from ..serial.registry import TokenRegistry, registry
+
+__all__ = ["graph_signature"]
+
+
+def _type_names(types: Iterable[type],
+                reg: TokenRegistry) -> Tuple[str, ...]:
+    names = []
+    for cls in types:
+        try:
+            names.append(reg.name_of(cls))
+        except KeyError:
+            # Not wire-registered (pure in-process token): fall back to
+            # the class name so the record still describes the signature.
+            names.append(cls.__name__)
+    return tuple(names)
+
+
+def graph_signature(graph: Flowgraph,
+                    reg: TokenRegistry = registry
+                    ) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """``(in_type_names, out_type_names)`` of *graph*'s entry/exit ops."""
+    entry_cls = graph.node(graph.entry).op_class
+    exit_cls = graph.node(graph.exit).op_class
+    return (_type_names(entry_cls.in_types, reg),
+            _type_names(exit_cls.out_types, reg))

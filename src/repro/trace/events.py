@@ -33,6 +33,12 @@ REMAP               ``dead``, ``collections``, ``epoch`` — thread
                     survivors
 REPLAY              ``epoch``, ``tokens`` — journaled un-acked tokens
                     were re-delivered after a remap
+SVC_CALL            ``client``, ``request``, ``service`` — a graph call
+                    was admitted by the service console
+SVC_REPLY           ``client``, ``request``, ``service``, ``seconds``
+SVC_SHED            ``client``, ``request``, ``service``, ``reason`` —
+                    admission control answered MSG_SVC_BUSY
+SVC_CLOSE           ``client`` — a service session ended
 ==================  =====================================================
 
 Events recorded in a kernel process additionally carry ``pid`` (the
@@ -56,6 +62,10 @@ __all__ = [
     "KERNEL_DOWN",
     "REMAP",
     "REPLAY",
+    "SVC_CALL",
+    "SVC_REPLY",
+    "SVC_SHED",
+    "SVC_CLOSE",
     "EVENT_KINDS",
     "DETERMINISTIC_KINDS",
 ]
@@ -74,6 +84,10 @@ TOKEN_DROP = "token_drop"
 KERNEL_DOWN = "kernel_down"
 REMAP = "remap"
 REPLAY = "replay"
+SVC_CALL = "svc_call"
+SVC_REPLY = "svc_reply"
+SVC_SHED = "svc_shed"
+SVC_CLOSE = "svc_close"
 
 #: Every kind an engine may emit (open set: engines may add kinds such as
 #: ``thread_migrated``; the unified vocabulary above is the guaranteed
@@ -82,6 +96,7 @@ EVENT_KINDS = frozenset({
     ACTIVATION_START, ACTIVATION_DONE, OP_START, OP_END,
     TOKEN_SEND, TOKEN_RECV, SERIALIZE, STALL, ADMIT, ACK, TOKEN_DROP,
     KERNEL_DOWN, REMAP, REPLAY,
+    SVC_CALL, SVC_REPLY, SVC_SHED, SVC_CLOSE,
 })
 
 #: Kinds whose *counts* are determined by the schedule alone (not by

@@ -33,7 +33,13 @@ default) adds ``io_loop_wakeups`` (counter — selector passes; zero in
 threads mode), ``partial_writes`` (counter — short ``sendmsg`` calls,
 i.e. EAGAIN or fewer bytes accepted than offered) and ``outbox_depth``
 (gauge — frames queued behind a write-blocked peer socket; its peak is
-the high-water backpressure mark).
+the high-water backpressure mark).  The resident service tier
+(``repro.service``) adds ``svc_calls`` (admitted graph calls),
+``svc_shed`` (requests answered ``MSG_SVC_BUSY``) and
+``svc_duplicates`` (same-id resends dropped by exactly-once dedup)
+counters; ``svc_sessions``, ``svc_inflight`` and ``svc_queue_depth``
+gauges; and per-service ``svc_latency_seconds:<name>`` histograms
+(admission-to-reply wall seconds).
 """
 
 from __future__ import annotations

@@ -320,3 +320,61 @@ def test_error_semantics_match_multiprocess():
         meng.register_graph(g)
         with pytest.raises(ValueError, match="engine-agnostic crash"):
             meng.run(g, XJob(2), timeout=30)
+
+
+# ---------------------------------------------------------------------------
+# the resident service path joins the contract: a graph called through a
+# ServiceClient session must return bit-identical tokens to the same
+# graph driven directly on the sim and threaded engines
+# ---------------------------------------------------------------------------
+
+from repro.apps.gol_service import GameOfLifeService, GolReadRequest
+from repro.service import ServiceClient, ServiceEngine
+
+GOL_NODES = ["node01", "node02"]
+READS = [(0, 0, 16, 12), (3, 2, 7, 5), (10, 0, 6, 12)]
+
+
+def test_gol_read_identical_across_engines_and_service_path():
+    rng = np.random.default_rng(23)
+    world = (rng.random((16, 12)) < 0.35).astype(np.uint8)
+    steps = 2
+
+    reference = world
+    for _ in range(steps):
+        reference = life_step(reference)
+
+    def evolve(engine):
+        gol = GameOfLifeService(engine, world, GOL_NODES)
+        gol.load()
+        for _ in range(steps):
+            gol.step(improved=True)
+        return gol
+
+    sim_gol = evolve(create_engine("sim", nodes=2))
+    sim_reads = [sim_gol.read_block(*r) for r in READS]
+
+    with create_engine("threaded") as teng:
+        thr_gol = evolve(teng)
+        thr_reads = [thr_gol.read_block(*r) for r in READS]
+
+    with ServiceEngine() as seng:
+        svc_gol = GameOfLifeService(seng, world, GOL_NODES)
+        seng.expose(svc_gol.read_graph, "gol.read")
+        address = seng.serve()
+        svc_gol.load()
+        for _ in range(steps):
+            svc_gol.step(improved=True)
+        with ServiceClient(address) as client:
+            svc_reads = [
+                client.call("gol.read", GolReadRequest(*r),
+                            timeout=60).data.array
+                for r in READS
+            ]
+
+    for (row, col, h, w), sim_b, thr_b, svc_b in zip(
+            READS, sim_reads, thr_reads, svc_reads):
+        expected = reference[row:row + h, col:col + w]
+        assert np.array_equal(sim_b, expected)
+        assert np.array_equal(thr_b, expected)
+        assert np.array_equal(svc_b, expected)

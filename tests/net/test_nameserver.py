@@ -181,6 +181,127 @@ def test_send_recv_roundtrip_over_socket():
         listener.close()
 
 
+# ---------------------------------------------------------------------------
+# service records (the resident service tier's directory entries)
+# ---------------------------------------------------------------------------
+
+def test_services_empty(ns):
+    with client(ns) as c:
+        assert c.services() == []
+        assert c.services(max_age=0.1) == []
+
+
+def test_service_record_roundtrip(ns):
+    with client(ns) as c:
+        c.register("console", "127.0.0.1", 7001)
+        c.register_service("gol.read", "console",
+                           in_types=("GolReadRequest",),
+                           out_types=("GolBlockToken",))
+        c.register_service("upper", "console",
+                           in_types=("StringToken",),
+                           out_types=("StringToken",))
+        assert c.services() == [
+            {"service": "gol.read", "provider": "console",
+             "in_types": ["GolReadRequest"],
+             "out_types": ["GolBlockToken"]},
+            {"service": "upper", "provider": "console",
+             "in_types": ["StringToken"], "out_types": ["StringToken"]},
+        ]
+
+
+def test_service_without_live_provider_is_filtered(ns):
+    """A record whose provider never registered (or whose lease already
+    dropped) must not be listed — clients would dial a ghost."""
+    with client(ns) as c:
+        c.register_service("orphan", "nobody")
+        assert c.services() == []
+
+
+def test_service_lease_expires_with_provider_heartbeat(ns):
+    with client(ns) as c:
+        c.register("console", "127.0.0.1", 7001)
+        c.register_service("gol.read", "console")
+        assert [r["service"] for r in c.services(max_age=5.0)] \
+            == ["gol.read"]
+        time.sleep(0.15)
+        # provider stopped beating longer than max_age ago -> filtered
+        assert c.services(max_age=0.1) == []
+        c.heartbeat("console")
+        assert [r["service"] for r in c.services(max_age=0.1)] \
+            == ["gol.read"]
+
+
+def test_service_dropped_with_owner_connection(ns):
+    c1 = client(ns)
+    c1.register("console", "127.0.0.1", 7001)
+    c1.register_service("gol.read", "console")
+    with client(ns) as c2:
+        c2.register("other", "127.0.0.1", 7002)
+        c2.register_service("other.svc", "other")
+        assert len(c2.services()) == 2
+        c1.close()  # the provider "crash"
+        deadline = time.monotonic() + 5
+        while len(c2.services()) > 1:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        assert [r["service"] for r in c2.services()] == ["other.svc"]
+
+
+def test_duplicate_service_refused_across_connections(ns):
+    from repro.net import DuplicateRegistration
+    with client(ns) as c1, client(ns) as c2:
+        c1.register("consoleA", "127.0.0.1", 7001)
+        c2.register("consoleB", "127.0.0.1", 7002)
+        c1.register_service("gol.read", "consoleA")
+        with pytest.raises(DuplicateRegistration, match="gol.read"):
+            c2.register_service("gol.read", "consoleB")
+        # same-owner re-registration updates in place
+        c1.register_service("gol.read", "consoleA",
+                            in_types=("GolReadRequest",))
+        records = c1.services()
+        assert records[0]["provider"] == "consoleA"
+        assert records[0]["in_types"] == ["GolReadRequest"]
+        # unregister by a non-owner is a no-op
+        c2.unregister_service("gol.read")
+        assert len(c1.services()) == 1
+        c1.unregister_service("gol.read")
+        assert c1.services() == []
+
+
+def test_concurrent_service_listing(ns):
+    """Registrations and listings from many threads never corrupt the
+    directory or observe torn records."""
+    errors = []
+    clients = [client(ns) for _ in range(6)]
+    try:
+        def register_some(i):
+            try:
+                c = clients[i]
+                c.register(f"prov{i}", "127.0.0.1", 7100 + i)
+                for j in range(5):
+                    c.register_service(f"svc{i}.{j}", f"prov{i}",
+                                       in_types=("A",), out_types=("B",))
+                for _ in range(20):
+                    for rec in c.services():
+                        assert rec["in_types"] == ["A"]
+                        assert rec["out_types"] == ["B"]
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=register_some, args=(i,))
+                   for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        # all owner connections are still open: every record is listed
+        assert len(clients[0].services()) == 30
+    finally:
+        for c in clients:
+            c.close()
+
+
 def test_registration_meta_roundtrip(ns):
     """Kernels publish metadata (e.g. the host fingerprint that gates the
     shared-memory lane) alongside their address."""

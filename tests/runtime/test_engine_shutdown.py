@@ -1,0 +1,137 @@
+"""Shutdown reaps every forked process — even on interrupted startup.
+
+Regression suite for the orphaned name-server bug: a failure (or ^C)
+after the name-server process forked but before the console was up used
+to leak a ``dps-nameserver`` process holding its port.  Every path out
+of ``_ensure_started`` must now reap the whole brood, and a GC'd engine
+that was never shut down has a ``weakref.finalize`` backstop.
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.apps.strings import StringToken, build_uppercase_graph
+from repro.runtime import MultiprocessEngine, create_engine
+from repro.runtime.multiprocess_engine import _reap_processes
+
+
+def _graph(name):
+    graph, *_ = build_uppercase_graph("node01", "node01", name=name)
+    return graph
+
+
+def _assert_all_dead(procs):
+    for proc in procs:
+        proc.join(timeout=10)
+        assert not proc.is_alive(), f"{proc.name} leaked"
+
+
+class _KernelForkRefused:
+    """mp-context wrapper whose kernel Process() calls explode — the
+    name server has already forked by then."""
+
+    def __init__(self, real):
+        self._real = real
+        self.created = []
+
+    def Process(self, *args, **kwargs):
+        if kwargs.get("name", "").startswith("dps-kernel"):
+            raise RuntimeError("fork refused (injected)")
+        proc = self._real.Process(*args, **kwargs)
+        self.created.append(proc)
+        return proc
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+
+def test_failed_kernel_fork_reaps_name_server():
+    engine = MultiprocessEngine()
+    engine.register_graph(_graph("reap.fork"))
+    wrapper = _KernelForkRefused(engine._mp)
+    engine._mp = wrapper
+    with pytest.raises(RuntimeError, match="fork refused"):
+        engine.run(engine._graphs["reap.fork"], StringToken("x"))
+    assert engine._ns_proc is None
+    assert wrapper.created, "the name server never forked: test is vacuous"
+    _assert_all_dead(wrapper.created)
+    assert not engine._orphans
+
+
+class _InterruptBeforeConsole(MultiprocessEngine):
+    """^C arriving after every kernel process forked, before the console
+    kernel exists — the worst spot for the old leak."""
+
+    def _make_console(self, ns_address, peers):
+        self.forked = list(self._orphans)
+        raise KeyboardInterrupt
+
+
+def test_interrupt_during_startup_reaps_all_processes():
+    engine = _InterruptBeforeConsole()
+    engine.register_graph(_graph("reap.sigint"))
+    with pytest.raises(KeyboardInterrupt):
+        engine.run(engine._graphs["reap.sigint"], StringToken("x"))
+    # name server + one kernel had forked by the time the "signal" hit
+    assert len(engine.forked) == 2
+    _assert_all_dead(engine.forked)
+    assert engine._ns_proc is None
+    assert not engine._orphans
+
+
+def test_shutdown_is_idempotent_and_clears_orphans():
+    engine = MultiprocessEngine()
+    engine.register_graph(_graph("reap.twice"))
+    result = engine.run(engine._graphs["reap.twice"], StringToken("ab"))
+    assert result.text == "AB"
+    procs = list(engine._orphans)
+    assert procs
+    engine.shutdown()
+    engine.shutdown()  # second call is a no-op, not an error
+    _assert_all_dead(procs)
+    assert not engine._orphans
+
+
+def _sleep_forever():
+    time.sleep(3600)
+
+
+def test_reap_processes_terminates_and_swallows_errors():
+    proc = multiprocessing.get_context("fork").Process(
+        target=_sleep_forever, daemon=True)
+    proc.start()
+
+    class Unreapable:
+        def is_alive(self):
+            return True
+
+        def terminate(self):
+            raise OSError("already gone")
+
+    # the broken handle must not prevent the real process being reaped
+    _reap_processes([Unreapable(), proc])
+    _assert_all_dead([proc])
+    _reap_processes([proc])  # reaping the dead again is fine
+
+
+def test_ns_port_is_a_multiprocess_option():
+    engine = create_engine("multiprocess", ns_port=0)
+    assert isinstance(engine, MultiprocessEngine)
+    assert engine.ns_address is None  # not started yet
+    engine.shutdown()
+    with pytest.raises(ValueError, match="'ns_port' is a multiprocess"):
+        create_engine("sim", ns_port=7780)
+
+
+def test_ns_address_resolves_on_start():
+    engine = MultiprocessEngine()
+    engine.register_graph(_graph("reap.addr"))
+    try:
+        assert engine.run(engine._graphs["reap.addr"],
+                          StringToken("hi")).text == "HI"
+        host, port = engine.ns_address
+        assert host == "127.0.0.1" and port > 0
+    finally:
+        engine.shutdown()

@@ -1,0 +1,116 @@
+"""Graph-call stubs: a remote service embedded in a local flow graph.
+
+The paper's Figure 10 composition — one application's graph calling
+another application's graph as a leaf operation — across the resident
+tier: a local *threaded* engine runs a split/stub/merge graph whose
+leaf proxies every token through a :class:`ServiceClient` session to a
+resident *multiprocess* service cluster.
+"""
+
+import pytest
+
+from repro.core import (
+    ConstantRoute,
+    DpsThread,
+    Flowgraph,
+    FlowgraphNode,
+    LeafOperation,
+    MergeOperation,
+    SplitOperation,
+    ThreadCollection,
+    make_service_stub,
+    resolve_token_types,
+)
+from repro.runtime import create_engine
+from repro.service import ServiceClient, ServiceEngine
+
+from .test_service_tier import TierJob, build_tier_graph
+
+
+def test_resolve_token_types_round_trips_registered_names():
+    assert resolve_token_types(["TierJob"]) == (TierJob,)
+    with pytest.raises(KeyError):
+        resolve_token_types(["NoSuchTokenType"])
+
+
+def test_stub_requires_a_signature():
+    with pytest.raises(ValueError, match="non-empty"):
+        make_service_stub(lambda s, t: t, "echo",
+                          in_types=(), out_types=(TierJob,))
+
+
+def test_stub_is_a_typed_leaf_operation():
+    stub = make_service_stub(lambda s, t: t, "gol.read",
+                             in_types=(TierJob,), out_types=(TierJob,))
+    assert issubclass(stub, LeafOperation)
+    assert stub.__name__ == "ServiceStub_gol_read"
+    assert stub.in_types == (TierJob,)
+    assert stub.accepts(TierJob)
+
+
+class RcJob(TierJob):
+    """The local application's own job token (a sentence)."""
+
+
+class RcMain(DpsThread):
+    pass
+
+
+class RcWork(DpsThread):
+    pass
+
+
+class RcSplit(SplitOperation):
+    thread_type = RcMain
+    in_types = (RcJob,)
+    out_types = (TierJob,)
+
+    def execute(self, tok):
+        for word in tok.text.split():
+            self.post(TierJob(word))
+
+
+class RcMerge(MergeOperation):
+    thread_type = RcMain
+    in_types = (TierJob,)
+    out_types = (RcJob,)
+
+    def execute(self, tok):
+        words = []
+        while tok is not None:
+            words.append(tok.text)
+            tok = yield self.next_token()
+        yield self.post(RcJob(" ".join(sorted(words))))
+
+
+def test_local_graph_calls_remote_service_through_stub():
+    service_engine = ServiceEngine()
+    service_engine.expose(build_tier_graph("rc.echo"), "echo")
+    address = service_engine.serve()
+    try:
+        with ServiceClient(address) as client:
+            record = next(r for r in client.discover()
+                          if r["service"] == "echo")
+            stub = make_service_stub(
+                lambda service, token: client.call(service, token,
+                                                   timeout=60, retries=10),
+                "echo",
+                in_types=resolve_token_types(record["in_types"]),
+                out_types=resolve_token_types(record["out_types"]),
+                thread_type=RcWork)
+
+            main = ThreadCollection(RcMain, "rc-main").map("hostA")
+            work = ThreadCollection(RcWork, "rc-work").map("hostA hostB")
+            local_graph = Flowgraph(
+                FlowgraphNode(RcSplit, main)
+                >> FlowgraphNode(stub, work, ConstantRoute)
+                >> FlowgraphNode(RcMerge, main),
+                "rc.local")
+
+            with create_engine("threaded") as local_engine:
+                out = local_engine.run(
+                    local_graph, RcJob("remote clusters look like leaves"),
+                    timeout=60)
+            assert out.text == "CLUSTERS LEAVES LIKE LOOK REMOTE"
+    finally:
+        service_engine.drain_and_shutdown()

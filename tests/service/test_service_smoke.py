@@ -1,0 +1,81 @@
+"""The CI service-smoke scenario, runnable locally.
+
+A resident uppercase service spanning three kernels serves four
+concurrent *external client processes* while a deterministic
+:class:`FaultPolicy` kills the ``node03`` kernel mid-stream.  Every
+in-flight call must still return the correct result (split-boundary
+replay + merge dedup, the documented recovery contract: the dead kernel
+hosts only stateless leaf instances), the console must report a
+recovery with replayed tokens, and the service must drain cleanly
+afterwards.
+"""
+
+import multiprocessing
+
+from repro.apps.strings import StringToken, build_uppercase_graph
+from repro.net.recovery import FaultPolicy
+from repro.service import AdmissionPolicy, ServiceClient, ServiceEngine
+
+N_CLIENTS = 4
+CALLS_PER_CLIENT = 6
+
+
+def _client_proc(address, idx, out):
+    """One external client: CALLS_PER_CLIENT calls, self-verified."""
+    try:
+        with ServiceClient(address, name=f"smoke-client-{idx}") as client:
+            wrong = 0
+            for j in range(CALLS_PER_CLIENT):
+                text = f"client {idx} call {j}: the quick brown fox"
+                result = client.call("upper", StringToken(text),
+                                     timeout=120, retries=60, backoff=0.05)
+                if result.text != text.upper():
+                    wrong += 1
+            out.put((idx, "ok", wrong,
+                     client.busy_retries + client.failure_retries))
+    except Exception as exc:  # pragma: no cover - failure path
+        out.put((idx, f"error: {exc!r}", -1, 0))
+
+
+def test_service_survives_kernel_kill_under_client_load():
+    graph, *_ = build_uppercase_graph(
+        "node01", "node01 node02 node03", name="smoke.upper")
+    engine = ServiceEngine(
+        recover=True,
+        faults=FaultPolicy(kill_kernel="node03", kill_after_messages=8),
+        admission=AdmissionPolicy(max_concurrent=4, max_queue=8,
+                                  session_window=4))
+    engine.expose(graph, "upper")
+    address = engine.serve()
+    ctx = multiprocessing.get_context("fork")
+    out = ctx.Queue()
+    procs = [ctx.Process(target=_client_proc, args=(address, i, out))
+             for i in range(N_CLIENTS)]
+    try:
+        for p in procs:
+            p.start()
+        reports = [out.get(timeout=240) for _ in procs]
+        for p in procs:
+            p.join(timeout=30)
+
+        statuses = {idx: status for idx, status, _, _ in reports}
+        assert all(status == "ok" for status in statuses.values()), statuses
+        assert sum(wrong for _, _, wrong, _ in reports) == 0
+
+        recovered, replayed = engine.recovery_snapshot()
+        assert recovered is True
+        assert replayed > 0
+
+        # after the storm the service still serves and drains cleanly
+        with ServiceClient(address, name="smoke-client-after") as client:
+            result = client.call("upper", StringToken("still here"),
+                                 timeout=60, retries=20)
+            assert result.text == "STILL HERE"
+        assert engine.drain(timeout=60) is True
+        stats = engine.service_stats()
+        assert stats["outstanding"] == 0 and stats["draining"] is True
+    finally:
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+        engine.shutdown()

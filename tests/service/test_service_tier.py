@@ -1,0 +1,280 @@
+"""End-to-end resident service tier: sessions, calls, admission, drain.
+
+One module-scoped cluster serves an ``echo`` graph (uppercase with an
+optional slow path and a poison input) to real :class:`ServiceClient`
+sessions over TCP.  Admission numbers are deliberately tiny
+(2 executing + 2 queued) so overload is easy to provoke.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import (
+    ConstantRoute,
+    DpsThread,
+    Flowgraph,
+    FlowgraphNode,
+    LeafOperation,
+    MergeOperation,
+    SplitOperation,
+    ThreadCollection,
+)
+from repro.runtime import ScheduleError
+from repro.serial import SimpleToken
+from repro.service import (
+    AdmissionPolicy,
+    ServiceBusy,
+    ServiceClient,
+    ServiceEngine,
+)
+from repro.trace import MetricsRegistry
+
+
+class TierJob(SimpleToken):
+    def __init__(self, text: str = ""):
+        self.text = text
+
+
+class TierChunk(SimpleToken):
+    def __init__(self, text: str = ""):
+        self.text = text
+
+
+class TierMain(DpsThread):
+    pass
+
+
+class TierWork(DpsThread):
+    pass
+
+
+class TierSplit(SplitOperation):
+    thread_type = TierMain
+    in_types = (TierJob,)
+    out_types = (TierChunk,)
+
+    def execute(self, tok):
+        self.post(TierChunk(tok.text))
+
+
+class TierLeaf(LeafOperation):
+    """Uppercase; 'slow ...' sleeps, 'boom ...' raises."""
+
+    thread_type = TierWork
+    in_types = (TierChunk,)
+    out_types = (TierChunk,)
+
+    def execute(self, tok):
+        if tok.text.startswith("slow"):
+            time.sleep(0.3)
+        if tok.text.startswith("boom"):
+            raise ValueError(f"poison input {tok.text!r}")
+        self.post(TierChunk(tok.text.upper()))
+
+
+class TierMerge(MergeOperation):
+    thread_type = TierMain
+    in_types = (TierChunk,)
+    out_types = (TierJob,)
+
+    def execute(self, tok):
+        text = tok.text
+        while tok is not None:
+            tok = yield self.next_token()
+        yield self.post(TierJob(text))
+
+
+def build_tier_graph(name="tier.echo"):
+    main = ThreadCollection(TierMain, f"{name}-main").map("node01")
+    work = ThreadCollection(TierWork, f"{name}-work").map("node01 node02")
+    builder = (
+        FlowgraphNode(TierSplit, main)
+        >> FlowgraphNode(TierLeaf, work, ConstantRoute)
+        >> FlowgraphNode(TierMerge, main)
+    )
+    return Flowgraph(builder, name)
+
+
+ADMISSION = AdmissionPolicy(max_concurrent=2, max_queue=2, session_window=8)
+
+
+@pytest.fixture(scope="module")
+def tier():
+    metrics = MetricsRegistry()
+    engine = ServiceEngine(admission=ADMISSION, metrics=metrics)
+    engine.expose(build_tier_graph(), "echo")
+    address = engine.serve()
+    yield engine, address, metrics
+    engine.drain_and_shutdown()
+
+
+def test_basic_call(tier):
+    _, address, _ = tier
+    with ServiceClient(address) as client:
+        assert client.window == ADMISSION.session_window
+        assert client.session_id is not None
+        result = client.call("echo", TierJob("hello service"), timeout=30)
+        assert result.text == "HELLO SERVICE"
+
+
+def test_out_of_order_correlation(tier):
+    """Replies correlate by request id even when they finish out of
+    order (a slow call issued first must not steal a fast reply)."""
+    _, address, _ = tier
+    with ServiceClient(address) as client:
+        slow = client.call_async("echo", TierJob("slow first"))
+        fast = [client.call_async("echo", TierJob(f"fast {i}"))
+                for i in range(3)]
+        results = [c.result(30) for c in fast]
+        assert [r.text for r in results] == \
+            ["FAST 0", "FAST 1", "FAST 2"]
+        assert slow.result(30).text == "SLOW FIRST"
+
+
+def test_discover_lists_signature(tier):
+    _, address, _ = tier
+    with ServiceClient(address) as client:
+        records = {r["service"]: r for r in client.discover()}
+        assert "echo" in records
+        assert records["echo"]["provider"] == "__driver__"
+        assert records["echo"]["in_types"] == ["TierJob"]
+        assert records["echo"]["out_types"] == ["TierJob"]
+
+
+def test_unknown_service_raises(tier):
+    _, address, _ = tier
+    with ServiceClient(address) as client:
+        with pytest.raises(ScheduleError, match="unknown service"):
+            client.call("nosuch", TierJob("x"), timeout=30)
+        # the session is still usable afterwards
+        assert client.call("echo", TierJob("ok"), timeout=30).text == "OK"
+
+
+def test_bad_input_type_rejected_cheaply(tier):
+    """A token the entry operation does not accept is refused on the
+    protocol path, without running the graph — the session stays alive."""
+    _, address, _ = tier
+    with ServiceClient(address) as client:
+        with pytest.raises(ScheduleError, match="does not accept"):
+            client.call("echo", TierChunk("wrong type"), timeout=30)
+        assert client.call("echo", TierJob("alive"), timeout=30).text \
+            == "ALIVE"
+
+
+def test_two_clients_get_distinct_sessions(tier):
+    _, address, _ = tier
+    with ServiceClient(address) as c1, ServiceClient(address) as c2:
+        assert c1.session_id != c2.session_id
+        a = c1.call_async("echo", TierJob("from one"))
+        b = c2.call_async("echo", TierJob("from two"))
+        assert a.result(30).text == "FROM ONE"
+        assert b.result(30).text == "FROM TWO"
+
+
+def test_overload_sheds_with_busy(tier):
+    """More in-flight calls than capacity: the excess is answered
+    MSG_SVC_BUSY immediately, the admitted ones all complete."""
+    _, address, metrics = tier
+    shed_before = metrics.counter("svc_shed").value
+    with ServiceClient(address) as client:
+        calls = [client.call_async("echo", TierJob(f"slow burst {i}"))
+                 for i in range(8)]
+        ok, busy = [], []
+        for call in calls:
+            try:
+                ok.append(call.result(60).text)
+            except ServiceBusy as exc:
+                busy.append(str(exc))
+        assert len(ok) + len(busy) == 8
+        assert len(ok) >= ADMISSION.capacity  # everything admitted finished
+        assert busy, "expected at least one shed under 2x overload"
+        assert all(text.startswith("SLOW BURST") for text in ok)
+    assert metrics.counter("svc_shed").value > shed_before
+
+
+def test_busy_retries_eventually_succeed(tier):
+    """client.call retries sheds with backoff under NEW request ids;
+    under sustained 2x overload every call still completes correctly."""
+    _, address, _ = tier
+    results = {}
+    errors = []
+
+    def one(client, i):
+        try:
+            results[i] = client.call(
+                "echo", TierJob(f"slow retry {i}"), timeout=60,
+                retries=30, backoff=0.05).text
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    with ServiceClient(address) as client:
+        threads = [threading.Thread(target=one, args=(client, i))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors
+        assert sorted(results.values()) == sorted(
+            f"SLOW RETRY {i}".upper() for i in range(8))
+
+
+def test_service_metrics_populated(tier):
+    engine, _, metrics = tier
+    assert metrics.counter("svc_calls").value > 0
+    latency = metrics.histogram("svc_latency_seconds:echo")
+    assert latency.count > 0 and latency.max > 0
+    stats = engine.service_stats()
+    assert stats["services"] == ["echo"]
+    assert stats["outstanding"] == 0
+
+
+def test_drain_sheds_then_shutdown():
+    """A draining console sheds new calls with reason 'draining', lets
+    in-flight ones finish, and tears down cleanly."""
+    engine = ServiceEngine(
+        admission=AdmissionPolicy(max_concurrent=2, max_queue=2,
+                                  session_window=4))
+    engine.expose(build_tier_graph("tier.drain"), "echo")
+    address = engine.serve()
+    try:
+        with ServiceClient(address) as client:
+            inflight = client.call_async("echo", TierJob("slow last"))
+            time.sleep(0.05)  # let the call be admitted
+            drained_box = {}
+            drainer = threading.Thread(
+                target=lambda: drained_box.setdefault(
+                    "drained", engine.drain(timeout=30)))
+            drainer.start()
+            time.sleep(0.05)  # drain flag is set while the call runs
+            with pytest.raises(ServiceBusy, match="draining"):
+                client.call("echo", TierJob("too late"), timeout=30)
+            assert inflight.result(60).text == "SLOW LAST"
+            drainer.join(timeout=30)
+            assert drained_box["drained"] is True
+    finally:
+        engine.shutdown()
+
+
+def test_op_exception_reraises_but_poisons_engine():
+    """An exception raised *inside* an operation follows the
+    run-to-completion model: the original exception reaches the caller,
+    but the engine is failed afterwards (operations must not raise; use
+    protocol-level errors for expected failures).  Runs last on its own
+    cluster because it deliberately kills it."""
+    engine = ServiceEngine(
+        admission=AdmissionPolicy(max_concurrent=2, max_queue=2,
+                                  session_window=4),
+        recover=False)
+    engine.expose(build_tier_graph("tier.boom"), "echo")
+    address = engine.serve()
+    try:
+        with ServiceClient(address) as client:
+            with pytest.raises(ValueError, match="poison input"):
+                client.call("echo", TierJob("boom now"), timeout=30)
+            with pytest.raises(ScheduleError, match="failed"):
+                client.call("echo", TierJob("dead now"), timeout=30)
+    finally:
+        engine.shutdown()

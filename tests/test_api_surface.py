@@ -46,14 +46,15 @@ def test_exact_public_surface():
     shim first (see ``repro.runtime.checkpoint.fail_node``).
     """
     assert list(repro.__all__) == [
-        "Application", "Buffer", "Cluster", "ClusterSpec", "ComplexToken",
-        "ConstantRoute", "DpsThread", "Engine", "FaultPolicy",
-        "FlowControlPolicy", "Flowgraph", "FlowgraphBuilder",
-        "FlowgraphNode", "GraphError", "KernelFailure", "LeafOperation",
-        "LoadBalancedRoute", "MergeOperation", "MetricsRegistry",
-        "MultiprocessEngine", "NetworkSpec", "NodeSpec", "Operation",
-        "RoundRobinRoute", "Route", "RunResult", "ScheduleError",
-        "SimEngine", "SimpleToken", "SplitOperation", "StreamOperation",
+        "AdmissionPolicy", "Application", "Buffer", "Cluster",
+        "ClusterSpec", "ComplexToken", "ConstantRoute", "DpsThread",
+        "Engine", "FaultPolicy", "FlowControlPolicy", "Flowgraph",
+        "FlowgraphBuilder", "FlowgraphNode", "GraphError", "KernelFailure",
+        "LeafOperation", "LoadBalancedRoute", "MergeOperation",
+        "MetricsRegistry", "MultiprocessEngine", "NetworkSpec", "NodeSpec",
+        "Operation", "RoundRobinRoute", "Route", "RunResult",
+        "ScheduleError", "ServiceClient", "ServiceEngine", "SimEngine",
+        "SimpleToken", "SplitOperation", "StreamOperation",
         "ThreadCollection", "ThreadedEngine", "Token", "Tracer",
         "TransportPolicy", "Vector", "create_engine",
         "export_chrome_trace", "paper_cluster", "route_fn",
