@@ -22,6 +22,13 @@ harness (``test_service_tier.run_load``): a Game of Life service under
 eight external client processes, publishing correct requests/sec,
 latency p50/p99, and how many calls admission shed.
 
+An ``elastic`` section is appended from the elasticity harnesses
+(``test_elastic``): the deterministic routing A/B (round-robin vs
+queue-depth adaptive on a skewed simulated workload) and a live
+2 -> 3 -> 2 kernel rescale of the multiprocess Game of Life — steps/sec
+before/during/after, rebalance latency, thread instances moved, and the
+bit-identical check.
+
 The JSON lands in the repository root so the performance trajectory is
 versioned next to the code it measures (CI re-emits one per push; see
 ``.github/workflows/ci.yml``).  Usage::
@@ -44,6 +51,7 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
+from test_elastic import run_elastic_load, run_routing_ab  # noqa: E402
 from test_service_tier import run_load  # noqa: E402
 
 from repro.apps.ring import RingJobToken, build_ring_graph  # noqa: E402
@@ -163,6 +171,14 @@ def main(argv=None) -> int:
     service_tier = run_load(n_clients=args.service_clients)
     print(f"[emit_bench] service_tier: {service_tier}", flush=True)
 
+    print("[emit_bench] elastic: routing A/B (sim) + live 2->3->2 "
+          "rescale (multiprocess GoL)", flush=True)
+    elastic = {
+        "routing_ab": run_routing_ab(),
+        "rescale": run_elastic_load(),
+    }
+    print(f"[emit_bench] elastic: {elastic}", flush=True)
+
     speedup = (modes["eventloop"]["tokens_per_sec"]
                / max(1e-9, modes["threads"]["tokens_per_sec"]))
     date = datetime.date.today().strftime("%Y%m%d")
@@ -186,6 +202,7 @@ def main(argv=None) -> int:
         "modes": modes,
         "speedup_eventloop_vs_threads": round(speedup, 3),
         "service_tier": service_tier,
+        "elastic": elastic,
     }
     out_path = os.path.join(args.out, f"BENCH_{date}_{sha}.json")
     with open(out_path, "w") as fh:

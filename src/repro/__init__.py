@@ -46,8 +46,10 @@ from .core import (
     LoadBalancedRoute,
     MergeOperation,
     Operation,
+    QueueDepthRoute,
     Route,
     RoundRobinRoute,
+    RoutingPolicy,
     SplitOperation,
     StreamOperation,
     ThreadCollection,
@@ -60,6 +62,7 @@ from .runtime import (
     KernelFailure,
     MultiprocessEngine,
     RunResult,
+    ScalingPolicy,
     ScheduleError,
     SimEngine,
     ThreadedEngine,
@@ -97,9 +100,12 @@ __all__ = [
     "NetworkSpec",
     "NodeSpec",
     "Operation",
+    "QueueDepthRoute",
     "RoundRobinRoute",
     "Route",
+    "RoutingPolicy",
     "RunResult",
+    "ScalingPolicy",
     "ScheduleError",
     "ServiceClient",
     "ServiceEngine",

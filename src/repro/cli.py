@@ -13,6 +13,7 @@ Usage::
     python -m repro.cli call --ns-port 7780 --discover
     python -m repro.cli call --ns-port 7780 --service gol.read \
         --block 0 0 8 8 --count 20
+    python -m repro.cli join --ns-port 7780 --name node05   # live join
     python -m repro.cli fig9 --fast --trace fig9.json
 
 Each experiment prints its measured table next to the paper's reference
@@ -160,6 +161,57 @@ def _serve(args) -> int:
     return 0
 
 
+def _join(args) -> int:
+    """Join a running cluster as a fresh kernel, mid-run.
+
+    Rebuilds the serving application's graphs locally (the same
+    parameters the ``serve`` command used, so graph and collection names
+    line up), registers with the cluster's name server, and serves: the
+    resident engine's liveness loop spots the new lease, runs a
+    voluntary rebalance onto this kernel, and starts shipping it work.
+    Blocks until the cluster orders shutdown (Ctrl-C to leave early —
+    the cluster then treats it as a failure and recovers).
+    """
+    import threading
+    import zlib
+
+    import numpy as np
+
+    from .apps.gol_service import GameOfLifeService
+    from .net.kernel import CONSOLE_KERNEL, run_kernel_process
+    from .net.nameserver import NameServerClient
+    from .runtime.base import Engine
+
+    name = args.name or f"joiner{os.getpid() % 10000:04d}"
+    address = ("127.0.0.1", args.ns_port)
+    ns = NameServerClient(address)
+    try:
+        peers = sorted(set(ns.loads()) | {CONSOLE_KERNEL, name})
+    finally:
+        ns.close()
+
+    # Rebuild the same world/graphs the 'serve' process registered.  The
+    # graph uid counter is process-local, so this must be the first
+    # service instance built in this process (it is: fresh interpreter).
+    rows, cols = args.world
+    rng = np.random.default_rng(args.seed)
+    world = rng.integers(0, 2, size=(rows, cols), dtype=np.uint8)
+    worker_nodes = [f"node{i + 1:02d}" for i in range(args.workers)]
+    collector = Engine()
+    GameOfLifeService(collector, world, worker_nodes)
+    graphs = list(collector._graphs.values())
+
+    # CLI joiners take crc32-derived ordinals far above anything the
+    # engine hands out, so ctx/group id ranges can never collide.
+    ordinal = 1_000_000 + (zlib.crc32(name.encode("utf-8")) % 1_000_000)
+    print(f"joining cluster at {address[0]}:{address[1]} as {name!r} "
+          f"(ordinal {ordinal}); Ctrl-C to leave")
+    run_kernel_process(name, ordinal, address, peers, graphs,
+                       ready=threading.Event(), recover=True,
+                       heartbeat_interval=0.25)
+    return 0
+
+
 def _call(args) -> int:
     """Call a resident service (or just discover what is registered)."""
     from .apps.gol_service import GolReadRequest  # registers the tokens
@@ -206,9 +258,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(ALL) + ["all", "list", "demo", "ring", "serve",
-                               "call"],
+                               "call", "join"],
         help="experiment id (table/figure), 'all', 'list', 'demo', 'ring', "
-             "'serve' (resident GoL service) or 'call' (service client)",
+             "'serve' (resident GoL service), 'call' (service client) or "
+             "'join' (add a kernel to a running cluster)",
     )
     parser.add_argument(
         "--fast", action="store_true",
@@ -241,6 +294,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="multiprocess engine: socket I/O core — one selectors event "
              "loop per kernel (default) or the per-peer writer / "
              "per-connection reader threads (sets REPRO_IO_MODE)",
+    )
+    parser.add_argument(
+        "--routing", choices=["round_robin", "queue_depth"], default=None,
+        help="split routing policy: as declared by the graph (default) or "
+             "queue-depth adaptive — round-robin routes pick the instance "
+             "with the shortest observed queue instead (sets "
+             "REPRO_ROUTING)",
+    )
+    parser.add_argument(
+        "--min-kernels", type=int, metavar="N", default=None,
+        help="multiprocess engine autoscaling floor (sets "
+             "REPRO_SCALING_MIN and switches the autoscaler on)",
+    )
+    parser.add_argument(
+        "--max-kernels", type=int, metavar="N", default=None,
+        help="multiprocess engine autoscaling ceiling (sets "
+             "REPRO_SCALING_MAX and switches the autoscaler on)",
     )
     parser.add_argument(
         "--kill-kernel", metavar="NODE@WHEN", default=None,
@@ -315,6 +385,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--count", type=int, metavar="N", default=1,
         help="call: number of calls to issue (default 1)",
     )
+    svc.add_argument(
+        "--name", metavar="KERNEL", default=None,
+        help="join: name for the joining kernel (default joinerNNNN from "
+             "the pid)",
+    )
     args = parser.parse_args(argv)
 
     # Resolved by TransportPolicy.from_env() in the engine and inherited
@@ -325,6 +400,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.environ["REPRO_SHM"] = "0"
     if args.io_mode is not None:
         os.environ["REPRO_IO_MODE"] = args.io_mode
+    # Routing/scaling policies, resolved by RoutingPolicy.from_env() /
+    # ScalingPolicy.from_env() in whichever engine the command builds.
+    if args.routing is not None:
+        os.environ["REPRO_ROUTING"] = args.routing
+    if args.min_kernels is not None:
+        os.environ["REPRO_SCALING_MIN"] = str(args.min_kernels)
+    if args.max_kernels is not None:
+        os.environ["REPRO_SCALING_MAX"] = str(args.max_kernels)
     # Chaos flags, resolved by FaultPolicy.from_env() in the engine.  A
     # kill without recovery would just fail the run, so --kill-kernel
     # also opts into recovery unless the caller chose explicitly.
@@ -356,6 +439,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _serve(args)
     if args.experiment == "call":
         return _call(args)
+    if args.experiment == "join":
+        return _join(args)
     names = sorted(ALL) if args.experiment == "all" else [args.experiment]
     for name in names:
         _run_experiment(name, args.fast, args.trace)

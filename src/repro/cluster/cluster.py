@@ -58,6 +58,22 @@ class Cluster:
                 f"unknown node {name!r}; cluster has {sorted(self.nodes)}"
             ) from None
 
+    def add_node(self, spec: NodeSpec) -> Node:
+        """Grow the live cluster by one machine (elastic membership).
+
+        The frozen :class:`ClusterSpec` is rebuilt to include the new
+        node, so later inspection (``cluster.spec.node_names``) reflects
+        the grown topology.
+        """
+        if spec.name in self.nodes:
+            raise ValueError(
+                f"node {spec.name!r} already in cluster {sorted(self.nodes)}"
+            )
+        node = Node(self.sim, spec)
+        self.nodes[spec.name] = node
+        self.spec = ClusterSpec(self.spec.nodes + (spec,), self.spec.network)
+        return node
+
     @property
     def node_names(self) -> List[str]:
         return list(self.nodes)

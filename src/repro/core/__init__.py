@@ -18,11 +18,14 @@ from .ops import (
 )
 from .remotecall import make_service_stub, resolve_token_types
 from .routing import (
+    ROUTING_KINDS,
     ConstantRoute,
     LoadBalancedRoute,
+    QueueDepthRoute,
     Route,
     RoundRobinRoute,
     RoutingContext,
+    RoutingPolicy,
     route_fn,
 )
 from .threads import DpsThread, ThreadCollection, parse_mapping
@@ -44,10 +47,13 @@ __all__ = [
     "OpKind",
     "Operation",
     "PostRequest",
+    "QueueDepthRoute",
+    "ROUTING_KINDS",
     "Route",
     "ScatterCallRequest",
     "RoundRobinRoute",
     "RoutingContext",
+    "RoutingPolicy",
     "SplitOperation",
     "SplitWindow",
     "StreamOperation",

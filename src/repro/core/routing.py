@@ -11,6 +11,8 @@ node), and injects a :class:`RoutingContext` before the first call.
 
 from __future__ import annotations
 
+import os
+from dataclasses import dataclass
 from typing import Callable, Optional, Type
 
 from ..serial.token import Token
@@ -19,9 +21,12 @@ from .threads import ThreadCollection
 __all__ = [
     "Route",
     "RoutingContext",
+    "RoutingPolicy",
+    "ROUTING_KINDS",
     "RoundRobinRoute",
     "ConstantRoute",
     "LoadBalancedRoute",
+    "QueueDepthRoute",
     "route_fn",
 ]
 
@@ -33,9 +38,11 @@ class RoutingContext:
         self,
         collection: ThreadCollection,
         outstanding: Optional[Callable[[int], int]] = None,
+        depth: Optional[Callable[[int], int]] = None,
     ):
         self.collection = collection
         self._outstanding = outstanding
+        self._depth = depth
 
     @property
     def thread_count(self) -> int:
@@ -52,6 +59,18 @@ class RoutingContext:
         if self._outstanding is None:
             return 0
         return self._outstanding(index)
+
+    def depth(self, index: int) -> int:
+        """Observed inbox depth of thread *index*.
+
+        Engines that can see per-instance queues (the simulated engine
+        exactly, the real engines for locally hosted instances) bind a
+        depth feed here; otherwise the un-acked counter stands in — it
+        is the wire-visible shadow of the same queue.
+        """
+        if self._depth is not None:
+            return self._depth(index)
+        return self.outstanding(index)
 
 
 class Route:
@@ -133,6 +152,74 @@ class LoadBalancedRoute(Route):
             if best_load is None or load < best_load:
                 best, best_load = i, load
         return best
+
+
+class QueueDepthRoute(Route):
+    """Prefer the instance with the shallowest observed inbox.
+
+    The adaptive flavour of the paper's ack-based load balancing: where
+    :class:`LoadBalancedRoute` counts un-acked emissions *from this
+    routing site*, this route consults the engine's queue-depth feed —
+    total demand on each instance from every producer — so one saturated
+    instance is avoided even when this site never posted to it.  Ties
+    break towards the lowest index, keeping runs deterministic.
+    """
+
+    def route(self, token: Token) -> int:
+        ctx = self.ctx
+        best, best_load = 0, None
+        for i in range(ctx.thread_count):
+            load = ctx.depth(i)
+            if best_load is None or load < best_load:
+                best, best_load = i, load
+        return best
+
+
+#: Routing policy kinds :class:`RoutingPolicy` understands.
+ROUTING_KINDS = ("round_robin", "queue_depth")
+
+
+@dataclass(frozen=True)
+class RoutingPolicy:
+    """How split emissions pick a target instance (engine-wide).
+
+    Frozen, like :class:`~repro.net.connections.TransportPolicy` and
+    :class:`~repro.net.recovery.FaultPolicy`, so one policy object can be
+    shared across forked kernel processes.  ``round_robin`` keeps each
+    graph node's declared route untouched; ``queue_depth`` substitutes
+    :class:`QueueDepthRoute` for declared :class:`RoundRobinRoute` /
+    :class:`LoadBalancedRoute` sites.  Content-addressed routes
+    (:class:`ConstantRoute`, :func:`route_fn` customs) are never
+    overridden — they encode merge affinity or data placement, not load
+    spreading, and rerouting them would break group/merge invariants.
+    """
+
+    kind: str = "round_robin"
+
+    def __post_init__(self):
+        if self.kind not in ROUTING_KINDS:
+            raise ValueError(
+                f"routing kind must be one of {ROUTING_KINDS}, "
+                f"got {self.kind!r}")
+
+    @property
+    def adaptive(self) -> bool:
+        return self.kind == "queue_depth"
+
+    def route_class_for(self, declared: Type[Route]) -> Type[Route]:
+        """The route class to instantiate for a site declared *declared*."""
+        if self.kind == "queue_depth" and declared in (RoundRobinRoute,
+                                                       LoadBalancedRoute):
+            return QueueDepthRoute
+        return declared
+
+    @classmethod
+    def from_env(cls, env=None) -> "RoutingPolicy":
+        """Build from ``REPRO_ROUTING`` (``round_robin``/``queue_depth``)."""
+        if env is None:
+            env = os.environ
+        return cls(kind=env.get("REPRO_ROUTING", "round_robin")
+                   or "round_robin")
 
 
 def route_fn(

@@ -41,6 +41,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.flowcontrol import FlowControlPolicy
 from ..core.graph import Flowgraph
+from ..core.routing import RoutingPolicy
 from ..runtime.controller import KernelFailure
 from ..runtime.threaded_engine import ThreadedEngine, _Body
 from ..runtime.base import DataEnvelope
@@ -51,7 +52,8 @@ from .eventloop import IOLoop, eventloop_supported
 from .framing import FrameReader
 from .nameserver import NameServerClient
 from .recovery import FaultPolicy, ReplayDedup, TokenJournal, apply_remap, \
-    plan_remap
+    plan_rebalance, plan_remap
+from .recovery import _unique_collections
 from .shm import ShmReceiver, host_fingerprint
 from . import protocol as P
 
@@ -103,9 +105,10 @@ class DistributedKernel(ThreadedEngine):
                  transport: Optional[TransportPolicy] = None,
                  recover: bool = False,
                  faults: Optional[FaultPolicy] = None,
-                 heartbeat_interval: float = 0.0):
+                 heartbeat_interval: float = 0.0,
+                 routing: Optional[RoutingPolicy] = None):
         super().__init__(policy=policy, serialize_transfers=False,
-                         tracer=tracer, metrics=metrics)
+                         tracer=tracer, metrics=metrics, routing=routing)
         self.transport = transport if transport is not None \
             else TransportPolicy()
         if ordinal < 0:
@@ -159,6 +162,31 @@ class DistributedKernel(ThreadedEngine):
         self._barrier_epoch = 0
         self._barrier_pending: set = set()
         self._replay_counts: Dict[str, int] = {}
+
+        # -- elastic membership ---------------------------------------
+        # Voluntary rebalances quiesce the console first: new
+        # activations park on this gate while a membership barrier is in
+        # flight, and the rebalance waits for in-flight activations to
+        # drain.  Nested graph calls (CallGraphRequest re-entering run()
+        # on a worker thread of an active run) bypass the gate via the
+        # per-thread depth, or the drain could never reach zero.
+        self._run_gate = threading.Condition()
+        self._active_runs = 0
+        self._rebalancing = False
+        self._run_tls = threading.local()
+        #: Peers that retired gracefully; their connections breaking is
+        #: expected, not a failure (and not a kernel-down event).
+        self._retired_peers: set = set()
+        #: Migrated thread state received over MSG_THREAD_STATE, keyed
+        #: ``(collection_name, index)`` → ``(epoch, thread_obj)``; the
+        #: membership applier thread waits here for its expected gains.
+        self._state_cond = threading.Condition()
+        self._incoming_states: Dict[Tuple[str, int], Tuple[int, object]] = {}
+        # cumulative elastic counters (console side), mirrored into
+        # RunResult by the multiprocess engine
+        self._rebalances = 0
+        self._tokens_moved = 0
+        self._rebalance_seconds = 0.0
         # deterministic chaos injection
         self.faults = faults if faults is not None else FaultPolicy()
         self._fault_rng = None
@@ -201,7 +229,8 @@ class DistributedKernel(ThreadedEngine):
     def start(self) -> "DistributedKernel":
         """Register with the name server and begin accepting peers."""
         self._ns.register(self.name, *self.address,
-                          meta={"fingerprint": host_fingerprint()})
+                          meta={"fingerprint": host_fingerprint(),
+                                "kernel": True})
         if self._io_loop is not None:
             self._io_loop.start()
         self._accept_thread.start()
@@ -228,12 +257,44 @@ class DistributedKernel(ThreadedEngine):
             timer.start()
         return self
 
+    def _local_queue_depth(self) -> int:
+        """Total pending tokens across this kernel's thread inboxes."""
+        with self._lock:
+            depth = sum(w.inbox.qsize() for w in self._workers.values())
+        if self.metrics is not None:
+            self.metrics.gauge("queue_depth_total").set(depth)
+        return depth
+
     def _heartbeat_loop(self) -> None:
         while not self._shutdown_requested.wait(self.heartbeat_interval):
             try:
-                self._ns.heartbeat(self.name)
+                self._ns.heartbeat(self.name, load=self._local_queue_depth())
             except Exception:
                 return  # name server gone: the cluster is tearing down
+
+    # ------------------------------------------------------------------
+    # run gate (quiesce point for voluntary rebalances)
+    # ------------------------------------------------------------------
+    def run(self, graph, token: Token, timeout: float = 60.0) -> Token:
+        # Nested activations (CallGraphRequest bodies) arrive on dps
+        # worker threads and must bypass the gate: the enclosing
+        # activation is already counted, and parking the inner call
+        # would deadlock the drain.
+        nested = (getattr(self._run_tls, "depth", 0) > 0
+                  or threading.current_thread().name.startswith("dps:"))
+        if not nested:
+            with self._run_gate:
+                self._run_gate.wait_for(lambda: not self._rebalancing)
+                self._active_runs += 1
+        self._run_tls.depth = getattr(self._run_tls, "depth", 0) + 1
+        try:
+            return super().run(graph, token, timeout=timeout)
+        finally:
+            self._run_tls.depth -= 1
+            if not nested:
+                with self._run_gate:
+                    self._active_runs -= 1
+                    self._run_gate.notify_all()
 
     def _resend_loop(self) -> None:
         while not self._shutdown_requested.wait(RESEND_AFTER / 2):
@@ -469,6 +530,9 @@ class DistributedKernel(ThreadedEngine):
     def _on_peer_error(self, peer: str, exc: Exception) -> None:
         if self._shutdown_requested.is_set():
             return
+        with self._recovery_lock:
+            if peer in self._retired_peers:
+                return  # a graceful leaver's connection breaking is expected
         if self.recover:
             # Dead-connection detection: the writer thread is the first
             # to see a broken pipe to a dead peer.  Declare the peer
@@ -492,6 +556,11 @@ class DistributedKernel(ThreadedEngine):
         """
         with self._recovery_lock:
             if name in self._dead_kernels:
+                return
+            if name in self._retired_peers:
+                # Retire racing a heartbeat miss: the kernel already
+                # handed its state off and left the placement maps; a
+                # stale expiry observation must not trigger recovery.
                 return
             self._dead_kernels.add(name)
         if self._shutdown_requested.is_set():
@@ -614,6 +683,184 @@ class DistributedKernel(ThreadedEngine):
         """``(recovered, replayed_tokens)`` so far on this kernel."""
         with self._recovery_lock:
             return self._recovered, self._replayed_tokens
+
+    # ------------------------------------------------------------------
+    # elastic membership (voluntary join / retire)
+    # ------------------------------------------------------------------
+    def rebalance(self, joined: Iterable[str] = (),
+                  retired: Iterable[str] = (),
+                  depths: Optional[Dict[str, int]] = None,
+                  timeout: float = 30.0) -> int:
+        """Console side: admit *joined* kernels and/or drain *retired*.
+
+        Quiesce-then-move, unlike the failure path: the console stops
+        admitting activations, waits for in-flight ones to drain, plans
+        a minimal-move rebalance over the new member set, and runs one
+        **member barrier** — every kernel (old, joining and retiring)
+        applies the new placements, ships the live thread state of
+        instances it loses straight to their new owners, and replies
+        ``MSG_REMAP_OK`` only once every instance it gains has arrived.
+        Retiring kernels hand their state off before leaving, so there
+        is no journal replay storm; a replay barrier still runs on joins
+        as an exactly-once backstop (it replays ~0 tokens when
+        quiesced).  Returns the number of thread instances moved.
+        """
+        joined = list(joined)
+        retired = list(retired)
+        t0 = time.monotonic()
+        with self._run_gate:
+            self._rebalancing = True
+            if not self._run_gate.wait_for(lambda: self._active_runs == 0,
+                                           timeout=timeout):
+                self._rebalancing = False
+                self._run_gate.notify_all()
+                raise KernelFailure(
+                    f"rebalance timed out waiting for {self._active_runs} "
+                    f"active activation(s) to drain")
+        try:
+            with self._recovery_lock:
+                current = [p for p in self._peer_names
+                           if p not in self._dead_kernels]
+                self._recovery_epoch += 1
+                epoch = self._recovery_epoch
+            members = sorted((set(current) | set(joined)) - set(retired)
+                             - {self.name})
+            if not members:
+                raise KernelFailure(
+                    "rebalance would leave no execution kernels")
+            with self._lock:
+                graphs = list(self._graphs.values())
+                old_map = {coll.name: list(coll.placements)
+                           for coll in _unique_collections(graphs)}
+                mapping, moved = plan_rebalance(graphs, members,
+                                                depths=depths, joined=joined)
+            new_map = {name: list(mapping.get(name, places))
+                       for name, places in old_map.items()}
+            if self.tracer is not None:
+                self.trace("rebalance", joined=sorted(joined),
+                           retired=sorted(retired), epoch=epoch,
+                           moved=moved, collections=sorted(mapping))
+            # Everyone participates: retirees must hand their state off
+            # and joiners must normalize their placements before the
+            # first token flows.
+            barrier_peers = sorted((set(current) | set(joined))
+                                   - {self.name})
+            self._recovery_barrier(
+                "member", epoch, barrier_peers,
+                P.encode_member(epoch, old_map, new_map, joined, retired),
+                timeout=timeout)
+            with self._lock:
+                apply_remap(graphs, mapping)
+            with self._recovery_lock:
+                self._peer_names = list(members)
+                self._retired_peers.update(retired)
+            if joined:
+                # Exactly-once backstop for the join path; quiesced
+                # journals make this a ~0-token barrier.
+                counts = self._recovery_barrier("replay", epoch, members,
+                                                P.encode_replay(epoch))
+                replayed = sum(counts.values()) + self._replay_local()
+                with self._recovery_lock:
+                    self._replayed_tokens += replayed
+            with self._recovery_lock:
+                self._rebalances += 1
+                self._tokens_moved += moved
+                self._rebalance_seconds += time.monotonic() - t0
+            if self.metrics is not None:
+                self.metrics.counter("rebalances").inc()
+                self.metrics.counter("tokens_moved").inc(moved)
+                self.metrics.histogram("rebalance_seconds").observe(
+                    time.monotonic() - t0)
+            return moved
+        finally:
+            with self._run_gate:
+                self._rebalancing = False
+                self._run_gate.notify_all()
+
+    def _apply_membership(self, epoch: int, old_map: Dict[str, List[str]],
+                          new_map: Dict[str, List[str]], joined: List[str],
+                          retired: List[str]) -> None:
+        """Worker side of the member barrier (runs on its own thread).
+
+        The console has quiesced the cluster, so local inboxes drain to
+        empty and the journal prunes to nothing; after that this kernel
+        computes its losses and gains from the *shipped* placement maps
+        (its local graphs may be stale — a CLI joiner rebuilt them from
+        source), evicts and ships lost instances' thread objects, adopts
+        gained ones, and only then acknowledges the barrier.
+        """
+        try:
+            self._flush_all_acks()
+            journal = self._journal
+            deadline = time.monotonic() + 5.0
+            while journal is not None and len(journal) \
+                    and time.monotonic() < deadline:
+                time.sleep(0.02)
+            with self._lock:
+                colls = {coll.name: coll for coll in
+                         _unique_collections(self._graphs.values())}
+            losses: List[Tuple[str, int, str]] = []
+            gains: set = set()
+            for name, old_places in old_map.items():
+                new_places = new_map.get(name, old_places)
+                for i, (old, new) in enumerate(zip(old_places, new_places)):
+                    if old == new:
+                        continue
+                    if old == self.name:
+                        losses.append((name, i, new))
+                    if new == self.name:
+                        gains.add((name, i))
+            with self._recovery_lock:
+                self._retired_peers.update(retired)
+                self._peer_names = sorted(
+                    (set(self._peer_names) | set(joined)) - set(retired)
+                    - {self.name})
+            for name, index, target in losses:
+                coll = colls.get(name)
+                thread = self._evict_thread(coll, index) \
+                    if coll is not None else None
+                self._pool.send(target, P.encode_thread_state(
+                    name, index, epoch, thread))
+            with self._lock:
+                apply_remap(self._graphs.values(), new_map)
+            if gains:
+                with self._state_cond:
+                    arrived = self._state_cond.wait_for(
+                        lambda: all(
+                            key in self._incoming_states
+                            and self._incoming_states[key][0] >= epoch
+                            for key in gains),
+                        timeout=20.0)
+                    states = {key: self._incoming_states.pop(key)[1]
+                              for key in gains
+                              if key in self._incoming_states}
+                if not arrived:
+                    raise KernelFailure(
+                        f"kernel {self.name!r} never received migrated "
+                        f"state for {sorted(gains - set(states))} "
+                        f"(donor died mid-rebalance?)")
+                for (name, index), thread in states.items():
+                    coll = colls.get(name)
+                    if coll is not None:
+                        self._adopt_thread(coll, index, thread)
+            if self.tracer is not None:
+                self.trace("member", epoch=epoch, lost=len(losses),
+                           gained=len(gains))
+            if self.metrics is not None and losses:
+                self.metrics.counter("tokens_moved").inc(len(losses))
+            self._pool.send(CONSOLE_KERNEL,
+                            P.encode_remap_ok(self.name, epoch))
+        except BaseException as exc:
+            failure = exc if isinstance(exc, KernelFailure) else \
+                KernelFailure(f"membership change failed on "
+                              f"{self.name!r}: {exc}")
+            self._record_failure(failure)
+
+    def rebalance_snapshot(self) -> Tuple[int, int, float]:
+        """``(rebalances, tokens_moved, rebalance_seconds)`` so far."""
+        with self._recovery_lock:
+            return (self._rebalances, self._tokens_moved,
+                    self._rebalance_seconds)
 
     # ------------------------------------------------------------------
     # receiving side
@@ -781,6 +1028,19 @@ class DistributedKernel(ThreadedEngine):
         elif kind == P.MSG_REMAP_OK:
             name, epoch = value
             self._barrier_done(name, epoch)
+        elif kind == P.MSG_MEMBER:
+            epoch, old_map, new_map, joined, retired = value
+            # Off the reader thread: applying a membership change blocks
+            # on journal drain and on migrated state from other kernels.
+            threading.Thread(target=self._apply_membership,
+                             args=(epoch, old_map, new_map, joined, retired),
+                             name=f"dps-member:{self.name}",
+                             daemon=True).start()
+        elif kind == P.MSG_THREAD_STATE:
+            cname, index, epoch, thread = value
+            with self._state_cond:
+                self._incoming_states[(cname, index)] = (epoch, thread)
+                self._state_cond.notify_all()
         elif kind == P.MSG_SHUTDOWN:
             self._shutdown_requested.set()
         elif kind == P.MSG_HELLO:
@@ -799,7 +1059,8 @@ def run_kernel_process(name: str, ordinal: int,
                        transport: Optional[TransportPolicy] = None,
                        recover: bool = False,
                        faults: Optional[FaultPolicy] = None,
-                       heartbeat_interval: float = 0.0) -> None:
+                       heartbeat_interval: float = 0.0,
+                       routing: Optional[RoutingPolicy] = None) -> None:
     """Child-process main for one kernel (forked by MultiprocessEngine).
 
     With *trace* set, the kernel records into a process-local tracer and
@@ -818,7 +1079,8 @@ def run_kernel_process(name: str, ordinal: int,
         transport=transport if transport is not None
         else TransportPolicy.from_env(),
         recover=recover, faults=faults,
-        heartbeat_interval=heartbeat_interval)
+        heartbeat_interval=heartbeat_interval,
+        routing=routing if routing is not None else RoutingPolicy.from_env())
     for graph in graphs:
         kernel.register_graph(graph)
     kernel.start()

@@ -83,6 +83,10 @@ class NameServer:
         #: registration so a kernel is never "expired" before it could
         #: have beaten once)
         self._beats: Dict[str, float] = {}
+        #: name -> last reported queue depth (piggybacked on heartbeats;
+        #: dropped with the lease).  Feeds adaptive remap planning and
+        #: the autoscaler.
+        self._loads: Dict[str, int] = {}
         #: service name -> (provider kernel, in_types, out_types, owning
         #: connection); listed only while the provider's lease is live
         self._services: Dict[
@@ -170,12 +174,24 @@ class NameServer:
             return {"ok": True}
         if op == "heartbeat":
             name = request["name"]
+            load = request.get("load")
             with self._lock:
                 if name not in self._registry:
                     return {"ok": False, "error": "unknown",
                             "detail": f"no kernel registered as {name!r}"}
                 self._beats[name] = time.monotonic()
+                if load is not None:
+                    self._loads[name] = int(load)
             return {"ok": True}
+        if op == "loads":
+            # Kernels only: service clients also hold registrations (for
+            # reply routing) but are not cluster members — they must not
+            # appear in depth polls or be mistaken for joining kernels.
+            with self._lock:
+                loads = {name: self._loads.get(name, 0)
+                         for name, entry in self._registry.items()
+                         if entry[3].get("kernel")}
+            return {"ok": True, "loads": loads}
         if op == "expired":
             max_age = float(request["max_age"])
             now = time.monotonic()
@@ -247,6 +263,7 @@ class NameServer:
             for name in dead:
                 del self._registry[name]
                 self._beats.pop(name, None)
+                self._loads.pop(name, None)
             dead_services = [name for name, entry in self._services.items()
                              if entry[3] is conn]
             for name in dead_services:
@@ -337,9 +354,19 @@ class NameServerClient:
             request["max_age"] = float(max_age)
         return list(self._call(request)["services"])
 
-    def heartbeat(self, name: str) -> None:
-        """Renew *name*'s liveness lease."""
-        self._call({"op": "heartbeat", "name": name})
+    def heartbeat(self, name: str, load: Optional[int] = None) -> None:
+        """Renew *name*'s liveness lease, optionally reporting its
+        current queue depth (total pending tokens across local thread
+        inboxes) for adaptive routing/scaling decisions."""
+        request: dict = {"op": "heartbeat", "name": name}
+        if load is not None:
+            request["load"] = int(load)
+        self._call(request)
+
+    def loads(self) -> Dict[str, int]:
+        """Last heartbeat-reported queue depth per registered kernel
+        (``0`` for kernels that never reported one)."""
+        return dict(self._call({"op": "loads"})["loads"])
 
     def expired(self, max_age: float) -> List[dict]:
         """Registered kernels that have not beaten for *max_age* seconds;

@@ -55,6 +55,8 @@ __all__ = [
     "MSG_SERVICE_BUSY",
     "MSG_SVC_ERROR",
     "MSG_SVC_CLOSE",
+    "MSG_MEMBER",
+    "MSG_THREAD_STATE",
     "AckWire",
     "encode_hello",
     "encode_data",
@@ -81,6 +83,8 @@ __all__ = [
     "encode_svc_busy",
     "encode_svc_error",
     "encode_svc_close",
+    "encode_member",
+    "encode_thread_state",
     "decode_message",
     "RemoteFailure",
 ]
@@ -140,6 +144,18 @@ MSG_SVC_BUSY = 23
 MSG_SVC_ERROR = 24
 #: Client → service console: close the session; ``client_name``.
 MSG_SVC_CLOSE = 25
+#: Console → all kernels: voluntary membership change (join/retire).
+#: ``(epoch, old_map, new_map, joined, retired)`` — *both* full placement
+#: maps travel, so every kernel (including a CLI joiner whose locally
+#: rebuilt graphs may carry stale placements) can compute which thread
+#: instances it loses and gains without trusting local state.
+MSG_MEMBER = 26
+#: Kernel → kernel: a migrating thread instance's live state;
+#: ``(collection_name, index, epoch, thread)``.  ``thread`` is the
+#: evicted :class:`~repro.core.threads.DpsThread` object (plain user
+#: state, engine-reference-free by the DPS execution model) or ``None``
+#: when the instance was never activated on the donor.
+MSG_THREAD_STATE = 27
 
 #: Spec alias for :data:`MSG_SVC_BUSY` (the admission-control shed
 #: message of the resident service tier).
@@ -369,6 +385,27 @@ def encode_replay_done(kernel_name: str, epoch: int,
     _pack_str(head, kernel_name)
     head += _U32.pack(epoch)
     head += _U32.pack(count)
+    return [head]
+
+
+def encode_member(epoch: int, old_map: Dict[str, List[str]],
+                  new_map: Dict[str, List[str]], joined: List[str],
+                  retired: List[str]) -> List[Segment]:
+    """Console → kernels: a voluntary membership rebalance.
+
+    Placement maps are short string lists — pickle suffices
+    (once-per-rebalance control message, like MSG_REMAP)."""
+    head = bytearray(_U8.pack(MSG_MEMBER))
+    head += pickle.dumps((epoch, old_map, new_map,
+                          list(joined), list(retired)))
+    return [head]
+
+
+def encode_thread_state(collection_name: str, index: int, epoch: int,
+                        thread) -> List[Segment]:
+    """Donor kernel → new owner: one migrating thread instance's state."""
+    head = bytearray(_U8.pack(MSG_THREAD_STATE))
+    head += pickle.dumps((collection_name, index, epoch, thread))
     return [head]
 
 
@@ -608,4 +645,19 @@ def decode_message(payload: "bytes | bytearray | memoryview",
     if kind == MSG_SVC_CLOSE:
         name, _ = _unpack_str(view, offset)
         return MSG_SVC_CLOSE, name
+    if kind == MSG_MEMBER:
+        try:
+            epoch, old_map, new_map, joined, retired = pickle.loads(
+                bytes(view[offset:]))
+        except Exception as err:
+            raise WireError(f"undecodable member message: {err}") from None
+        return MSG_MEMBER, (epoch, old_map, new_map, joined, retired)
+    if kind == MSG_THREAD_STATE:
+        try:
+            collection_name, index, epoch, thread = pickle.loads(
+                bytes(view[offset:]))
+        except Exception as err:
+            raise WireError(
+                f"undecodable thread-state message: {err}") from None
+        return MSG_THREAD_STATE, (collection_name, index, epoch, thread)
     raise WireError(f"unknown protocol message kind {kind}")

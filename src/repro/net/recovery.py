@@ -52,6 +52,7 @@ __all__ = [
     "TokenJournal",
     "ReplayDedup",
     "plan_remap",
+    "plan_rebalance",
     "apply_remap",
 ]
 
@@ -267,21 +268,26 @@ def _unique_collections(graphs: Iterable) -> Iterable:
             yield coll
 
 
-def plan_remap(graphs: Iterable, dead: str,
-               survivors: List[str]) -> Dict[str, List[str]]:
+def plan_remap(graphs: Iterable, dead: str, survivors: List[str],
+               depths: Optional[Dict[str, int]] = None) -> Dict[str, List[str]]:
     """New placements for every collection with instances on *dead*.
 
-    Deterministic: dead slots are filled round-robin from the sorted
-    survivor list, in collection iteration order, so the console can
-    compute the plan once and broadcast it.  Returns
-    ``{collection_name: full placement list}`` (collection names are
-    unique per application by construction).
+    Each dead slot goes to the least-loaded survivor at planning time:
+    observed queue depth (*depths*, e.g. from
+    :meth:`~repro.net.nameserver.NameServerClient.loads`) plus the slots
+    this plan has already assigned.  Ties break on the sorted node name —
+    a **stable node-id tiebreak**, so with equal depths (or none
+    reported) the plan degrades to round-robin over the sorted survivor
+    list and is reproducible run-to-run.  The console computes the plan
+    once and broadcasts it.  Returns ``{collection_name: full placement
+    list}`` (collection names are unique per application by
+    construction).
     """
     if not survivors:
         raise ValueError(f"kernel {dead!r} died and no kernels survive")
     targets = sorted(survivors)
+    load = {name: int((depths or {}).get(name, 0)) for name in targets}
     mapping: Dict[str, List[str]] = {}
-    slot = 0
     for coll in _unique_collections(graphs):
         placements = coll.placements
         if dead not in placements:
@@ -289,12 +295,87 @@ def plan_remap(graphs: Iterable, dead: str,
         new = []
         for node in placements:
             if node == dead:
-                new.append(targets[slot % len(targets)])
-                slot += 1
+                target = min(targets, key=lambda t: (load[t], t))
+                load[target] += 1
+                new.append(target)
             else:
                 new.append(node)
         mapping[coll.name] = new
     return mapping
+
+
+def plan_rebalance(
+    graphs: Iterable,
+    members: Iterable[str],
+    depths: Optional[Dict[str, int]] = None,
+    joined: Iterable[str] = (),
+) -> Tuple[Dict[str, List[str]], int]:
+    """Voluntary remap plan over the live *members* of the cluster.
+
+    Where :func:`plan_remap` only evacuates a dead kernel,
+    ``plan_rebalance`` spreads work *onto* joiners and *off* retirees:
+
+    - every instance placed on a non-member (a retiring kernel) must
+      move;
+    - multi-instance collections are spread across members with a
+      capacity-balanced, minimal-move assignment — instances keep their
+      current node whenever its capacity allows, and spare capacity goes
+      first to nodes already hosting instances (stability), then to
+      *joined* kernels, then by observed queue depth, with the sorted
+      node name as the final stable tiebreak;
+    - single-instance collections are pinned placements (the paper's
+      ``MainRoute`` idiom) and stay put unless their node is retiring,
+      in which case they move to the least-loaded member.
+
+    Fully deterministic for given inputs.  Returns ``(mapping, moved)``
+    where *mapping* holds only collections whose placements change and
+    *moved* counts the thread instances that migrate.
+    """
+    targets = sorted(set(members))
+    if not targets:
+        raise ValueError("cannot rebalance onto an empty member set")
+    joined = set(joined)
+    load = {name: int((depths or {}).get(name, 0)) for name in targets}
+    member_set = set(targets)
+    mapping: Dict[str, List[str]] = {}
+    moved = 0
+    for coll in _unique_collections(graphs):
+        placements = coll.placements
+        n = len(placements)
+        if n == 1:
+            if placements[0] in member_set:
+                continue
+            target = min(targets, key=lambda t: (load[t], t))
+            load[target] += 1
+            mapping[coll.name] = [target]
+            moved += 1
+            continue
+        counts = {t: 0 for t in targets}
+        for node in placements:
+            if node in member_set:
+                counts[node] += 1
+        # Capacity: floor(n / members) everywhere, remainder seats to
+        # current hosts first (fewest moves), then joiners, then by load.
+        base, extra = divmod(n, len(targets))
+        capacity = {t: base for t in targets}
+        for t in sorted(targets,
+                        key=lambda t: (-counts[t], 0 if t in joined else 1,
+                                       load[t], t))[:extra]:
+            capacity[t] += 1
+        new: List[Optional[str]] = [None] * n
+        for i, node in enumerate(placements):
+            if node in member_set and capacity[node] > 0:
+                capacity[node] -= 1
+                new[i] = node
+        spare = [t for t in targets for _ in range(capacity[t])]
+        for i in range(n):
+            if new[i] is None:
+                new[i] = spare.pop(0)
+                load[new[i]] += 1
+                moved += 1
+        if list(new) != placements:
+            mapping[coll.name] = list(new)
+    return mapping, moved
 
 
 def apply_remap(graphs: Iterable, mapping: Dict[str, List[str]]) -> List[str]:

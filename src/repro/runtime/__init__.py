@@ -2,6 +2,7 @@
 
 from typing import Union
 
+from ..core.routing import RoutingPolicy
 from ..net.recovery import FaultPolicy
 from .base import (
     ACK_BYTES,
@@ -20,6 +21,7 @@ from .checkpoint import Checkpoint, CheckpointManager, fail_node
 from .controller import KernelFailure, ScheduleError, SimController
 from .kernel import KernelEnvironment, KernelSpec, NameServer
 from .multiprocess_engine import MultiprocessEngine
+from .scaling import ScalingPolicy
 from .sim_engine import SimEngine
 from .threaded_engine import ThreadedEngine
 
@@ -43,7 +45,9 @@ __all__ = [
     "GroupFrame",
     "GroupTotalMessage",
     "MultiprocessEngine",
+    "RoutingPolicy",
     "RunResult",
+    "ScalingPolicy",
     "ScheduleError",
     "SimController",
     "SimEngine",
@@ -63,6 +67,7 @@ ENGINE_KINDS = ("sim", "threaded", "multiprocess")
 #: real-execution placements need no declaration.
 _COMMON_OPTS = frozenset({
     "policy", "tracer", "metrics", "transport", "faults", "nodes",
+    "routing",
 })
 
 #: Engine-specific options on top of :data:`_COMMON_OPTS`.
@@ -72,7 +77,8 @@ _ENGINE_OPTS = {
     "threaded": frozenset({"serialize_transfers"}),
     "multiprocess": frozenset({"dial_deadline", "startup_timeout",
                                "recover", "heartbeat_interval",
-                               "heartbeat_miss_limit", "ns_port"}),
+                               "heartbeat_miss_limit", "ns_port",
+                               "scaling"}),
 }
 
 #: Only the multiprocess engine has a wire (transport tuning) and real
@@ -111,12 +117,16 @@ def create_engine(kind: str, **opts) -> Union[SimEngine, ThreadedEngine,
     """Build an execution engine by name with uniform options.
 
     *kind* is ``"sim"``, ``"threaded"`` or ``"multiprocess"``.  Every
-    kind accepts ``policy=``, ``tracer=``, ``metrics=``, ``transport=``
-    and ``faults=`` (the last two must be ``None`` outside the
-    multiprocess engine, which is the only one with a wire to tune and
-    kernel processes to kill); remaining options are engine-specific —
-    see the engine matrix in ``DESIGN.md``.  Unknown options raise
-    ``ValueError`` naming the engine kinds that do accept them.
+    kind accepts ``policy=``, ``tracer=``, ``metrics=``, ``routing=``
+    (a :class:`~repro.core.routing.RoutingPolicy` selecting round-robin
+    or queue-depth adaptive split routing), ``transport=`` and
+    ``faults=`` (the last two must be ``None`` outside the multiprocess
+    engine, which is the only one with a wire to tune and kernel
+    processes to kill); ``scaling=`` attaches an autoscaling
+    :class:`~repro.runtime.scaling.ScalingPolicy` to the multiprocess
+    engine.  Remaining options are engine-specific — see the engine
+    matrix in ``DESIGN.md``.  Unknown options raise ``ValueError``
+    naming the engine kinds that do accept them.
 
     The simulated engine needs a cluster; pass ``cluster=`` explicitly,
     or ``nodes=N`` to build the paper's homogeneous cluster, defaulting

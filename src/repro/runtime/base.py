@@ -170,6 +170,13 @@ class RunResult:
     #: Journaled tokens re-delivered so far to mask failures (cumulative
     #: per engine; ``0`` on a fault-free run).
     replayed_tokens: int = 0
+    #: Voluntary membership changes (``add_kernel``/``retire_kernel``
+    #: rebalances) the engine has performed so far — cumulative per
+    #: engine, like :attr:`replayed_tokens`.
+    rebalances: int = 0
+    #: Thread instances migrated between nodes by those rebalances
+    #: (cumulative per engine).
+    tokens_moved: int = 0
 
     @property
     def makespan(self) -> float:
@@ -266,6 +273,45 @@ class Engine:
             f"{type(self).__name__} does not support fail_node(); it is "
             "supported on SimEngine (discards the node's thread state) "
             "and MultiprocessEngine (kills the node's kernel process)"
+        )
+
+    # ------------------------------------------------------------------
+    # elastic membership (implemented by SimEngine instantly and by
+    # MultiprocessEngine behind the member/replay cluster barriers)
+    # ------------------------------------------------------------------
+    def add_kernel(self, node_name: Optional[str] = None) -> str:
+        """Grow the cluster by one execution node mid-run.
+
+        The engine registers the new node, rebalances thread instances
+        onto it (migrating live thread state), and resumes with results
+        bit-identical to a static run.  Returns the new node's name.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support add_kernel(); it is "
+            "supported on SimEngine (extends the simulated cluster) and "
+            "MultiprocessEngine (forks a kernel process that joins via "
+            "the name server)"
+        )
+
+    def retire_kernel(self, node_name: str) -> int:
+        """Drain *node_name* and remap its thread instances off it.
+
+        Graceful: the node hands its thread state to the survivors
+        before leaving, so no journal replay storm.  Returns the number
+        of thread instances moved.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support retire_kernel(); it "
+            "is supported on SimEngine (migrates instances off the node) "
+            "and MultiprocessEngine (drains and stops the node's kernel "
+            "process)"
+        )
+
+    def members(self) -> Tuple[str, ...]:
+        """Names of the live execution nodes, sorted."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not track cluster membership; "
+            "members() is supported on SimEngine and MultiprocessEngine"
         )
 
     def shutdown(self) -> None:

@@ -733,12 +733,24 @@ class SimController:
         route = self._routes.get(key)
         if route is None:
             cell = self._route_window_cell
+            engine = self.engine
+            collection = node.collection
 
             def outstanding(i: int) -> int:
                 return cell[0].outstanding(i) if cell[0] is not None else 0
 
-            route = node.route_class()
-            route.bind(RoutingContext(node.collection, outstanding))
+            def depth(i: int) -> int:
+                # Observed queue depth of instance *i*, wherever it
+                # lives: the simulator plays the role of the
+                # heartbeat-fed gauge the real runtime consults.
+                host = engine.controllers.get(collection.node_of(i))
+                if host is None:
+                    return 0
+                ts = host._threads.get((id(collection), i))
+                return len(ts.inbox) if ts is not None else 0
+
+            route = engine.routing.route_class_for(node.route_class)()
+            route.bind(RoutingContext(collection, outstanding, depth))
             self._routes[key] = route
         self._route_window_cell[0] = window
         return route

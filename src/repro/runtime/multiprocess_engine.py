@@ -39,6 +39,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..core.flowcontrol import FlowControlPolicy
 from ..core.graph import Flowgraph
+from ..core.routing import RoutingPolicy
 from ..net.connections import TransportPolicy
 from ..net.kernel import CONSOLE_KERNEL, DistributedKernel, run_kernel_process
 from ..net.nameserver import run_name_server
@@ -46,6 +47,13 @@ from ..net.recovery import FaultPolicy
 from ..serial.token import Token
 from .base import Engine, RunResult
 from .controller import ScheduleError
+from .scaling import ScalingPolicy
+
+#: Any of these present in the environment switches autoscaling on when
+#: no explicit ``scaling=`` policy was given.
+_SCALING_ENV_VARS = ("REPRO_SCALING_MIN", "REPRO_SCALING_MAX",
+                     "REPRO_SCALING_HIGH", "REPRO_SCALING_LOW",
+                     "REPRO_SCALING_COOLDOWN")
 
 __all__ = ["MultiprocessEngine"]
 
@@ -82,7 +90,9 @@ class MultiprocessEngine(Engine):
                  faults: Optional[FaultPolicy] = None,
                  heartbeat_interval: float = 0.25,
                  heartbeat_miss_limit: int = 4,
-                 ns_port: int = 0):
+                 ns_port: int = 0,
+                 routing: Optional[RoutingPolicy] = None,
+                 scaling: Optional[ScalingPolicy] = None):
         try:
             self._mp = multiprocessing.get_context("fork")
         except ValueError as exc:  # pragma: no cover - non-POSIX platforms
@@ -110,6 +120,31 @@ class MultiprocessEngine(Engine):
         self.heartbeat_miss_limit = heartbeat_miss_limit
         self.dial_deadline = dial_deadline
         self.startup_timeout = startup_timeout
+        #: Engine-wide routing policy (``round_robin``/``queue_depth``),
+        #: shipped to every forked kernel; ``routing=None`` defers to
+        #: ``REPRO_ROUTING``.
+        self.routing = routing if routing is not None \
+            else RoutingPolicy.from_env()
+        #: Autoscaling policy driving spawn/retire decisions from the
+        #: heartbeat-reported queue depths.  ``scaling=None`` defers to
+        #: the ``REPRO_SCALING_*`` variables; with none of them set,
+        #: autoscaling stays off and membership changes only happen
+        #: through explicit :meth:`add_kernel`/:meth:`retire_kernel`.
+        if scaling is None and any(v in os.environ
+                                   for v in _SCALING_ENV_VARS):
+            scaling = ScalingPolicy.from_env()
+        self.scaling = scaling
+        # elastic membership bookkeeping, guarded by _proc_lock (the
+        # autoscaler thread and user calls race on these)
+        self._proc_lock = threading.Lock()
+        self._next_ordinal = 1
+        self._retired: set = set()
+        #: Kernels the autoscaler added — the only ones it may retire
+        #: (seed kernels and user-added ones are never scaled away).
+        self._elastic_kernels: List[str] = []
+        #: CLI joiners: kernels that registered with our name server
+        #: from outside this process (no local Process handle).
+        self._external_kernels: set = set()
         #: Requested name-server port; 0 picks an ephemeral one.  The
         #: resolved ``(host, port)`` lands in :attr:`ns_address` once the
         #: cluster is up, so external clients can be pointed at it.
@@ -196,12 +231,14 @@ class MultiprocessEngine(Engine):
                     target=run_kernel_process,
                     args=(name, ordinal, ns_address, peers, graphs,
                           self.policy, ready, trace_children, self.transport,
-                          self.recover, self.faults, self.heartbeat_interval),
+                          self.recover, self.faults, self.heartbeat_interval,
+                          self.routing),
                     name=f"dps-kernel:{name}", daemon=True)
                 proc.start()
                 self._kernel_procs[name] = proc
                 self._orphans.append(proc)
                 ready_events.append((name, ready))
+            self._next_ordinal = len(kernels) + 1
             for name, ready in ready_events:
                 if not ready.wait(timeout=self.startup_timeout):
                     raise ScheduleError(
@@ -222,6 +259,9 @@ class MultiprocessEngine(Engine):
         if self.heartbeat_interval > 0:
             threading.Thread(target=self._liveness_loop,
                              name="dps-liveness", daemon=True).start()
+        if self.scaling is not None:
+            threading.Thread(target=self._autoscale_loop,
+                             name="dps-autoscaler", daemon=True).start()
         return console
 
     def _make_console(self, ns_address, peers) -> DistributedKernel:
@@ -236,20 +276,38 @@ class MultiprocessEngine(Engine):
             CONSOLE_KERNEL, 0, ns_address, peers,
             policy=self.policy, dial_deadline=self.dial_deadline,
             tracer=self.tracer, metrics=self.metrics,
-            transport=self.transport, recover=self.recover)
+            transport=self.transport, recover=self.recover,
+            routing=self.routing)
 
     def _monitor_children(self) -> None:
-        sentinels = {proc.sentinel: name
-                     for name, proc in self._kernel_procs.items()}
-        while sentinels and not self._closing.is_set():
+        # The sentinel map is rebuilt every iteration rather than
+        # snapshotted once: add_kernel() grows the process table mid-run
+        # and retire_kernel() shrinks it, and both must be reflected
+        # without restarting the monitor.
+        reported: set = set()
+        while not self._closing.is_set():
+            with self._proc_lock:
+                sentinels = {proc.sentinel: name
+                             for name, proc in self._kernel_procs.items()
+                             if name not in reported
+                             and name not in self._retired}
+            if not sentinels:
+                if self._closing.wait(0.5):
+                    return
+                continue
             ready = multiprocessing.connection.wait(
                 list(sentinels), timeout=0.5)
             if self._closing.is_set():
                 return
             for sentinel in ready:
-                name = sentinels.pop(sentinel)
-                proc = self._kernel_procs[name]
+                name = sentinels[sentinel]
+                with self._proc_lock:
+                    proc = self._kernel_procs.get(name)
+                    retired = name in self._retired
+                if proc is None or retired:
+                    continue  # retired between snapshot and wakeup
                 proc.join(timeout=1)
+                reported.add(name)
                 console = self._console
                 if console is not None:
                     console.handle_kernel_down(
@@ -271,11 +329,16 @@ class MultiprocessEngine(Engine):
                 expired = console._ns.expired(max_age)
             except Exception:
                 return  # name server is gone: teardown in progress
+            self._admit_external(console)
             for entry in expired:
                 name = entry["name"]
                 # The console registers but never beats (it cannot miss
                 # its own heartbeats — it is the observer).
-                if name == CONSOLE_KERNEL or name not in self._kernel_procs:
+                with self._proc_lock:
+                    known = (name in self._kernel_procs
+                             or name in self._external_kernels)
+                    retired = name in self._retired
+                if name == CONSOLE_KERNEL or not known or retired:
                     continue
                 with console._recovery_lock:
                     already_dead = name in console._dead_kernels
@@ -288,6 +351,195 @@ class MultiprocessEngine(Engine):
                     name, f"heartbeat lease expired "
                           f"({entry['age']:.2f}s since last beat)",
                     propagate=False)
+
+    # ------------------------------------------------------------------
+    # elastic membership
+    # ------------------------------------------------------------------
+    def _poll_depths(self) -> Optional[Dict[str, int]]:
+        """Heartbeat-reported queue depths per kernel, or ``None`` when
+        the name server cannot be reached (rebalance then falls back to
+        load-oblivious spreading)."""
+        console = self._console
+        if console is None:
+            return None
+        try:
+            depths = console._ns.loads()
+        except Exception:
+            return None
+        depths.pop(CONSOLE_KERNEL, None)
+        return depths
+
+    def _admit_external(self, console: DistributedKernel) -> None:
+        """Admit CLI joiners: any kernel registered with our name server
+        that this engine did not fork (``repro.cli join --ns ...``).
+
+        Admission runs the same voluntary rebalance as
+        :meth:`add_kernel`; it is skipped while a rebalance or failure
+        recovery is already in flight and retried on the next liveness
+        tick — a kernel registering mid-barrier simply waits one lease
+        period for membership.
+        """
+        try:
+            registered = set(console._ns.loads())
+        except Exception:
+            return
+        with self._proc_lock:
+            strangers = sorted(
+                registered - set(self._kernel_procs)
+                - self._external_kernels - self._retired - {CONSOLE_KERNEL})
+        if not strangers:
+            return
+        with console._recovery_lock:
+            recovering = bool(console._dead_kernels)
+        if console._rebalancing or recovering:
+            return  # barrier in flight: admit on a later tick
+        for name in strangers:
+            try:
+                console.rebalance(joined=[name], depths=self._poll_depths())
+            except Exception:
+                continue  # joiner died before admission; retry or forget
+            with self._proc_lock:
+                self._external_kernels.add(name)
+
+    def members(self) -> Tuple[str, ...]:
+        """Live kernel names (sorted), excluding the console."""
+        if self._console is None:
+            return tuple(self.kernel_names)
+        with self._proc_lock:
+            live = (set(self._kernel_procs) | self._external_kernels) \
+                - self._retired
+        return tuple(sorted(live))
+
+    def add_kernel(self, node_name: Optional[str] = None) -> str:
+        """Fork a new kernel process and rebalance thread instances onto
+        it mid-run.
+
+        The joiner registers with the name server, the console quiesces
+        in-flight activations, ships the migrating thread instances (and
+        their state) over, and replays journaled split boundaries — the
+        next :meth:`run` produces bit-identical results on the grown
+        cluster.  Returns the new kernel's name.
+        """
+        console = self._ensure_started()
+        with self._proc_lock:
+            if node_name is None:
+                i = 1
+                used = set(self._kernel_procs) | self._external_kernels \
+                    | self._retired | set(self.kernel_names)
+                while f"node{i:02d}" in used:
+                    i += 1
+                node_name = f"node{i:02d}"
+            elif (node_name in self._kernel_procs
+                    or node_name in self._external_kernels):
+                raise ValueError(f"kernel {node_name!r} is already a member")
+            ordinal = self._next_ordinal
+            self._next_ordinal += 1
+        graphs = list(self._graphs.values())
+        peers = [CONSOLE_KERNEL, *self.members(), node_name]
+        trace_children = (self.tracer is not None or self.metrics is not None)
+        ready = self._mp.Event()
+        proc = self._mp.Process(
+            target=run_kernel_process,
+            args=(node_name, ordinal, self.ns_address, peers, graphs,
+                  self.policy, ready, trace_children, self.transport,
+                  self.recover, self.faults, self.heartbeat_interval,
+                  self.routing),
+            name=f"dps-kernel:{node_name}", daemon=True)
+        proc.start()
+        with self._proc_lock:
+            self._kernel_procs[node_name] = proc
+            self._orphans.append(proc)
+        if not ready.wait(timeout=self.startup_timeout):
+            proc.terminate()
+            proc.join(timeout=2)
+            with self._proc_lock:
+                self._kernel_procs.pop(node_name, None)
+            raise ScheduleError(
+                f"joining kernel {node_name!r} failed to start within "
+                f"{self.startup_timeout}s")
+        console.rebalance(joined=[node_name], depths=self._poll_depths())
+        return node_name
+
+    def retire_kernel(self, node_name: str) -> int:
+        """Gracefully drain *node_name* and remove it from the cluster.
+
+        The console quiesces, migrates the kernel's thread instances
+        (with state) onto the survivors, and only then orders the
+        process to exit — no journal replay, no recovery storm.  Returns
+        the number of thread instances that moved off.
+        """
+        console = self._ensure_started()
+        with self._proc_lock:
+            proc = self._kernel_procs.get(node_name)
+            external = node_name in self._external_kernels
+        if proc is None and not external:
+            raise ValueError(
+                f"unknown kernel {node_name!r}; members: "
+                f"{list(self.members())}")
+        moved = console.rebalance(retired=[node_name],
+                                  depths=self._poll_depths())
+        # Mark retired BEFORE ordering shutdown so the child monitor and
+        # the liveness loop treat the exit as voluntary, not a failure.
+        with self._proc_lock:
+            self._retired.add(node_name)
+            self._external_kernels.discard(node_name)
+        try:
+            console.request_shutdown(node_name)
+        except Exception:
+            pass  # already gone; the rebalance has moved everything off
+        if proc is not None:
+            proc.join(timeout=10)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2)
+            with self._proc_lock:
+                self._kernel_procs.pop(node_name, None)
+        return moved
+
+    def _autoscale_loop(self) -> None:
+        """Drive :class:`ScalingPolicy` from heartbeat queue depths.
+
+        Growth forks fresh kernels; shrink retires only kernels this
+        loop added (never seed kernels or explicit :meth:`add_kernel`
+        joins), so autoscaling can always fall back to the user's
+        topology.
+        """
+        policy = self.scaling
+        assert policy is not None
+        interval = max(self.heartbeat_interval, 0.05)
+        last_change = time.monotonic()
+        while not self._closing.wait(interval):
+            console = self._console
+            if console is None:
+                return
+            depths = self._poll_depths()
+            if depths is None:
+                continue
+            with self._proc_lock:
+                n_kernels = len((set(self._kernel_procs)
+                                 | self._external_kernels) - self._retired)
+                shrink_candidates = [k for k in self._elastic_kernels
+                                     if k in self._kernel_procs
+                                     and k not in self._retired]
+            decision = policy.decide(n_kernels, depths,
+                                     last_change, time.monotonic())
+            if decision == "grow":
+                try:
+                    name = self.add_kernel()
+                except Exception:
+                    continue  # mid-recovery or teardown; retry next tick
+                with self._proc_lock:
+                    self._elastic_kernels.append(name)
+                last_change = time.monotonic()
+            elif decision == "shrink" and shrink_candidates:
+                try:
+                    self.retire_kernel(shrink_candidates[-1])
+                except Exception:
+                    continue
+                with self._proc_lock:
+                    if shrink_candidates[-1] in self._elastic_kernels:
+                        self._elastic_kernels.remove(shrink_candidates[-1])
+                last_change = time.monotonic()
 
     def collect_traces(self, timeout: float = 5.0) -> List[str]:
         """Merge every kernel's trace buffer/metrics into this engine's.
@@ -316,17 +568,19 @@ class MultiprocessEngine(Engine):
             except Exception:
                 pass  # observability must never block teardown
         self._closing.set()
+        with self._proc_lock:
+            procs = dict(self._kernel_procs)
         if console is not None:
             # Stop treating peer errors as failures; we are leaving anyway.
             console._shutdown_requested.set()
-            for name in self._kernel_procs:
+            for name in procs:
                 try:
                     console.request_shutdown(name)
                 except Exception:
                     pass
-        for name, proc in self._kernel_procs.items():
+        for name, proc in procs.items():
             proc.join(timeout=5)
-        for name, proc in self._kernel_procs.items():
+        for name, proc in procs.items():
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=2)
@@ -391,7 +645,10 @@ class MultiprocessEngine(Engine):
         started = time.monotonic()
         result = console.run(graph, token, timeout=timeout)
         recovered, replayed = console.recovery_snapshot()
+        rebalances, tokens_moved, _ = console.rebalance_snapshot()
         self.last_result = RunResult(result, started, time.monotonic(),
                                      recovered=recovered,
-                                     replayed_tokens=replayed)
+                                     replayed_tokens=replayed,
+                                     rebalances=rebalances,
+                                     tokens_moved=tokens_moved)
         return result

@@ -27,10 +27,14 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Dict, Generator, Optional, Union
 
+import dataclasses
+
 from ..cluster.cluster import Cluster, ClusterSpec
 from ..cluster.costs import dps_wire_overhead_seconds
 from ..core.flowcontrol import FlowControlPolicy
 from ..core.graph import Flowgraph
+from ..core.routing import RoutingPolicy
+from ..net.recovery import _unique_collections, plan_rebalance
 from ..serial.token import Token
 from ..serial.wire import decode, encode_segments, gather, measure
 from ..simkernel import Event, Process, Simulator
@@ -103,8 +107,14 @@ class SimEngine(Engine):
         charge_serialization: bool = True,
         tracer: Optional[Any] = None,
         metrics: Optional[Any] = None,
+        routing: Optional[RoutingPolicy] = None,
     ):
         super().__init__(policy=policy, tracer=tracer, metrics=metrics)
+        #: Routing policy consulted when controllers build split routes;
+        #: ``queue_depth`` substitutes adaptive routing for declared
+        #: round-robin routes.  ``routing=None`` defers to REPRO_ROUTING.
+        self.routing = routing if routing is not None \
+            else RoutingPolicy.from_env()
         self.sim = Simulator()
         self.cluster = (
             cluster if isinstance(cluster, Cluster) else Cluster(self.sim, cluster)
@@ -123,6 +133,13 @@ class SimEngine(Engine):
         self._group_counter = itertools.count(1)
         self._ctx_counter = itertools.count(1)
         self._activations: Dict[int, _Activation] = {}
+        #: Nodes eligible to host thread instances.  Starts as the whole
+        #: cluster; ``add_kernel``/``retire_kernel`` edit it.  Retired
+        #: machines stay in the cluster model (they may be re-admitted)
+        #: but rebalancing never places threads on them.
+        self._members: set = set(self.cluster.node_names)
+        self._rebalances = 0
+        self._tokens_moved = 0
 
     # ------------------------------------------------------------------
     # registration (shared Engine base; cluster placement validation)
@@ -410,8 +427,13 @@ class SimEngine(Engine):
         if not event.triggered:
             self._raise_stuck()
         self.check_quiescent()
-        self.last_result = event.value
-        return event.value
+        result = event.value
+        # Membership counters are engine-cumulative (same contract as
+        # the multiprocess engine's recovery snapshot).
+        result.rebalances = self._rebalances
+        result.tokens_moved = self._tokens_moved
+        self.last_result = result
+        return result
 
     def run_until(self, event: Event, limit: Optional[float] = None) -> Any:
         """Advance the simulation until *event* triggers.
@@ -501,6 +523,78 @@ class SimEngine(Engine):
         controller._launched.clear()
         self.trace("node_failed", node=node_name, lost_threads=lost)
         return lost
+
+    # ------------------------------------------------------------------
+    # elastic membership
+    # ------------------------------------------------------------------
+    def members(self) -> tuple:
+        """Nodes currently eligible to host thread instances (sorted)."""
+        return tuple(sorted(self._members))
+
+    def add_kernel(self, node_name: Optional[str] = None) -> str:
+        """Grow the cluster by one node and rebalance onto it.
+
+        A brand-new machine is modelled on the first node's spec (same
+        CPU count and flop rate); a previously retired node is simply
+        re-admitted.  The schedule must be quiescent; thread instances
+        migrate (with state, priced by ``state_nbytes``) through the
+        same :meth:`remap` machinery failure recovery uses.
+        """
+        if node_name is None:
+            i = 1
+            while f"node{i:02d}" in self.cluster.nodes:
+                i += 1
+            node_name = f"node{i:02d}"
+        if node_name in self._members:
+            raise ScheduleError(f"node {node_name!r} is already a member")
+        if node_name not in self.cluster.nodes:
+            template = self.cluster.spec.nodes[0]
+            self.cluster.add_node(dataclasses.replace(template,
+                                                      name=node_name))
+            self.controllers[node_name] = SimController(self, node_name)
+        self._members.add(node_name)
+        self._rebalance(joined=(node_name,))
+        return node_name
+
+    def retire_kernel(self, node_name: str) -> int:
+        """Drain *node_name* and remove it from membership.
+
+        Thread instances (and the distributed data they hold) migrate
+        off onto the remaining members; the machine stays in the cluster
+        model so it can be re-admitted later.  Returns the number of
+        thread placements moved.
+        """
+        if node_name not in self._members:
+            raise ScheduleError(
+                f"node {node_name!r} is not a member; members: "
+                f"{sorted(self._members)}")
+        if len(self._members) == 1:
+            raise ScheduleError("cannot retire the last member node")
+        self._members.discard(node_name)
+        try:
+            return self._rebalance(retired=(node_name,))
+        except BaseException:
+            self._members.add(node_name)  # roll back membership
+            raise
+
+    def _rebalance(self, joined=(), retired=()) -> int:
+        """Voluntary rebalance: spread placements over the members."""
+        self.check_quiescent()
+        graphs = list(self._graphs.values())
+        mapping, moved = plan_rebalance(graphs, sorted(self._members),
+                                        joined=joined)
+        colls = {c.name: c for c in _unique_collections(graphs)}
+        for name, placements in mapping.items():
+            self.remap(colls[name], list(placements))
+        self._rebalances += 1
+        self._tokens_moved += moved
+        self.trace("rebalance", joined=list(joined), retired=list(retired),
+                   moved=moved, members=sorted(self._members))
+        if self.metrics is not None:
+            self.metrics.counter("rebalances").inc()
+            if moved:
+                self.metrics.counter("tokens_moved").inc(moved)
+        return moved
 
     # ------------------------------------------------------------------
     # dynamic reshaping

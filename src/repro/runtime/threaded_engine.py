@@ -37,8 +37,8 @@ from ..core.ops import (
     PostRequest,
     ScatterCallRequest,
 )
-from ..core.routing import Route, RoutingContext
-from ..core.threads import ThreadCollection
+from ..core.routing import Route, RoutingContext, RoutingPolicy
+from ..core.threads import DpsThread, ThreadCollection
 from ..serial.token import Token
 from ..serial.wire import decode, encode_segments, gather
 from .base import DataEnvelope, Engine, GroupFrame, RunResult
@@ -54,11 +54,15 @@ _STOP = object()
 class _ThreadWorker:
     """One DPS thread: an OS thread draining an envelope queue."""
 
-    def __init__(self, engine: "ThreadedEngine", collection: ThreadCollection, index: int):
+    def __init__(self, engine: "ThreadedEngine", collection: ThreadCollection,
+                 index: int, thread_obj: Optional[DpsThread] = None):
         self.engine = engine
         self.collection = collection
         self.index = index
-        self.thread_obj = collection.make_thread(index)
+        # An adopted thread object (live state migrated from another
+        # kernel) replaces the freshly constructed one.
+        self.thread_obj = (thread_obj if thread_obj is not None
+                           else collection.make_thread(index))
         self.inbox: "queue.Queue" = queue.Queue()
         self.os_thread = threading.Thread(
             target=self._loop,
@@ -144,8 +148,13 @@ class ThreadedEngine(Engine):
     def __init__(self, policy: Optional[FlowControlPolicy] = None,
                  serialize_transfers: bool = True,
                  tracer: Optional[Any] = None,
-                 metrics: Optional[Any] = None):
+                 metrics: Optional[Any] = None,
+                 routing: Optional[RoutingPolicy] = None):
         super().__init__(policy=policy, tracer=tracer, metrics=metrics)
+        #: Engine-wide routing policy: ``queue_depth`` substitutes the
+        #: adaptive :class:`~repro.core.routing.QueueDepthRoute` for
+        #: declared round-robin/load-balanced routing sites.
+        self.routing = routing if routing is not None else RoutingPolicy()
         #: Serialize tokens crossing logical node boundaries (wire-format
         #: round trip), as the DPS debugging kernels do.
         self.serialize_transfers = serialize_transfers
@@ -341,6 +350,43 @@ class ThreadedEngine(Engine):
                 worker = _ThreadWorker(self, collection, index)
                 self._workers[key] = worker
             return worker
+
+    def _evict_thread(self, collection: ThreadCollection,
+                      index: int) -> Optional[DpsThread]:
+        """Stop instance *index*'s worker and surrender its thread object.
+
+        Only valid while the engine is quiesced (no active activations):
+        the worker drains whatever is already queued before stopping, but
+        nothing may be routing new tokens at it.  Returns ``None`` when
+        the instance was never activated here (no state to migrate).
+        """
+        with self._lock:
+            worker = self._workers.pop((id(collection), index), None)
+        if worker is None:
+            return None
+        worker.inbox.put(_STOP)
+        worker.os_thread.join(timeout=10)
+        return worker.thread_obj
+
+    def _adopt_thread(self, collection: ThreadCollection, index: int,
+                      thread_obj: Optional[DpsThread]) -> None:
+        """Install a migrated thread object as instance *index*.
+
+        ``None`` means the donor never activated the instance; the worker
+        is then created lazily with fresh state on first delivery, as
+        usual.
+        """
+        if thread_obj is None:
+            return
+        thread_obj.node_name = collection.node_of(index)
+        with self._lock:
+            key = (id(collection), index)
+            if key in self._workers:
+                raise ScheduleError(
+                    f"instance {collection.name}[{index}] is already "
+                    f"hosted here; cannot adopt migrated state")
+            self._workers[key] = _ThreadWorker(self, collection, index,
+                                               thread_obj=thread_obj)
 
     def _deliver(self, env: DataEnvelope) -> None:
         node = env.graph.node(env.node_id)
@@ -684,14 +730,23 @@ class ThreadedEngine(Engine):
         key = (graph.name, node_id)
         route = self._routes.get(key)
         if route is None:
-            route = node.route_class()
+            route = self.routing.route_class_for(node.route_class)()
             holder = {"window": None}
 
             def outstanding(i: int) -> int:
                 w = holder["window"]
                 return w.outstanding(i) if w is not None else 0
 
-            route.bind(RoutingContext(node.collection, outstanding))
+            collection = node.collection
+
+            def depth(i: int) -> int:
+                # Caller holds the engine lock; locally hosted instances
+                # expose their exact inbox depth, never-activated ones
+                # count as empty.
+                worker = self._workers.get((id(collection), i))
+                return worker.inbox.qsize() if worker is not None else 0
+
+            route.bind(RoutingContext(collection, outstanding, depth))
             route._dps_holder = holder  # type: ignore[attr-defined]
             self._routes[key] = route
         route._dps_holder["window"] = window  # type: ignore[attr-defined]

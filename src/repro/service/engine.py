@@ -351,6 +351,7 @@ class ServiceEngine(MultiprocessEngine):
             policy=self.policy, dial_deadline=self.dial_deadline,
             tracer=self.tracer, metrics=self.metrics,
             transport=self.transport, recover=self.recover,
+            routing=self.routing,
             admission=self.admission, call_timeout=self.call_timeout)
 
     # ------------------------------------------------------------------

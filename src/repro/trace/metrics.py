@@ -39,7 +39,15 @@ the high-water backpressure mark).  The resident service tier
 ``svc_duplicates`` (same-id resends dropped by exactly-once dedup)
 counters; ``svc_sessions``, ``svc_inflight`` and ``svc_queue_depth``
 gauges; and per-service ``svc_latency_seconds:<name>`` histograms
-(admission-to-reply wall seconds).
+(admission-to-reply wall seconds).  The elastic-membership layer adds
+``queue_depth_total`` (gauge — the per-kernel pending-token total each
+kernel ships with its heartbeat lease; the feed behind queue-depth
+adaptive routing and :class:`~repro.runtime.scaling.ScalingPolicy`),
+``rebalances`` and ``tokens_moved`` (counters — voluntary membership
+changes and the thread instances they migrated), ``heartbeats_missed``
+(counter — liveness-lease expiries observed by the console) and
+``rebalance_seconds`` (histogram — quiesce-to-resume wall seconds per
+membership change).
 """
 
 from __future__ import annotations

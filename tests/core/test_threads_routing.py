@@ -155,3 +155,49 @@ def test_load_balanced_route_tie_breaks_low_index():
 def test_load_balanced_without_feedback_defaults_to_zero():
     r = LoadBalancedRoute().bind(make_ctx(3))
     assert r(PosToken()) == 0
+
+
+def test_queue_depth_route_prefers_shallowest_inbox():
+    from repro.core import QueueDepthRoute
+    depths = {0: 4, 1: 1, 2: 3}
+    tc = ThreadCollection(DpsThread).map_nodes(["n0", "n1", "n2"])
+    ctx = RoutingContext(tc, depth=lambda i: depths[i])
+    r = QueueDepthRoute().bind(ctx)
+    assert r(PosToken()) == 1
+    depths[1] = 9
+    assert r(PosToken()) == 2  # re-reads the feed on every emission
+
+
+def test_queue_depth_route_tie_breaks_low_index():
+    from repro.core import QueueDepthRoute
+    r = QueueDepthRoute().bind(make_ctx(3))
+    # no depth feed: outstanding stands in (all zero) -> deterministic 0
+    assert r(PosToken()) == 0
+
+
+def test_routing_context_depth_falls_back_to_outstanding():
+    loads = {0: 2, 1: 0}
+    ctx = make_ctx(2, outstanding=lambda i: loads[i])
+    assert ctx.depth(0) == 2 and ctx.depth(1) == 0
+
+
+def test_routing_policy_substitutes_only_load_spreading_routes():
+    from repro.core import QueueDepthRoute, RoutingPolicy
+    ModRoute = route_fn("ModRoute", lambda tok, n: tok.pos % n)
+    adaptive = RoutingPolicy(kind="queue_depth")
+    assert adaptive.route_class_for(RoundRobinRoute) is QueueDepthRoute
+    assert adaptive.route_class_for(LoadBalancedRoute) is QueueDepthRoute
+    # content-addressed routes encode merge affinity: never overridden
+    assert adaptive.route_class_for(ConstantRoute) is ConstantRoute
+    assert adaptive.route_class_for(ModRoute) is ModRoute
+    default = RoutingPolicy()
+    assert default.route_class_for(RoundRobinRoute) is RoundRobinRoute
+
+
+def test_routing_policy_from_env():
+    from repro.core import RoutingPolicy
+    assert RoutingPolicy.from_env({}).kind == "round_robin"
+    assert RoutingPolicy.from_env(
+        {"REPRO_ROUTING": "queue_depth"}).adaptive is True
+    with pytest.raises(ValueError, match="kind"):
+        RoutingPolicy.from_env({"REPRO_ROUTING": "bogus"})

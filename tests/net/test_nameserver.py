@@ -314,3 +314,35 @@ def test_registration_meta_roundtrip(ns):
         assert c.lookup_entry("kernelB") == ("127.0.0.1", 7002, {})
         # the plain lookup API is unchanged
         assert c.lookup("kernelA") == ("127.0.0.1", 7001)
+
+
+def test_loads_reports_only_kernel_registrations(ns):
+    """``loads`` feeds depth-aware rebalancing and CLI-joiner admission:
+    it must list kernel-flagged registrations (default depth 0) and hide
+    service clients, which register only for reply routing."""
+    with client(ns) as c:
+        c.register("kernelA", "127.0.0.1", 7001, meta={"kernel": True})
+        c.register("kernelB", "127.0.0.1", 7002, meta={"kernel": True})
+        c.register("svc-client-1", "127.0.0.1", 7003)  # reply socket
+        assert c.loads() == {"kernelA": 0, "kernelB": 0}
+
+        c.heartbeat("kernelA", load=7)
+        c.heartbeat("svc-client-1", load=99)  # ignored by loads()
+        assert c.loads() == {"kernelA": 7, "kernelB": 0}
+
+
+def test_loads_lease_drops_with_connection(ns):
+    """A joiner's depth report dies with its lease: once the connection
+    closes the kernel must vanish from ``loads`` so admission and
+    rebalancing stop seeing it."""
+    c1 = client(ns)
+    c1.register("kernelA", "127.0.0.1", 7001, meta={"kernel": True})
+    with client(ns) as c2:
+        c2.register("kernelB", "127.0.0.1", 7002, meta={"kernel": True})
+        c2.heartbeat("kernelB", load=3)
+        assert c2.loads() == {"kernelA": 0, "kernelB": 3}
+        c1.close()
+        deadline = time.time() + 5
+        while "kernelA" in c2.loads() and time.time() < deadline:
+            time.sleep(0.02)
+        assert c2.loads() == {"kernelB": 3}

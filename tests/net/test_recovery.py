@@ -19,6 +19,7 @@ from repro.net.recovery import (
     FaultPolicy,
     ReplayDedup,
     TokenJournal,
+    plan_rebalance,
     plan_remap,
 )
 
@@ -197,3 +198,67 @@ def test_plan_remap_round_robin_and_no_survivors():
     assert mapping == {"c": ["n1", "n1", "n2", "n2"]}
     with pytest.raises(ValueError, match="no kernels survive"):
         plan_remap([graph], "dead", [])
+
+
+def _graph(*colls):
+    specs = [SimpleNamespace(name=name, placements=list(places))
+             for name, places in colls]
+    return SimpleNamespace(collections=lambda: specs), specs
+
+
+def test_plan_remap_survivor_order_is_irrelevant():
+    """The plan depends only on the survivor *set*: the console and any
+    future replanner must agree regardless of iteration order."""
+    plans = []
+    for survivors in (["n2", "n1", "n3"], ["n3", "n2", "n1"],
+                      ["n1", "n3", "n2"]):
+        graph, _ = _graph(("c", ["dead", "dead", "dead", "n1"]))
+        plans.append(plan_remap([graph], "dead", survivors))
+    assert plans[0] == plans[1] == plans[2]
+
+
+def test_plan_rebalance_spreads_onto_joiner():
+    graph, _ = _graph(("w", ["n1", "n1"]), ("main", ["n2"]))
+    mapping, moved = plan_rebalance([graph], ["n1", "n2", "n3"],
+                                    joined=["n3"])
+    # one stacked worker goes to the joiner; the pinned main stays put
+    assert mapping == {"w": ["n1", "n3"]}
+    assert moved == 1
+
+
+def test_plan_rebalance_evacuates_retiree():
+    graph, _ = _graph(("w", ["n1", "n3"]), ("main", ["n3"]))
+    mapping, moved = plan_rebalance([graph], ["n1", "n2"])
+    assert mapping["w"][0] == "n1"      # in-place instance never moves
+    assert mapping["w"][1] in ("n1", "n2")
+    assert mapping["main"] != ["n3"]    # pinned, but its host is leaving
+    assert moved == 2
+
+
+def test_plan_rebalance_minimal_move_keeps_balanced_spread():
+    graph, _ = _graph(("w", ["n1", "n2", "n3"]))
+    mapping, moved = plan_rebalance([graph], ["n1", "n2", "n3", "n4"],
+                                    joined=["n4"])
+    # already balanced at one instance per node: nothing moves
+    assert mapping == {} and moved == 0
+
+
+def test_plan_rebalance_is_deterministic_under_member_order():
+    plans = []
+    for members in (["n3", "n1", "n2"], ["n1", "n2", "n3"],
+                    ["n2", "n3", "n1"]):
+        graph, _ = _graph(("w", ["n1", "n1", "n1", "n1"]), ("m", ["n2"]))
+        plans.append(plan_rebalance([graph], members, joined=["n3"]))
+    assert plans[0] == plans[1] == plans[2]
+
+
+def test_plan_rebalance_prefers_shallow_queues():
+    graph, _ = _graph(("solo", ["gone"]))
+    mapping, moved = plan_rebalance([graph], ["n1", "n2"],
+                                    depths={"n1": 9, "n2": 0})
+    assert mapping == {"solo": ["n2"]}  # least-loaded member wins
+    assert moved == 1
+    # and with equal depths the sorted-name tiebreak decides
+    graph, _ = _graph(("solo", ["gone"]))
+    mapping, _ = plan_rebalance([graph], ["n2", "n1"])
+    assert mapping == {"solo": ["n1"]}

@@ -71,3 +71,53 @@ def test_multiprocess_accepts_recovery_options():
 def test_sim_specific_options_still_work():
     engine = create_engine("sim", nodes=2, serialize_payloads=False)
     assert len(engine.cluster.node_names) == 2
+
+
+def test_routing_is_a_common_option():
+    from repro.runtime import RoutingPolicy
+    for kind in ("sim", "threaded", "multiprocess"):
+        engine = create_engine(kind, routing=RoutingPolicy(
+            kind="queue_depth"))
+        try:
+            assert engine.routing.adaptive is True
+        finally:
+            engine.shutdown()
+
+
+def test_scaling_is_multiprocess_only():
+    from repro.runtime import ScalingPolicy
+    with pytest.raises(ValueError) as exc:
+        create_engine("sim", scaling=ScalingPolicy())
+    assert "'scaling' is a multiprocess option" in str(exc.value)
+    engine = create_engine("multiprocess",
+                           scaling=ScalingPolicy(max_kernels=3))
+    try:
+        assert engine.scaling.max_kernels == 3
+    finally:
+        engine.shutdown()
+
+
+def test_routing_defaults_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_ROUTING", "queue_depth")
+    engine = create_engine("sim")
+    assert engine.routing.adaptive is True
+    monkeypatch.delenv("REPRO_ROUTING")
+    engine = create_engine("sim")
+    assert engine.routing.adaptive is False
+
+
+def test_scaling_defaults_from_env(monkeypatch):
+    """The autoscaler only arms itself when REPRO_SCALING_* is present —
+    an unconfigured engine must not fork kernels on its own."""
+    engine = create_engine("multiprocess")
+    try:
+        assert engine.scaling is None
+    finally:
+        engine.shutdown()
+    monkeypatch.setenv("REPRO_SCALING_MAX", "4")
+    engine = create_engine("multiprocess")
+    try:
+        assert engine.scaling is not None
+        assert engine.scaling.max_kernels == 4
+    finally:
+        engine.shutdown()

@@ -1,0 +1,130 @@
+"""Elastic membership on the simulated engine: join, retire, rebalance.
+
+The sim engine models the same membership verbs the multiprocess engine
+exposes — ``add_kernel`` / ``retire_kernel`` / ``members`` — but in
+virtual time, so these tests pin the *semantics* deterministically:
+placements spread onto joiners, drain off retirees, results stay
+bit-identical, and the RunResult rebalance counters are truthful.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.gameoflife import DistributedGameOfLife, life_step
+from repro.apps.strings import StringToken, build_uppercase_graph
+from repro.cluster import paper_cluster
+from repro.runtime import RoutingPolicy, ScheduleError, SimEngine
+from repro.trace import Tracer
+
+
+def _stacked_engine():
+    """Two uppercase workers stacked on one node: the shape where a
+    joiner actually takes work (minimal-move keeps balanced spreads
+    in place)."""
+    engine = SimEngine(paper_cluster(2), tracer=Tracer())
+    graph, main, workers = build_uppercase_graph("node01", "node02 node02")
+    engine.register_graph(graph)
+    return engine, graph, workers
+
+
+def test_members_reflect_cluster():
+    engine = SimEngine(paper_cluster(3))
+    assert engine.members() == ("node01", "node02", "node03")
+
+
+def test_join_spreads_stacked_placements():
+    engine, graph, workers = _stacked_engine()
+    r1 = engine.run(graph, StringToken("before"))
+    assert r1.token.text == "BEFORE"
+    assert r1.rebalances == 0 and r1.tokens_moved == 0
+
+    name = engine.add_kernel()
+    assert name == "node03"
+    assert engine.members() == ("node01", "node02", "node03")
+    # one of the two stacked workers moved onto the joiner
+    assert sorted(workers.placements) == ["node02", "node03"]
+
+    r2 = engine.run(graph, StringToken("after"))
+    assert r2.token.text == "AFTER"
+    assert r2.rebalances == 1
+    assert r2.tokens_moved == 1
+    fired_on = {e.node for e in engine.tracer.filter("token_recv")
+                if e.op == "ToUpperCase"}
+    assert "node03" in fired_on
+
+
+def test_retire_drains_node():
+    engine, graph, workers = _stacked_engine()
+    engine.run(graph, StringToken("x"))
+    engine.add_kernel()
+
+    moved = engine.retire_kernel("node03")
+    assert moved == 1
+    assert engine.members() == ("node01", "node02")
+    assert "node03" not in workers.placements
+
+    r = engine.run(graph, StringToken("done"))
+    assert r.token.text == "DONE"
+    assert r.rebalances == 2
+    assert r.tokens_moved == 2
+
+
+def test_retired_node_can_rejoin():
+    """Retire then re-admit: the machine stays in the cluster model."""
+    engine, graph, workers = _stacked_engine()
+    engine.run(graph, StringToken("x"))
+    engine.add_kernel("node03")
+    engine.retire_kernel("node03")
+    engine.add_kernel("node03")
+    assert engine.members() == ("node01", "node02", "node03")
+    # the workers settled one-per-node after the retire; minimal-move
+    # rightly leaves a balanced spread alone on re-join
+    assert len(set(workers.placements)) == 2
+    assert engine.run(graph, StringToken("again")).token.text == "AGAIN"
+
+
+def test_membership_errors():
+    engine = SimEngine(paper_cluster(2))
+    with pytest.raises(ScheduleError, match="already a member"):
+        engine.add_kernel("node02")
+    with pytest.raises(ScheduleError, match="not a member"):
+        engine.retire_kernel("node09")
+    engine.retire_kernel("node02")
+    with pytest.raises(ScheduleError, match="last member"):
+        engine.retire_kernel("node01")
+
+
+def test_gol_scale_up_down_is_bit_identical():
+    """Scale 2 -> 3 -> 2 mid-computation; the world must match the
+    single-process reference bit for bit."""
+    world = (np.random.RandomState(11).rand(24, 16) < 0.4).astype(np.uint8)
+    ref = world
+    for _ in range(6):
+        ref = life_step(ref)
+
+    engine = SimEngine(paper_cluster(4))
+    gol = DistributedGameOfLife(engine, world, ["node01", "node02"])
+    gol.load()
+    for _ in range(2):
+        gol.step(improved=True)
+    engine.add_kernel()  # node05
+    for _ in range(2):
+        gol.step(improved=True)
+    engine.retire_kernel("node05")
+    for _ in range(2):
+        gol.step(improved=True)
+    assert np.array_equal(gol.gather(), ref)
+
+
+def test_routing_policy_is_deterministic_in_sim():
+    """Same graph + cluster + policy twice => identical virtual makespan
+    (adaptive routing must not leak wall-clock nondeterminism)."""
+    def run_once():
+        engine = SimEngine(paper_cluster(3),
+                           routing=RoutingPolicy(kind="queue_depth"))
+        graph, main, workers = build_uppercase_graph(
+            "node01", "node02 node03")
+        result = engine.run(graph, StringToken("determinism"))
+        return result.token.text, result.makespan
+
+    assert run_once() == run_once()

@@ -52,7 +52,8 @@ def test_exact_public_surface():
         "FlowgraphBuilder", "FlowgraphNode", "GraphError", "KernelFailure",
         "LeafOperation", "LoadBalancedRoute", "MergeOperation",
         "MetricsRegistry", "MultiprocessEngine", "NetworkSpec", "NodeSpec",
-        "Operation", "RoundRobinRoute", "Route", "RunResult",
+        "Operation", "QueueDepthRoute", "RoundRobinRoute", "Route",
+        "RoutingPolicy", "RunResult", "ScalingPolicy",
         "ScheduleError", "ServiceClient", "ServiceEngine", "SimEngine",
         "SimpleToken", "SplitOperation", "StreamOperation",
         "ThreadCollection", "ThreadedEngine", "Token", "Tracer",
@@ -89,6 +90,44 @@ def test_failure_and_faultpolicy_semantics():
     with pytest.raises(ValueError, match="kill_after"):
         FaultPolicy(kill_kernel="node01")
     assert FaultPolicy().enabled is False
+
+
+def test_membership_verbs_and_policy_api():
+    """The elastic-membership API: membership verbs on the Engine base,
+    RunResult rebalance fields, and the frozen routing/scaling policies."""
+    import dataclasses
+
+    import pytest
+
+    from repro import (Engine, RoutingPolicy, RunResult, ScalingPolicy,
+                       ThreadedEngine)
+
+    # Membership verbs exist on the base; engines without elastic
+    # membership say which engines have it.
+    for verb in ("add_kernel", "retire_kernel", "members"):
+        assert hasattr(Engine, verb)
+    with pytest.raises(NotImplementedError, match="add_kernel"):
+        ThreadedEngine().add_kernel()
+    with pytest.raises(NotImplementedError, match="retire_kernel"):
+        ThreadedEngine().retire_kernel("node01")
+
+    # RunResult carries the rebalance outcome.
+    r = RunResult(None, 0.0, 1.0)
+    assert r.rebalances == 0 and r.tokens_moved == 0
+    r = RunResult(None, 0.0, 1.0, rebalances=2, tokens_moved=3)
+    assert r.rebalances == 2 and r.tokens_moved == 3
+
+    # Both policies are frozen dataclasses that validate eagerly.
+    assert dataclasses.is_dataclass(RoutingPolicy)
+    assert dataclasses.is_dataclass(ScalingPolicy)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        RoutingPolicy().kind = "queue_depth"
+    with pytest.raises(ValueError, match="kind"):
+        RoutingPolicy(kind="fastest")
+    with pytest.raises(ValueError, match="max_kernels"):
+        ScalingPolicy(min_kernels=4, max_kernels=2)
+    assert RoutingPolicy(kind="queue_depth").adaptive is True
+    assert RoutingPolicy().adaptive is False
 
 
 def test_star_import_matches_all():
