@@ -17,6 +17,15 @@ interleaves lifetimes: eventloop, threads, eventloop, threads, ... for
 Slow drift (another tenant, thermal state) then lands on both modes
 symmetrically instead of biasing whichever ran second.
 
+A ``codec`` section micro-benchmarks the wire codec itself (ISSUE 9):
+encode+decode round trips/sec for the ring's scalar job token and its
+Buffer-carrying block token, pure visitor vs the plan/compiled fast
+path, with the fast/pure speedup.  The ``host`` section records which
+codec flavour ran (``fast:plans+compiled`` needs a working C toolchain
+at install time; ``fast:plans`` is the everywhere-available tier).
+Throughput entries carry min/max alongside the median so the committed
+numbers expose their own noise floor.
+
 A ``service_tier`` section is appended from the resident-service load
 harness (``test_service_tier.run_load``): a Game of Life service under
 eight external client processes, publishing correct requests/sec,
@@ -54,9 +63,14 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from test_elastic import run_elastic_load, run_routing_ab  # noqa: E402
 from test_service_tier import run_load  # noqa: E402
 
-from repro.apps.ring import RingJobToken, build_ring_graph  # noqa: E402
+from repro.apps.ring import (  # noqa: E402
+    RingBlockToken,
+    RingJobToken,
+    build_ring_graph,
+)
 from repro.net import TransportPolicy  # noqa: E402
 from repro.runtime import MultiprocessEngine  # noqa: E402
+from repro.serial import decode, encode, fastpath  # noqa: E402
 from repro.trace import MetricsRegistry  # noqa: E402
 
 RING_NODES = ["node01", "node02", "node03", "node04"]
@@ -121,6 +135,10 @@ def summarize(io_mode: str, samples, threads_per_kernel: int,
     counters = metrics.snapshot().get("counters", {})
     return {
         "tokens_per_sec": round(statistics.median(tok_rates), 1),
+        # Median-of-pooled-runs with the spread: min/max expose how much
+        # scheduler noise the median is hiding on a shared box.
+        "tokens_per_sec_min": round(tok_rates[0], 1),
+        "tokens_per_sec_max": round(tok_rates[-1], 1),
         "frames_per_syscall":
             round(fps.total / fps.count, 3) if fps.count else 0.0,
         "latency_us_p50": round(pct(lat_us, 0.50), 1),
@@ -128,7 +146,61 @@ def summarize(io_mode: str, samples, threads_per_kernel: int,
         "threads_per_kernel": threads_per_kernel,
         "io_loop_wakeups": counters.get("io_loop_wakeups", 0),
         "partial_writes": counters.get("partial_writes", 0),
+        "flush_window_hits": counters.get("flush_window_hits", 0),
+        "codec_fast_path": counters.get("codec_fast_path", 0),
     }
+
+
+def bench_codec(*, block_bytes: int, rounds: int = 20_000,
+                reps: int = 3) -> dict:
+    """Codec micro-bench: ring-token encode+decode round trips/sec.
+
+    Times the exact tokens the ring demo ships (the scalar job token and
+    the Buffer-carrying block token) through the pure visitor and the
+    fast path, interleaved per rep like the engine benchmark; reports the
+    median rate with its min/max spread, plus the fast/pure ratio.
+    """
+    import numpy as np
+
+    tokens = {
+        "job_token": RingJobToken(block_bytes, 7),
+        "block_token": RingBlockToken(
+            np.arange(block_bytes, dtype=np.uint8), 3, 9),
+    }
+    saved = fastpath.get_codec()
+    rates = {name: {"pure": [], "fast": []}
+             for name in tokens}
+    try:
+        for _ in range(reps):
+            for mode in ("pure", "fast"):
+                fastpath.set_codec(mode)
+                for name, tok in tokens.items():
+                    fastpath.warm(tok)
+                    decode(encode(tok))  # warm plans/caches off the clock
+                    t0 = time.perf_counter()
+                    for _ in range(rounds):
+                        decode(encode(tok))
+                    rates[name][mode].append(
+                        rounds / (time.perf_counter() - t0))
+    finally:
+        fastpath.set_codec(saved)
+
+    out = {"rounds": rounds, "reps": reps,
+           "codec_in_use": fastpath.codec_in_use()}
+    for name in tokens:
+        section = {}
+        for mode in ("pure", "fast"):
+            values = sorted(rates[name][mode])
+            section[mode] = {
+                "roundtrips_per_sec": round(statistics.median(values), 1),
+                "min": round(values[0], 1),
+                "max": round(values[-1], 1),
+            }
+        section["speedup_fast_vs_pure"] = round(
+            section["fast"]["roundtrips_per_sec"]
+            / max(1e-9, section["pure"]["roundtrips_per_sec"]), 3)
+        out[name] = section
+    return out
 
 
 def main(argv=None) -> int:
@@ -166,6 +238,11 @@ def main(argv=None) -> int:
             registries[io_mode], blocks=args.blocks)
         print(f"[emit_bench] {io_mode}: {modes[io_mode]}", flush=True)
 
+    print("[emit_bench] codec: ring-token encode+decode, pure vs fast "
+          f"({fastpath.codec_in_use()})", flush=True)
+    codec = bench_codec(block_bytes=args.block_bytes, reps=args.reps)
+    print(f"[emit_bench] codec: {codec}", flush=True)
+
     print(f"[emit_bench] service tier: {args.service_clients} client "
           f"processes on the resident GoL service", flush=True)
     service_tier = run_load(n_clients=args.service_clients)
@@ -191,6 +268,8 @@ def main(argv=None) -> int:
             "cpus": _usable_cpus(),
             "platform": platform.platform(),
             "python": platform.python_version(),
+            "codec": fastpath.codec_in_use(),
+            "codec_compiled": fastpath.compiled_available(),
         },
         "config": {
             "nodes": RING_NODES,
@@ -201,6 +280,7 @@ def main(argv=None) -> int:
         },
         "modes": modes,
         "speedup_eventloop_vs_threads": round(speedup, 3),
+        "codec": codec,
         "service_tier": service_tier,
         "elastic": elastic,
     }

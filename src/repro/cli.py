@@ -296,6 +296,21 @@ def main(argv: Optional[List[str]] = None) -> int:
              "per-connection reader threads (sets REPRO_IO_MODE)",
     )
     parser.add_argument(
+        "--codec", choices=["auto", "fast", "pure"], default=None,
+        help="wire codec selection: 'auto' (default) uses the compiled/"
+             "plan fast path when available, 'fast' insists on it, "
+             "'pure' forces the pure-Python reference codec — bytes are "
+             "bit-identical either way (sets REPRO_CODEC)",
+    )
+    parser.add_argument(
+        "--flush-delay-us", type=int, metavar="US", default=None,
+        help="eventloop I/O core: timer flush window in microseconds — "
+             "data frames queued within the window share one vectored "
+             "write; acks/control frames always flush immediately; 0 "
+             "(default) keeps only the free quiescent-point coalescing "
+             "(sets REPRO_FLUSH_DELAY_US)",
+    )
+    parser.add_argument(
         "--routing", choices=["round_robin", "queue_depth"], default=None,
         help="split routing policy: as declared by the graph (default) or "
              "queue-depth adaptive — round-robin routes pick the instance "
@@ -400,6 +415,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.environ["REPRO_SHM"] = "0"
     if args.io_mode is not None:
         os.environ["REPRO_IO_MODE"] = args.io_mode
+    if args.codec is not None:
+        os.environ["REPRO_CODEC"] = args.codec
+        from .serial import fastpath
+        fastpath.set_codec(args.codec)  # this process, not just children
+    if args.flush_delay_us is not None:
+        os.environ["REPRO_FLUSH_DELAY_US"] = str(args.flush_delay_us)
     # Routing/scaling policies, resolved by RoutingPolicy.from_env() /
     # ScalingPolicy.from_env() in whichever engine the command builds.
     if args.routing is not None:

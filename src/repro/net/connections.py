@@ -87,12 +87,40 @@ class TransportPolicy:
     #: threads (the PR 4 shape) for A/B runs and as the fallback on
     #: platforms without a working selector.
     io_mode: str = "eventloop"
+    #: Wire codec selection: ``"auto"`` uses per-token-type plans plus
+    #: the compiled visitor when the optional ``_wirec`` extension built
+    #: (pure-Python fallback otherwise), ``"fast"`` is the same
+    #: selection named explicitly for A/B runs, ``"pure"`` forces the
+    #: generic visitor.  Wire bytes are identical across all three.
+    codec: str = "auto"
+    #: Nagle-style flush window for the eventloop sender: delay-eligible
+    #: data frames may wait up to this long (microseconds) for the
+    #: outbox to accumulate before a flush.  Control frames (acks,
+    #: results, totals, shutdown — everything that is not ``MSG_DATA``)
+    #: bypass the window and flush everything queued before them.  ``0``
+    #: (the default) disables the *timer* window; coalescing still
+    #: happens at the loop's quiescent points, which is free — a timer
+    #: delay additionally taxes every flow-control round trip (select
+    #: oversleep can stretch a 200 us window past 1 ms on a contended
+    #: host), so reserve ``> 0`` for syscall-bound pipelined workloads
+    #: where RTT does not gate throughput.
+    flush_delay_us: int = 0
 
     def __post_init__(self) -> None:
         if self.io_mode not in ("eventloop", "threads"):
             raise ValueError(
                 f"io_mode must be 'eventloop' or 'threads', "
                 f"got {self.io_mode!r}"
+            )
+        if self.codec not in ("auto", "fast", "pure"):
+            raise ValueError(
+                f"codec must be 'auto', 'fast' or 'pure', "
+                f"got {self.codec!r}"
+            )
+        if not 0 <= self.flush_delay_us <= 1_000_000:
+            raise ValueError(
+                f"flush_delay_us must be in [0, 1000000], "
+                f"got {self.flush_delay_us!r}"
             )
 
     @property
@@ -104,7 +132,7 @@ class TransportPolicy:
         """The PR 2 wire path: one syscall per frame, one frame per ack,
         every payload through TCP.  Kept for A/B benchmarks."""
         return cls(coalescing=False, ack_flush_window=0.0, ack_batch_limit=1,
-                   shm_enabled=False)
+                   shm_enabled=False, flush_delay_us=0)
 
     @classmethod
     def from_env(cls, env=None) -> "TransportPolicy":
@@ -114,7 +142,9 @@ class TransportPolicy:
           aggregation (the frame-at-a-time path);
         - ``REPRO_SHM=0`` / ``REPRO_SHM=1`` — force the shm lane off/on;
         - ``REPRO_SHM_THRESHOLD=<bytes>`` — shm size threshold;
-        - ``REPRO_IO_MODE=eventloop|threads`` — pick the I/O core.
+        - ``REPRO_IO_MODE=eventloop|threads`` — pick the I/O core;
+        - ``REPRO_CODEC=auto|fast|pure`` — wire codec selection;
+        - ``REPRO_FLUSH_DELAY_US=<us>`` — eventloop flush window.
         """
         env = os.environ if env is None else env
         policy = cls()
@@ -128,6 +158,11 @@ class TransportPolicy:
                              shm_threshold=int(env["REPRO_SHM_THRESHOLD"]))
         if "REPRO_IO_MODE" in env:
             policy = replace(policy, io_mode=env["REPRO_IO_MODE"])
+        if "REPRO_CODEC" in env:
+            policy = replace(policy, codec=env["REPRO_CODEC"])
+        if "REPRO_FLUSH_DELAY_US" in env:
+            policy = replace(policy,
+                             flush_delay_us=int(env["REPRO_FLUSH_DELAY_US"]))
         return policy
 
 

@@ -37,10 +37,12 @@ vice versa.
 
 from __future__ import annotations
 
+import heapq
 import selectors
 import socket
 import sys
 import threading
+import time
 import traceback
 from collections import deque
 from typing import Callable, List, Optional
@@ -48,12 +50,33 @@ from typing import Callable, List, Optional
 from ..serial.wire import Segment, frame
 from .framing import MAX_SENDMSG_SEGMENTS, _as_byte_views
 from .nameserver import NameServerError
+from .protocol import MSG_DATA
 from .shm import ShmSender, host_fingerprint
 
 __all__ = ["IOLoop", "VectoredSender", "EventLoopPeer",
            "eventloop_supported"]
 
 _WAKE = b"\x00"
+
+#: Consecutive single-frame window expiries before the adaptive flush
+#: window turns itself off (the delay bought no coalescing, only
+#: latency).  It re-arms as soon as a pump observes a multi-frame
+#: backlog — pipelined traffic where holding the flush pays off.
+_WINDOW_MISS_LIMIT = 3
+
+
+class _Timer:
+    """Cancelable one-shot deadline scheduled on the loop thread."""
+
+    __slots__ = ("deadline", "fn", "cancelled")
+
+    def __init__(self, deadline: float, fn: Callable[[], None]):
+        self.deadline = deadline
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
 
 
 def eventloop_supported() -> bool:
@@ -210,6 +233,11 @@ class IOLoop:
         self._wake_r, self._wake_w = r, w
         self._selector.register(r, selectors.EVENT_READ, self._on_wake)
         self._pending: deque = deque()
+        self._timers: list = []  # heap of (deadline, seq, _Timer)
+        self._timer_seq = 0
+        # key -> fn, run once at the end of the current loop pass (the
+        # flush-coalescing point: see at_pass_end)
+        self._pass_end: dict = {}
         self._wake_pending = False
         self._in_select = False
         self._closed = False
@@ -330,6 +358,62 @@ class IOLoop:
 
         self.call(register)
 
+    # -- pass-end hooks (loop thread only) -------------------------------
+    def at_pass_end(self, key, fn: Callable[[], None]) -> None:
+        """Run *fn* at the loop's next quiescent point.
+
+        The flush-coalescing point: hooks are carried across
+        back-to-back zero-timeout passes (a burst of queued work) and
+        run only when the loop is about to block in ``select`` — so
+        frames produced anywhere in the burst (including by worker
+        threads that got the GIL during its syscalls) share one flush
+        instead of one syscall per wakeup.  Keyed registration dedups —
+        a second ``at_pass_end`` for the same *key* replaces the first.
+        Hooks always run before the loop blocks, so nothing registered
+        here ever strands.  Loop-thread only.
+        """
+        self._pass_end[key] = fn
+
+    # -- timers (loop thread only) --------------------------------------
+    def call_later(self, delay: float, fn: Callable[[], None]) -> _Timer:
+        """Schedule *fn* on the loop thread after *delay* seconds.
+
+        Loop-thread only (no locking on the timer heap); returns a
+        handle whose :meth:`_Timer.cancel` unschedules it.  Fired and
+        cancelled timers leave the heap lazily.
+        """
+        timer = _Timer(time.monotonic() + delay, fn)
+        self._timer_seq += 1
+        heapq.heappush(self._timers, (timer.deadline, self._timer_seq,
+                                      timer))
+        return timer
+
+    def _next_timeout(self) -> Optional[float]:
+        """Select timeout honouring queued work and the timer heap."""
+        timers = self._timers
+        while timers and timers[0][2].cancelled:
+            heapq.heappop(timers)
+        if self._pending:
+            return 0
+        if not timers:
+            return None
+        return max(0.0, timers[0][0] - time.monotonic())
+
+    def _fire_timers(self) -> None:
+        timers = self._timers
+        if not timers:
+            return
+        now = time.monotonic()
+        while timers and (timers[0][2].cancelled
+                          or timers[0][0] <= now):
+            _, _, timer = heapq.heappop(timers)
+            if timer.cancelled:
+                continue
+            try:
+                timer.fn()
+            except Exception:
+                traceback.print_exc(file=sys.stderr)
+
     # -- loop internals -------------------------------------------------
     def _on_wake(self, _mask: int) -> None:
         try:
@@ -358,7 +442,24 @@ class IOLoop:
             # it as False appended earlier, so this check sees its work;
             # one that reads True sends a (possibly spurious) wake byte.
             self._in_select = True
-            events = selector.select(0 if pending else None)
+            timeout = self._next_timeout()
+            if timeout != 0 and self._pass_end:
+                # About to block: quiescence is the flush point.  While
+                # back-to-back zero-timeout passes chain (a burst), the
+                # registered flushes keep carrying forward and frames
+                # keep accumulating; they run only once the burst ends,
+                # right before the loop would go idle.
+                self._in_select = False
+                hooks = list(self._pass_end.values())
+                self._pass_end.clear()
+                for fn in hooks:
+                    try:
+                        fn()
+                    except Exception:
+                        traceback.print_exc(file=sys.stderr)
+                self._in_select = True
+                timeout = self._next_timeout()
+            events = selector.select(timeout)
             self._in_select = False
             if self._closed:
                 return
@@ -378,6 +479,7 @@ class IOLoop:
                     fn()
                 except Exception:
                     traceback.print_exc(file=sys.stderr)
+            self._fire_timers()
 
 
 class EventLoopPeer:
@@ -426,6 +528,12 @@ class EventLoopPeer:
         self._closing = False
         self._write_registered = False
         self._flushed = threading.Event()
+        # Adaptive Nagle-style flush window (loop-thread state only;
+        # urgency is classified per-frame during the outbox drain).
+        self._flush_delay = max(0, self._transport.flush_delay_us) / 1e6
+        self._window_active = self._flush_delay > 0
+        self._window_misses = 0
+        self._flush_timer = None
 
     # -- any-thread interface ------------------------------------------
     def send(self, segments: List[Segment]) -> None:
@@ -460,16 +568,75 @@ class EventLoopPeer:
                     target=self._dial,
                     name=f"dps-dial:{self.peer_name}", daemon=True).start()
             return  # _attach re-pumps once the dial lands
+        urgent = self._drain_outbox()
+        if self._write_registered:
+            # Socket buffer full: frames queue in the sender and
+            # _on_writable resumes the flush; a timer adds nothing.
+            return
+        sender = self._sender
+        if (urgent or self._closing or not self._window_active
+                or sender.pending_bytes >= self._transport.max_batch_bytes
+                or sender.pending_frames >= self._transport.max_batch_frames):
+            if sender.pending_frames >= 2 and self._flush_delay > 0:
+                # A multi-frame backlog means pipelined traffic: the
+                # window pays for itself again, so (re-)arm it for
+                # subsequent passes.
+                self._window_active = True
+                self._window_misses = 0
+            self._cancel_window()
+            if (sender.pending_bytes >= self._transport.max_batch_bytes
+                    or sender.pending_frames
+                    >= self._transport.max_batch_frames):
+                # Budget hit: flush inline to bound queued memory.
+                self._flush()
+            else:
+                # Flush at the loop's next quiescent point, not inline:
+                # the rest of the burst (reads handing tokens to worker
+                # threads, later pumps, timers) runs first, and frames
+                # those produce ride the same vectored write.  Latency
+                # cost is the burst remainder — the loop was busy anyway
+                # — against one syscall per wakeup; this is where the
+                # event loop recovers the natural backpressure batching
+                # a blocking writer thread gets for free.
+                self._loop.at_pass_end(self, self._flush)
+        elif self._flush_timer is None and sender.pending_frames:
+            self._flush_timer = self._loop.call_later(
+                self._flush_delay, self._window_fire)
+            if self._metrics is not None:
+                # Held frames are visible backlog while the window is
+                # open (the loop-health series the window adapts on).
+                self._metrics.gauge("outbox_depth").set(
+                    sender.pending_frames)
+
+    def _drain_outbox(self) -> bool:
+        """Move queued messages into the sender; report frame urgency.
+
+        Returns ``True`` when any drained frame is *not* delay-eligible
+        (its protocol kind byte is not ``MSG_DATA``): control traffic —
+        acks, heartbeat-class frames, totals, results, barriers — must
+        bypass the flush window, and FIFO ordering means everything
+        queued before it flushes along with it.
+        """
         sender = self._sender
         outbox = self._outbox
         shm = self._shm
+        urgent = False
         while outbox:
             message = outbox.popleft()
+            head = message[0]
+            if not len(head) or head[0] != MSG_DATA:
+                urgent = True
             if shm is not None:
                 message = shm.rewrite(message)
             sender.push(message)
+        return urgent
+
+    def _flush(self) -> None:
+        """Push the sender's queued frames to the socket (loop thread)."""
+        if self._failed or self._sock is None or self._write_registered:
+            return  # a pass-end hook may outlive a same-pass fail/detach
         try:
-            drained = sender.pump(self._sock)
+            drained = self._sender.pump(self._sock)
         except OSError as exc:
             self._fail(exc)
             return
@@ -483,7 +650,36 @@ class EventLoopPeer:
                 # Write-blocked: surface the backlog as backpressure so
                 # queue-depth dashboards see the stalled peer.
                 self._metrics.gauge("outbox_depth").set(
-                    sender.pending_frames + len(outbox))
+                    self._sender.pending_frames + len(self._outbox))
+
+    def _window_fire(self) -> None:
+        """The flush window elapsed: flush whatever accumulated."""
+        self._flush_timer = None
+        if self._failed or self._sock is None or self._write_registered:
+            return
+        self._drain_outbox()  # late arrivals ride the same flush
+        frames = self._sender.pending_frames
+        if not frames:
+            return
+        if frames <= 1:
+            # The delay bought no coalescing; after a few such misses
+            # stop paying latency until a multi-frame backlog re-arms.
+            self._window_misses += 1
+            if self._window_misses >= _WINDOW_MISS_LIMIT:
+                self._window_active = False
+        else:
+            self._window_misses = 0
+        if self._metrics is not None:
+            self._metrics.counter("flush_window_hits").inc()
+        if self._trace is not None:
+            self._trace("flush_window", peer=self.peer_name, frames=frames)
+        self._flush()
+
+    def _cancel_window(self) -> None:
+        timer = self._flush_timer
+        if timer is not None:
+            timer.cancel()
+            self._flush_timer = None
 
     def _note_drained(self) -> None:
         """Post-flush bookkeeping once everything queued hit the socket."""
@@ -498,7 +694,11 @@ class EventLoopPeer:
             self._flushed.set()
 
     def _on_writable(self, _mask: int) -> None:
-        self._pump()
+        # Resuming a blocked write: the window never delays here — the
+        # socket buffer just drained and frames are already overdue.
+        self._drain_outbox()
+        self._set_write_interest(False)
+        self._flush()
 
     def _set_write_interest(self, on: bool) -> None:
         if on == self._write_registered or self._sock is None:
@@ -567,6 +767,7 @@ class EventLoopPeer:
         if self._failed:
             return
         self._failed = True
+        self._cancel_window()
         self._count_drops(self._drop_queued())
         if self._shm is not None:
             # The peer is gone: blocks it never consumed would pin the
@@ -593,6 +794,7 @@ class EventLoopPeer:
     def _teardown(self) -> None:
         self._closing = True
         self._failed = True  # late sends become counted drops
+        self._cancel_window()
         self._set_write_interest(False)
         sock, self._sock = self._sock, None
         if sock is not None:

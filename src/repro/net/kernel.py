@@ -45,6 +45,7 @@ from ..core.routing import RoutingPolicy
 from ..runtime.controller import KernelFailure
 from ..runtime.threaded_engine import ThreadedEngine, _Body
 from ..runtime.base import DataEnvelope
+from ..serial import fastpath
 from ..serial.token import Token
 from ..serial.wire import WireError
 from .connections import ConnectionPool, TransportPolicy
@@ -111,6 +112,9 @@ class DistributedKernel(ThreadedEngine):
                          tracer=tracer, metrics=metrics, routing=routing)
         self.transport = transport if transport is not None \
             else TransportPolicy()
+        # Codec selection is process-wide (the wire module is shared by
+        # every connection), so the kernel's policy sets it once here.
+        fastpath.set_codec(self.transport.codec)
         if ordinal < 0:
             raise ValueError("kernel ordinal must be >= 0")
         self.name = name
@@ -328,6 +332,7 @@ class DistributedKernel(ThreadedEngine):
         fold into this kernel's registry.  Returns the peers that did
         not answer in time (normally empty).
         """
+        self._fold_codec_counters()
         peers = [p for p in peers if p != self.name]
         if not peers or (self.tracer is None and self.metrics is None):
             return []
@@ -347,8 +352,23 @@ class DistributedKernel(ThreadedEngine):
             self._trace_pending = set()
         return missing
 
+    def _fold_codec_counters(self) -> None:
+        """Fold the wire codec's fast-path tallies into the registry.
+
+        The fastpath module keeps module-level counters (it sits below
+        the metrics layer); draining them here, right before a snapshot
+        leaves the process, surfaces ``codec_fast_path`` and friends in
+        the merged console registry without a hot-path callback.
+        """
+        if self.metrics is None:
+            return
+        for key, value in fastpath.take_counters().items():
+            if value:
+                self.metrics.counter(key).inc(value)
+
     def _ship_trace(self, reply_to: str) -> None:
         """Answer a flush request with our buffered events and metrics."""
+        self._fold_codec_counters()
         events = self.tracer.dump() if self.tracer is not None else []
         snapshot = self.metrics.snapshot() if self.metrics is not None else {}
         try:

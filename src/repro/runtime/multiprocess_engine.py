@@ -44,6 +44,7 @@ from ..net.connections import TransportPolicy
 from ..net.kernel import CONSOLE_KERNEL, DistributedKernel, run_kernel_process
 from ..net.nameserver import run_name_server
 from ..net.recovery import FaultPolicy
+from ..serial import fastpath
 from ..serial.token import Token
 from .base import Engine, RunResult
 from .controller import ScheduleError
@@ -641,6 +642,9 @@ class MultiprocessEngine(Engine):
             graph = self.graph(graph)
         elif graph.name not in self._graphs:
             self.register_graph(graph)
+        # Precompile the wire plan for the activation's token type before
+        # the hot path — repeat activations reuse the cached plan.
+        fastpath.warm(token)
         console = self._ensure_started()
         started = time.monotonic()
         result = console.run(graph, token, timeout=timeout)

@@ -1,6 +1,7 @@
 """Serialization substrate: tokens, containers, registry, wire format."""
 
 from .containers import Buffer, Vector
+from .fastpath import codec_in_use, compiled_available, get_codec, set_codec
 from .registry import TokenRegistry, registry
 from .token import ComplexToken, SimpleToken, Token, TokenMeta
 from .wire import (
@@ -31,6 +32,8 @@ __all__ = [
     "TokenRegistry",
     "Vector",
     "WireError",
+    "codec_in_use",
+    "compiled_available",
     "decode",
     "encode",
     "encode_into",
@@ -38,7 +41,9 @@ __all__ = [
     "encoded_size",
     "frame",
     "gather",
+    "get_codec",
     "measure",
     "registry",
+    "set_codec",
     "unframe",
 ]

@@ -1,0 +1,240 @@
+"""Per-token-type wire plans: flat ``struct`` batches, no value dispatch.
+
+The generic codec in :mod:`~repro.serial.wire` walks every field of every
+token through a type-dispatching visitor.  For the small control tokens
+that dominate kernel-to-kernel traffic (all-scalar field layouts such as
+the ring job/done tokens, service-call envelopes, elastic control
+records) the message layout is *fixed* per token type: the magic, the
+registered name, the dict header, every key and every tag byte are
+compile-time constants, and only the scalar payloads vary.
+
+A *plan* exploits that: it is a single precompiled ``struct.Struct``
+whose format interleaves the constant byte runs (as ``Ns`` chunks) with
+the variable scalar slots (``q`` for int64, ``d`` for float64, ``c`` for
+the bool tag byte, which doubles as the value).  Encoding a planned
+token is one ``tuple(fields)`` signature check, a handful of exact-type
+guards, and one ``Struct.pack`` — no per-value dispatch, no bytearray
+growth.  Decoding is one length check, one ``Struct.unpack``, a constant
+comparison, and a dict literal.
+
+Plans are built lazily from a sample instance (the first encode or the
+first generic decode of a token type — see
+:mod:`~repro.serial.fastpath`), keyed by the token type's *signature*:
+its registered name plus the ordered ``(key, value-kind)`` layout of its
+fields.  Any deviation at runtime — a field added, a value that is not
+the planned exact type, an int64 overflowing to BIGINT — raises
+:class:`PlanMiss` and the caller falls back to the generic codec, whose
+bytes the plan reproduces bit-identically (pinned by the parity property
+suite in ``tests/serial/``).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = ["PlanMiss", "build_encode_plan", "build_decode_plan",
+           "plan_signature"]
+
+
+class PlanMiss(Exception):
+    """A planned token deviated from its plan; use the generic codec."""
+
+
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+# Wire constants mirrored from ``wire.py`` (single byte each; the parity
+# property suite pins plan output against the generic codec, so drift
+# here cannot ship silently).
+_MAGIC = b"DPS2"
+_TAG_FALSE = b"\x01"
+_TAG_TRUE = b"\x02"
+_TAG_INT64 = b"\x03"
+_TAG_FLOAT64 = b"\x04"
+_TAG_DICT = b"\x0d"
+
+
+def plan_signature(name: bytes, fields: Dict[str, Any]) -> Tuple:
+    """Hashable signature of a token layout: name + ordered field kinds."""
+    return (name, tuple((k, type(v).__name__) for k, v in fields.items()))
+
+
+def _layout(name: bytes, sample: Dict[str, Any]):
+    """Split the wire layout of *sample* into const runs and scalar slots.
+
+    Returns ``(pieces, field_order)`` where each piece is ``('const',
+    bytes)`` or ``('int' | 'float' | 'bool', key)`` and *field_order* is
+    the ordered ``(key, kind)`` list over every field (kind ``'none'``
+    for None-valued fields, which are folded into const runs).  Returns
+    ``None`` when the layout is not plannable (non-scalar field,
+    oversized key, an int already outside int64).
+    """
+    const = bytearray(_MAGIC)
+    const += _U16.pack(len(name))
+    const += name
+    const += _TAG_DICT
+    const += _U32.pack(len(sample))
+    pieces: list = []
+    field_order: list = []
+    for key, value in sample.items():
+        if type(key) is not str:
+            return None
+        kraw = key.encode("utf-8")
+        if len(kraw) > 0xFFFF:
+            return None
+        const += _U16.pack(len(kraw))
+        const += kraw
+        kind = type(value)
+        if kind is bool:
+            # The tag byte doubles as the value (TRUE/FALSE), so the
+            # slot is the 1-byte tag itself.
+            pieces.append(("const", bytes(const)))
+            const = bytearray()
+            pieces.append(("bool", key))
+            field_order.append((key, "bool"))
+        elif kind is int:
+            if not (_INT64_MIN <= value <= _INT64_MAX):
+                return None  # first sample is already a BIGINT layout
+            const += _TAG_INT64
+            pieces.append(("const", bytes(const)))
+            const = bytearray()
+            pieces.append(("int", key))
+            field_order.append((key, "int"))
+        elif kind is float:
+            const += _TAG_FLOAT64
+            pieces.append(("const", bytes(const)))
+            const = bytearray()
+            pieces.append(("float", key))
+            field_order.append((key, "float"))
+        elif value is None:
+            const += b"\x00"
+            field_order.append((key, "none"))
+        else:
+            return None
+    if const:
+        pieces.append(("const", bytes(const)))
+    return pieces, field_order
+
+
+_SLOT_FMT = {"int": "q", "float": "d", "bool": "c"}
+
+
+def build_encode_plan(name: bytes, sample: Dict[str, Any]
+                      ) -> Optional[Callable[[Dict[str, Any]], bytes]]:
+    """Compile ``fields -> wire bytes`` for *sample*'s layout, or ``None``.
+
+    The returned callable raises :class:`PlanMiss` whenever the fields
+    it is handed deviate from the planned signature (different keys or
+    order, a non-exact-type value, int64 overflow, a None field that is
+    no longer None).
+    """
+    layout = _layout(name, sample)
+    if layout is None:
+        return None
+    pieces, field_order = layout
+    fmt = ["<"]
+    ns: Dict[str, Any] = {"_PM": PlanMiss, "_int": int, "_float": float}
+    args: list = []
+    lines = ["def _pack(fields):",
+             "    if tuple(fields) != _keys:",
+             "        raise _PM"]
+    ns["_keys"] = tuple(sample)
+    for i, (kind, payload) in enumerate(pieces):
+        if kind == "const":
+            fmt.append(f"{len(payload)}s")
+            ns[f"_c{i}"] = payload
+            args.append(f"_c{i}")
+            continue
+        fmt.append(_SLOT_FMT[kind])
+        var = f"v{i}"
+        lines.append(f"    {var} = fields[{payload!r}]")
+        if kind == "int":
+            lines.append(f"    if {var}.__class__ is not _int or "
+                         f"{var} > {_INT64_MAX} or {var} < {_INT64_MIN}:")
+            lines.append("        raise _PM")
+        elif kind == "float":
+            lines.append(f"    if {var}.__class__ is not _float:")
+            lines.append("        raise _PM")
+        else:  # bool
+            lines.append(f"    if {var} is True:")
+            lines.append(f"        {var} = {_TAG_TRUE!r}")
+            lines.append(f"    elif {var} is False:")
+            lines.append(f"        {var} = {_TAG_FALSE!r}")
+            lines.append("    else:")
+            lines.append("        raise _PM")
+        args.append(var)
+    for key, kind in field_order:
+        if kind == "none":
+            lines.append(f"    if fields[{key!r}] is not None:")
+            lines.append("        raise _PM")
+    st = struct.Struct("".join(fmt))
+    ns["_pki"] = st.pack_into
+    ns["_n"] = st.size
+    # A bytearray, not bytes: encode_segments documents its single-segment
+    # whole-message tail as writable, and gather() hands it over as-is.
+    lines.append("    out = bytearray(_n)")
+    lines.append(f"    _pki(out, 0, {', '.join(args)})")
+    lines.append("    return out")
+    exec(compile("\n".join(lines), "<wire-encode-plan>", "exec"), ns)
+    return ns["_pack"]
+
+
+def build_decode_plan(cls: type, name: bytes, sample: Dict[str, Any]
+                      ) -> Optional[Callable[[memoryview], Any]]:
+    """Compile ``wire view -> token`` for *sample*'s layout, or ``None``.
+
+    The returned callable raises :class:`PlanMiss` on any deviation —
+    wrong total length, any constant run (magic, name, keys, tags) not
+    matching, a bool slot holding a byte that is neither TRUE nor FALSE.
+    """
+    layout = _layout(name, sample)
+    if layout is None:
+        return None
+    pieces, field_order = layout
+    fmt = ["<"]
+    for kind, payload in pieces:
+        fmt.append(f"{len(payload)}s" if kind == "const"
+                   else _SLOT_FMT[kind])
+    st = struct.Struct("".join(fmt))
+    ns: Dict[str, Any] = {"_PM": PlanMiss, "_up": st.unpack, "_cls": cls}
+    lines = ["def _unpack(view):",
+             f"    if view.nbytes != {st.size}:",
+             "        raise _PM",
+             "    t = _up(view)"]
+    checks = []
+    slot_index: Dict[str, int] = {}
+    for i, (kind, payload) in enumerate(pieces):
+        if kind == "const":
+            ns[f"_c{i}"] = payload
+            checks.append(f"t[{i}] != _c{i}")
+        else:
+            slot_index[payload] = i
+    if checks:
+        lines.append(f"    if {' or '.join(checks)}:")
+        lines.append("        raise _PM")
+    # Assign fields strictly in wire order — the generic decoder builds
+    # its dict that way, and a re-encode of the decoded token must walk
+    # the keys in the same order to stay bit-identical.
+    lines.append("    d = {}")
+    for key, kind in field_order:
+        if kind == "none":
+            lines.append(f"    d[{key!r}] = None")
+        elif kind == "bool":
+            lines.append(f"    b = t[{slot_index[key]}]")
+            lines.append("    if b == b'\\x02':")
+            lines.append(f"        d[{key!r}] = True")
+            lines.append("    elif b == b'\\x01':")
+            lines.append(f"        d[{key!r}] = False")
+            lines.append("    else:")
+            lines.append("        raise _PM")
+        else:
+            lines.append(f"    d[{key!r}] = t[{slot_index[key]}]")
+    lines.append("    obj = _cls.__new__(_cls)")
+    lines.append("    obj.__dict__ = d")
+    lines.append("    return obj")
+    exec(compile("\n".join(lines), "<wire-decode-plan>", "exec"), ns)
+    return ns["_unpack"]

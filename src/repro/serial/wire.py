@@ -169,6 +169,10 @@ def encode_segments(token: Token, reg: TokenRegistry = registry) -> List[Segment
     if not isinstance(token, Token):
         raise WireError(f"can only encode Token instances, got {type(token).__name__}")
     name = reg.name_bytes_of(type(token))
+    if _fastpath.enabled:
+        fast = _fastpath.try_encode(token, name, reg is registry)
+        if fast is not None:
+            return [fast]
     head = bytearray(MAGIC)
     head += _U16.pack(len(name))
     head += name
@@ -304,12 +308,18 @@ def decode(
     borrowed from a read-only source (e.g. ``bytes``) are read-only;
     borrowing from a ``bytearray`` yields writable aliasing arrays.
     """
+    fast_eligible = _fastpath.enabled
+    if fast_eligible:
+        token = _fastpath.try_decode(data, reg, copy)
+        if token is not None:
+            return token
     view = memoryview(data)
     if view[:4] != MAGIC:
         raise WireError("bad magic; not a DPS wire message")
     (name_len,) = _U16.unpack_from(view, 4)
     offset = 6
-    name = str(view[offset : offset + name_len], "utf-8")
+    name_raw = bytes(view[offset : offset + name_len])
+    name = str(name_raw, "utf-8")
     offset += name_len
     cls = reg.lookup(name)
     fields, offset = _decode_value(view, offset, copy)
@@ -318,6 +328,9 @@ def decode(
     obj = cls.__new__(cls)
     # The fields dict is freshly built by the decoder — adopt it outright.
     obj.__dict__ = fields
+    if fast_eligible and reg is registry:
+        # Learn a per-type plan from this sample (once per name).
+        _fastpath.note_decoded(name_raw, obj)
     return obj
 
 
@@ -630,3 +643,15 @@ def _decode_ndarray(view: memoryview, offset: int, copy: bool = True) -> tuple[n
     if copy:
         arr = arr.copy()
     return arr, offset + nbytes
+
+
+# ---------------------------------------------------------------------------
+# fast-path hookup
+# ---------------------------------------------------------------------------
+# The fastpath module receives the generic visitors' internals here and
+# binds the optional compiled extension.  Imported at the bottom so every
+# name above is already defined; fastpath never imports wire back.
+
+from . import fastpath as _fastpath  # noqa: E402
+
+_fastpath._bind(globals())

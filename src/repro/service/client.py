@@ -41,6 +41,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..net import protocol as P
 from ..net.connections import ConnectionPool, TransportPolicy
+from ..serial import fastpath
 from ..net.framing import FrameReader
 from ..net.kernel import CONSOLE_KERNEL
 from ..net.nameserver import NameServerClient
@@ -195,6 +196,9 @@ class ServiceClient:
         """Issue one call; blocks only for session-window space."""
         if self._closed:
             raise ServiceError("client is closed")
+        # Precompile the per-token-type wire plan outside the lock; the
+        # common service pattern sends many tokens of one type.
+        fastpath.warm(token)
         self.open()
         failure = self._failure
         if failure is not None:
