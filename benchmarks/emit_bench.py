@@ -31,6 +31,13 @@ harness (``test_service_tier.run_load``): a Game of Life service under
 eight external client processes, publishing correct requests/sec,
 latency p50/p99, and how many calls admission shed.
 
+A ``streaming`` section is appended from the stream soak harness
+(``test_stream_soak.run_soak``): the bursty windowed pipeline on the
+simulated and multiprocess engines, publishing sustained tokens/sec,
+p99 window latency, the chaos kill's replay count and recovery gap,
+how many tokens a lossy credit window shed under overload, and the
+bit-identical digest checks against the engine-free oracle.
+
 An ``elastic`` section is appended from the elasticity harnesses
 (``test_elastic``): the deterministic routing A/B (round-robin vs
 queue-depth adaptive on a skewed simulated workload) and a live
@@ -62,6 +69,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from test_elastic import run_elastic_load, run_routing_ab  # noqa: E402
 from test_service_tier import run_load  # noqa: E402
+from test_stream_soak import run_soak  # noqa: E402
 
 from repro.apps.ring import (  # noqa: E402
     RingBlockToken,
@@ -213,6 +221,8 @@ def main(argv=None) -> int:
                         help="interleaved engine lifetimes per mode")
     parser.add_argument("--service-clients", type=int, default=8,
                         help="client processes for the service-tier load")
+    parser.add_argument("--stream-items", type=int, default=512,
+                        help="items pushed through the stream soak")
     parser.add_argument("--out", default=os.path.join(
         os.path.dirname(os.path.abspath(__file__)), ".."))
     args = parser.parse_args(argv)
@@ -248,6 +258,12 @@ def main(argv=None) -> int:
     service_tier = run_load(n_clients=args.service_clients)
     print(f"[emit_bench] service_tier: {service_tier}", flush=True)
 
+    print(f"[emit_bench] streaming: {args.stream_items}-item bursty "
+          "windowed soak (sim oracle, mp, mp+kill, overload shed)",
+          flush=True)
+    streaming = run_soak(items=args.stream_items)
+    print(f"[emit_bench] streaming: {streaming}", flush=True)
+
     print("[emit_bench] elastic: routing A/B (sim) + live 2->3->2 "
           "rescale (multiprocess GoL)", flush=True)
     elastic = {
@@ -282,6 +298,7 @@ def main(argv=None) -> int:
         "speedup_eventloop_vs_threads": round(speedup, 3),
         "codec": codec,
         "service_tier": service_tier,
+        "streaming": streaming,
         "elastic": elastic,
     }
     out_path = os.path.join(args.out, f"BENCH_{date}_{sha}.json")

@@ -35,6 +35,7 @@ from .cluster import (
     paper_cluster,
 )
 from .core import (
+    ArrivalProcess,
     ConstantRoute,
     DpsThread,
     FlowControlPolicy,
@@ -52,7 +53,12 @@ from .core import (
     RoutingPolicy,
     SplitOperation,
     StreamOperation,
+    StreamPolicy,
+    StreamSource,
     ThreadCollection,
+    Watermark,
+    WindowSpec,
+    WindowedStream,
     route_fn,
 )
 from .runtime import (
@@ -78,6 +84,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AdmissionPolicy",
     "Application",
+    "ArrivalProcess",
     "Buffer",
     "Cluster",
     "ClusterSpec",
@@ -113,12 +120,17 @@ __all__ = [
     "SimpleToken",
     "SplitOperation",
     "StreamOperation",
+    "StreamPolicy",
+    "StreamSource",
     "ThreadCollection",
     "ThreadedEngine",
     "Token",
     "Tracer",
     "TransportPolicy",
     "Vector",
+    "Watermark",
+    "WindowSpec",
+    "WindowedStream",
     "create_engine",
     "export_chrome_trace",
     "paper_cluster",

@@ -1,0 +1,388 @@
+"""Bursty unbounded streaming pipeline — the stream-API showcase.
+
+A :class:`~repro.core.streams.StreamSource` injects items on a seeded
+bursty arrival schedule, parallel leaf workers transform them, a
+:class:`~repro.core.windows.WindowedStream` aggregates them into
+tumbling (or sliding) windows, and a final merge folds the closed
+windows into one order-independent digest:
+
+    ingest (StreamSource) >> transform (leaf xN) >> window-agg
+    (WindowedStream, single instance) >> summary (merge)
+
+The digest is a pure function of the aggregated window contents — no
+timestamps, no arrival order — so the same job must produce the
+bit-identical digest on the simulated, threaded and multiprocess
+engines, and again when a kernel is killed mid-stream and the replay
+path re-delivers the lost tokens (exactly-once per window: a duplicate
+delivery would change a window's count/checksum and break the digest).
+
+Per-window latency (merge receipt minus window close, both on the
+engine clock) is carried alongside but excluded from the digest, so the
+soak harness can report p99 window latency without perturbing the
+cross-engine comparison.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core import (
+    ConstantRoute,
+    DpsThread,
+    FlowgraphNode,
+    Flowgraph,
+    LeafOperation,
+    MergeOperation,
+    RoundRobinRoute,
+    ThreadCollection,
+)
+from ..core.streams import ArrivalProcess, StreamSource
+from ..core.windows import (
+    CHECKSUM_MOD,
+    WindowResult,
+    WindowSpec,
+    WindowedStream,
+    checksum_mix,
+)
+from ..runtime.base import RunResult, coerce_run_result
+from ..serial import SimpleToken, Token
+
+__all__ = ["StreamJob", "StreamRunStats", "build_stream_graph",
+           "run_stream_pipeline", "oracle_digest"]
+
+
+# ---------------------------------------------------------------------------
+# tokens
+# ---------------------------------------------------------------------------
+
+class StreamJobToken(SimpleToken):
+    """The whole run: arrival process + window geometry + work knob."""
+
+    def __init__(self, items: int = 0, rate: float = 1000.0, burst: int = 8,
+                 gap: float = 0.01, seed: int = 0, window: int = 16,
+                 slide: int = 0, work: float = 0.0, salt: int = 1):
+        self.items = items
+        self.rate = rate
+        self.burst = burst
+        self.gap = gap
+        self.seed = seed
+        self.window = window
+        self.slide = slide  # 0 = tumbling (slide == window)
+        self.work = work
+        self.salt = salt
+
+
+class StreamItemToken(SimpleToken):
+    """One stream element; carries the window spec so the aggregation
+    stage needs no out-of-band configuration."""
+
+    def __init__(self, seq: int = 0, value: int = 0, window: int = 16,
+                 slide: int = 0, work: float = 0.0):
+        self.seq = seq
+        self.value = value
+        self.window = window
+        self.slide = slide
+        self.work = work
+
+
+class WindowToken(SimpleToken):
+    """One closed window (the wire form of a ``WindowResult``)."""
+
+    def __init__(self, window_id: int = 0, start: int = 0, end: int = 0,
+                 count: int = 0, checksum: int = 0, complete: bool = False,
+                 closed_at: float = 0.0):
+        self.window_id = window_id
+        self.start = start
+        self.end = end
+        self.count = count
+        self.checksum = checksum
+        self.complete = complete
+        self.closed_at = closed_at
+
+
+class StreamSummaryToken(SimpleToken):
+    """The run summary: the cross-engine digest plus latency figures."""
+
+    def __init__(self, items: int = 0, windows: int = 0,
+                 complete_windows: int = 0, digest: int = 0,
+                 p99_latency: float = 0.0, max_latency: float = 0.0):
+        self.items = items
+        self.windows = windows
+        self.complete_windows = complete_windows
+        self.digest = digest
+        self.p99_latency = p99_latency
+        self.max_latency = max_latency
+
+
+# ---------------------------------------------------------------------------
+# values: seeded, engine-independent integer arithmetic only
+# ---------------------------------------------------------------------------
+
+def _source_value(seq: int, salt: int) -> int:
+    return (seq * 2_654_435_761 + salt) % CHECKSUM_MOD
+
+
+def _transform_value(value: int) -> int:
+    return (value * 1_000_003 + 12_345) % CHECKSUM_MOD
+
+
+def _fold_digest(digest: int, window_id: int, count: int, checksum: int,
+                 complete: bool) -> int:
+    return (digest * 8_191
+            + checksum_mix(window_id, checksum)
+            + count * 31 + (1 if complete else 0)) % CHECKSUM_MOD
+
+
+# ---------------------------------------------------------------------------
+# operations
+# ---------------------------------------------------------------------------
+
+class StreamMainThread(DpsThread):
+    pass
+
+
+class StreamWorkThread(DpsThread):
+    pass
+
+
+class StreamAggThread(DpsThread):
+    pass
+
+
+class StreamIngest(StreamSource):
+    """Bursty ingest: the arrival process comes from the job token."""
+
+    thread_type = StreamMainThread
+    in_types = (StreamJobToken,)
+    out_types = (StreamItemToken,)
+
+    def arrival_process(self, job: StreamJobToken) -> ArrivalProcess:
+        return ArrivalProcess(rate=job.rate, burst=job.burst, gap=job.gap,
+                              items=job.items, seed=job.seed)
+
+    def make_token(self, seq: int, job: StreamJobToken) -> Optional[Token]:
+        return StreamItemToken(seq, _source_value(seq, job.salt),
+                               job.window, job.slide, job.work)
+
+
+class StreamTransform(LeafOperation):
+    """Stateless per-item transform on the parallel worker tier."""
+
+    thread_type = StreamWorkThread
+    in_types = (StreamItemToken,)
+    out_types = (StreamItemToken,)
+
+    def execute(self, tok: StreamItemToken):
+        if tok.work > 0:
+            yield self.charge_seconds(tok.work)
+        yield self.post(StreamItemToken(tok.seq, _transform_value(tok.value),
+                                        tok.window, tok.slide, tok.work))
+
+
+class StreamWindowAgg(WindowedStream):
+    """Watermark-driven windowed aggregation (new stream contract)."""
+
+    thread_type = StreamAggThread
+    in_types = (StreamItemToken,)
+    out_types = (WindowToken,)
+
+    def window_of(self, token: StreamItemToken) -> WindowSpec:
+        return WindowSpec(token.window, token.slide or None)
+
+    def seq_of(self, token: StreamItemToken) -> int:
+        return token.seq
+
+    def value_of(self, token: StreamItemToken) -> int:
+        return token.value
+
+    def make_result(self, result: WindowResult) -> Token:
+        return WindowToken(result.window_id, result.start, result.end,
+                           result.count, result.checksum, result.complete,
+                           result.closed_at)
+
+
+class StreamSummarize(MergeOperation):
+    """Fold closed windows into the order-independent run digest.
+
+    A duplicated or lost window delivery changes ``digest`` — the merge
+    is therefore also the exactly-once detector for the soak harness.
+    """
+
+    thread_type = StreamMainThread
+    in_types = (WindowToken,)
+    out_types = (StreamSummaryToken,)
+
+    def execute(self, tok: WindowToken):
+        windows: dict = {}
+        latencies: List[float] = []
+        while tok is not None:
+            # the digest fold below is over the sorted window ids, so
+            # delivery order cannot matter; a duplicate id can only
+            # come from a broken exactly-once path and must not cancel
+            # out, so it corrupts the entry instead of replacing it
+            key = tok.window_id
+            if key in windows:
+                # duplicate window delivery: poison the digest visibly
+                windows[key] = (windows[key][0] + tok.count,
+                                (windows[key][1] + tok.checksum + 1)
+                                % CHECKSUM_MOD, False)
+            else:
+                windows[key] = (tok.count, tok.checksum, tok.complete)
+            latencies.append(max(0.0, self.now() - tok.closed_at))
+            tok = yield self.next_token()
+        digest = 0
+        items = 0
+        complete = 0
+        for window_id in sorted(windows):
+            count, checksum, is_complete = windows[window_id]
+            digest = _fold_digest(digest, window_id, count, checksum,
+                                  is_complete)
+            items += count
+            complete += 1 if is_complete else 0
+        latencies.sort()
+        p99 = latencies[min(len(latencies) - 1,
+                            int(0.99 * len(latencies)))] if latencies else 0.0
+        yield self.post(StreamSummaryToken(
+            items=items, windows=len(windows), complete_windows=complete,
+            digest=digest, p99_latency=p99,
+            max_latency=latencies[-1] if latencies else 0.0))
+
+
+# ---------------------------------------------------------------------------
+# harness
+# ---------------------------------------------------------------------------
+
+@dataclass
+class StreamJob:
+    """One streaming run (defaults: a short but genuinely bursty job)."""
+
+    items: int = 512
+    rate: float = 4000.0
+    burst: int = 16
+    gap: float = 0.004
+    seed: int = 7
+    window: int = 32
+    slide: Optional[int] = None
+    work: float = 0.0002
+    salt: int = 1
+
+    def token(self) -> StreamJobToken:
+        return StreamJobToken(items=self.items, rate=self.rate,
+                              burst=self.burst, gap=self.gap, seed=self.seed,
+                              window=self.window, slide=self.slide or 0,
+                              work=self.work, salt=self.salt)
+
+    def spec(self) -> WindowSpec:
+        return WindowSpec(self.window, self.slide)
+
+
+@dataclass
+class StreamRunStats:
+    items: int
+    windows: int
+    complete_windows: int
+    digest: int
+    p99_window_latency: float
+    max_window_latency: float
+    makespan: float
+    sustained_tps: float
+    recovered: bool = False
+    replayed_tokens: int = 0
+
+
+def build_stream_graph(main_node: str, worker_nodes: List[str],
+                       agg_node: Optional[str] = None,
+                       name: str = "stream-pipeline") -> Flowgraph:
+    """Build the four-stage streaming graph.
+
+    The aggregation stage is a single-instance collection (watermark
+    state is per-instance); it may live on its own node so the worker
+    tier can be killed under it in the soak harness.
+    """
+    main = ThreadCollection(StreamMainThread, f"{name}-main").map(main_node)
+    workers = ThreadCollection(StreamWorkThread,
+                               f"{name}-work").map_nodes(worker_nodes)
+    agg = ThreadCollection(StreamAggThread,
+                           f"{name}-agg").map(agg_node or main_node)
+    return Flowgraph(
+        FlowgraphNode(StreamIngest, main)
+        >> FlowgraphNode(StreamTransform, workers, RoundRobinRoute)
+        >> FlowgraphNode(StreamWindowAgg, agg, ConstantRoute)
+        >> FlowgraphNode(StreamSummarize, main),
+        name,
+    )
+
+
+def run_stream_pipeline(engine, job: StreamJob, main_node: str,
+                        worker_nodes: List[str],
+                        agg_node: Optional[str] = None,
+                        name: str = "stream-pipeline",
+                        timeout: float = 120.0) -> StreamRunStats:
+    """Run one streaming job on any engine; returns normalized stats."""
+    import inspect
+
+    graph = build_stream_graph(main_node, worker_nodes, agg_node, name)
+    engine.register_graph(graph)
+    started = time.monotonic()
+    if "timeout" in inspect.signature(engine.run).parameters:
+        outcome = engine.run(graph, job.token(), timeout=timeout)
+    else:
+        outcome = engine.run(graph, job.token())  # SimEngine: virtual time
+    result = coerce_run_result(outcome, started, time.monotonic())
+    # The real-execution engines return the bare token and publish the
+    # recovery outcome on last_result; the sim returns it directly.
+    last = getattr(engine, "last_result", None)
+    if last is not None and not isinstance(outcome, RunResult):
+        result.recovered = last.recovered
+        result.replayed_tokens = last.replayed_tokens
+    tok = result.token
+    makespan = result.makespan
+    return StreamRunStats(
+        items=tok.items,
+        windows=tok.windows,
+        complete_windows=tok.complete_windows,
+        digest=tok.digest,
+        p99_window_latency=tok.p99_latency,
+        max_window_latency=tok.max_latency,
+        makespan=makespan,
+        sustained_tps=tok.items / makespan if makespan > 0 else 0.0,
+        recovered=result.recovered,
+        replayed_tokens=result.replayed_tokens,
+    )
+
+
+def oracle_digest(job: StreamJob) -> StreamRunStats:
+    """Pure-Python reference: the digest the pipeline must produce.
+
+    Replays the value pipeline (source -> transform -> windowed fold ->
+    digest) with no engine at all; every engine run — including one that
+    lost and replayed a kernel — must match this digest bit for bit.
+    """
+    spec = job.spec()
+    accums: dict = {}
+    n = 0
+    for seq, _delay in ArrivalProcess(rate=job.rate, burst=job.burst,
+                                      gap=job.gap, items=job.items,
+                                      seed=job.seed).schedule():
+        value = _transform_value(_source_value(seq, job.salt))
+        for window_id in spec.windows_of(seq):
+            count, checksum = accums.get(window_id, (0, 0))
+            accums[window_id] = (count + 1,
+                                 (checksum + checksum_mix(seq, value))
+                                 % CHECKSUM_MOD)
+        n += 1
+    digest = 0
+    items = 0
+    complete = 0
+    for window_id in sorted(accums):
+        count, checksum = accums[window_id]
+        is_complete = count == spec.size
+        digest = _fold_digest(digest, window_id, count, checksum, is_complete)
+        items += count
+        complete += 1 if is_complete else 0
+    return StreamRunStats(
+        items=items, windows=len(accums), complete_windows=complete,
+        digest=digest, p99_window_latency=0.0, max_window_latency=0.0,
+        makespan=0.0, sustained_tps=0.0)

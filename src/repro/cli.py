@@ -9,6 +9,9 @@ Usage::
     python -m repro.cli demo --engine multiprocess   # real OS processes
     python -m repro.cli ring --engine threaded --trace ring.json
     python -m repro.cli ring --engine multiprocess --kill-kernel node03@#5
+    python -m repro.cli stream --engine sim --items 512
+    python -m repro.cli stream --engine multiprocess --kill-kernel node02@#40
+    python -m repro.cli stream --credit-window 8 --shedding shed
     python -m repro.cli serve --ns-port 7780      # resident GoL service
     python -m repro.cli call --ns-port 7780 --discover
     python -m repro.cli call --ns-port 7780 --service gol.read \
@@ -124,6 +127,54 @@ def _ring(engine_kind: str = "threaded",
           f"({done.received_bytes} bytes) in {wall * 1e3:.1f} ms")
     if trace_path is not None:
         _export_trace(tracer, trace_path)
+
+
+def _stream(args) -> int:
+    """Run the bursty windowed streaming pipeline on any engine."""
+    from .apps.stream_pipeline import (
+        StreamJob,
+        oracle_digest,
+        run_stream_pipeline,
+    )
+    from .core import StreamPolicy
+    from .runtime import create_engine
+    from .trace import MetricsRegistry
+
+    job = StreamJob(items=args.items)
+    stream = None
+    if args.credit_window is not None or args.shedding != "block":
+        stream = StreamPolicy(credit_window=args.credit_window,
+                              shedding=args.shedding)
+    metrics = MetricsRegistry()
+    t0 = time.perf_counter()
+    with create_engine(args.engine, nodes=4, stream=stream,
+                       metrics=metrics) as engine:
+        stats = run_stream_pipeline(
+            engine, job, "node01", ["node02", "node03"], "node04",
+            name="cli-stream")
+        wall = time.perf_counter() - t0
+    shed = metrics.counter("tokens_shed").value
+    print(f"stream on {args.engine} engine: {stats.items} tokens -> "
+          f"{stats.windows} windows ({stats.complete_windows} complete), "
+          f"digest {stats.digest}")
+    print(f"sustained {stats.sustained_tps:.0f} tokens/s, p99 window "
+          f"latency {stats.p99_window_latency * 1e3:.2f} ms "
+          f"({'virtual' if args.engine == 'sim' else 'wall'} clock), "
+          f"wall time {wall * 1e3:.0f} ms")
+    if stats.recovered:
+        print(f"recovered from a kernel kill mid-stream: "
+              f"{stats.replayed_tokens} tokens replayed")
+    if shed:
+        print(f"lossy credit window shed {shed} tokens "
+              f"({args.shedding}); digest reflects the surviving "
+              f"{stats.items} tokens")
+    elif stream is None or args.shedding == "block":
+        ok = stats.digest == oracle_digest(job).digest
+        print(f"digest vs engine-free oracle: "
+              f"{'MATCH' if ok else 'MISMATCH'}")
+        if not ok:
+            return 1
+    return 0
 
 
 def _serve(args) -> int:
@@ -257,10 +308,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(ALL) + ["all", "list", "demo", "ring", "serve",
-                               "call", "join"],
+        choices=sorted(ALL) + ["all", "list", "demo", "ring", "stream",
+                               "serve", "call", "join"],
         help="experiment id (table/figure), 'all', 'list', 'demo', 'ring', "
-             "'serve' (resident GoL service), 'call' (service client) or "
+             "'stream' (bursty windowed streaming pipeline), 'serve' "
+             "(resident GoL service), 'call' (service client) or "
              "'join' (add a kernel to a running cluster)",
     )
     parser.add_argument(
@@ -349,6 +401,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--fault-seed", type=int, metavar="N", default=None,
         help="seed for the deterministic chaos schedule "
              "(sets REPRO_FAULT_SEED)",
+    )
+    stm = parser.add_argument_group("streaming ('stream')")
+    stm.add_argument(
+        "--items", type=int, metavar="N", default=512,
+        help="stream: tokens the bursty source injects (default 512)",
+    )
+    stm.add_argument(
+        "--credit-window", type=int, metavar="N", default=None,
+        help="stream: per-edge credit window for streaming openers "
+             "(default: inherit the schedule-wide flow-control window)",
+    )
+    stm.add_argument(
+        "--shedding", choices=["block", "drop-oldest", "shed"],
+        default="block",
+        help="stream: behaviour when the credit window saturates — "
+             "stall the source (default), ring-buffer the freshest "
+             "tokens, or tail-drop the incoming ones",
     )
     svc = parser.add_argument_group("service tier ('serve' / 'call')")
     svc.add_argument(
@@ -456,6 +525,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment == "ring":
         _ring(args.engine, args.trace)
         return 0
+    if args.experiment == "stream":
+        return _stream(args)
     if args.experiment == "serve":
         return _serve(args)
     if args.experiment == "call":

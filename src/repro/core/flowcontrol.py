@@ -10,14 +10,38 @@ the corresponding merge operation."*
 transmitting a posted token and feed it acknowledgement messages sent by
 the matching merge.  It also tracks per-target-instance outstanding counts,
 which drives :class:`~repro.core.routing.LoadBalancedRoute`.
+
+Streaming pipelines (DESIGN §5i) generalize the same feedback loop beyond
+split↔merge pairs: every group opener (split, stream stage, unbounded
+:class:`~repro.core.streams.StreamSource`) throttles against a
+:class:`CreditWindow` — a :class:`SplitWindow` whose credits are returned
+by the downstream consumer's acks and which can *shed* instead of
+stalling.  :class:`StreamPolicy` is the frozen configuration: a credit
+window for streaming edges, per-edge overrides keyed by opener node name,
+and the shedding mode applied when credits saturate.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional
 
-__all__ = ["FlowControlPolicy", "SplitWindow"]
+__all__ = ["FlowControlPolicy", "SplitWindow", "StreamPolicy",
+           "CreditWindow", "SHEDDING_MODES"]
+
+#: Behaviours when a streaming edge's credit window saturates:
+#:
+#: - ``"block"``       — stall the poster until credits return (the
+#:   paper's stalled split; the only mode batch splits ever use);
+#: - ``"drop-oldest"`` — bound the deferred-post queue at the window
+#:   size and evict the *oldest* queued token of the live body to make
+#:   room, keeping the freshest data (ring-buffer semantics);
+#: - ``"shed"``        — bound the queue and drop the *incoming* token,
+#:   keeping the oldest data (tail-drop semantics).
+#:
+#: Lossy modes never stall the poster; shed tokens are subtracted from
+#: the announced group total so merges still terminate exactly.
+SHEDDING_MODES = ("block", "drop-oldest", "shed")
 
 
 @dataclass(frozen=True)
@@ -36,6 +60,65 @@ class FlowControlPolicy:
     def __post_init__(self) -> None:
         if self.window is not None and self.window < 1:
             raise ValueError("flow-control window must be >= 1 or None")
+
+
+@dataclass(frozen=True)
+class StreamPolicy:
+    """Per-edge credit configuration for streaming pipelines.
+
+    ``credit_window`` is the credit budget of *streaming* openers
+    (stream stages and :class:`~repro.core.streams.StreamSource`
+    splits); ``None`` inherits :attr:`FlowControlPolicy.window`, so the
+    default instance changes nothing.  ``edge_credits`` overrides the
+    window per opener **node name** — it applies to any opener, which is
+    what generalizes :class:`SplitWindow` beyond split↔merge pairs
+    (``None`` as a value disables the edge's window entirely).
+    ``shedding`` picks the saturation behaviour for streaming edges from
+    :data:`SHEDDING_MODES`; batch openers always block.
+    """
+
+    credit_window: Optional[int] = None
+    shedding: str = "block"
+    edge_credits: Optional[Mapping[str, Optional[int]]] = None
+
+    def __post_init__(self) -> None:
+        if self.credit_window is not None and self.credit_window < 1:
+            raise ValueError("stream credit window must be >= 1 or None")
+        if self.shedding not in SHEDDING_MODES:
+            raise ValueError(
+                f"unknown shedding mode {self.shedding!r}; expected one of "
+                f"{SHEDDING_MODES}")
+        if self.edge_credits is not None:
+            for name, win in self.edge_credits.items():
+                if not isinstance(name, str) or not name:
+                    raise ValueError(
+                        f"edge_credits keys are opener node names, got "
+                        f"{name!r}")
+                if win is not None and (not isinstance(win, int) or win < 1):
+                    raise ValueError(
+                        f"edge_credits[{name!r}] must be >= 1 or None, got "
+                        f"{win!r}")
+            # normalize to a plain dict so the caller's mapping cannot
+            # mutate a frozen policy from the outside
+            object.__setattr__(self, "edge_credits", dict(self.edge_credits))
+
+    def window_for(self, opener_name: str, streaming: bool,
+                   default: Optional[int]) -> Optional[int]:
+        """Resolve the credit window for one opener edge.
+
+        Per-edge overrides win; streaming edges then use
+        ``credit_window`` when set; everything else keeps *default*
+        (the schedule-wide :attr:`FlowControlPolicy.window`).
+        """
+        if self.edge_credits is not None and opener_name in self.edge_credits:
+            return self.edge_credits[opener_name]
+        if streaming and self.credit_window is not None:
+            return self.credit_window
+        return default
+
+    def shedding_for(self, streaming: bool) -> str:
+        """Shedding mode for one opener edge (batch openers block)."""
+        return self.shedding if streaming else "block"
 
 
 class SplitWindow:
@@ -100,4 +183,36 @@ class SplitWindow:
         return (
             f"<SplitWindow {self.in_flight}/{self.window} "
             f"posted={self.total_posted} stalls={self.stalls}>"
+        )
+
+
+class CreditWindow(SplitWindow):
+    """A :class:`SplitWindow` for one credited edge, with shedding.
+
+    Engines build one per opener instance, resolving size and mode
+    through :meth:`StreamPolicy.window_for` / ``shedding_for``.  The
+    credit mechanics are unchanged from :class:`SplitWindow` — credits
+    are granted back by the consumer's acks — but a lossy window
+    additionally counts tokens it shed so group totals can exclude them.
+    """
+
+    def __init__(self, window: Optional[int], shedding: str = "block"):
+        super().__init__(window)
+        if shedding not in SHEDDING_MODES:
+            raise ValueError(
+                f"unknown shedding mode {shedding!r}; expected one of "
+                f"{SHEDDING_MODES}")
+        self.shedding = shedding
+        #: Tokens dropped by the lossy modes over this window's lifetime.
+        self.shed = 0
+
+    def on_shed(self) -> None:
+        """Record one token dropped instead of queued/transmitted."""
+        self.shed += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<CreditWindow {self.in_flight}/{self.window} "
+            f"posted={self.total_posted} stalls={self.stalls} "
+            f"shedding={self.shedding} shed={self.shed}>"
         )

@@ -20,7 +20,9 @@ unmodified on the simulated cluster and on the real-thread engine.
 
 from __future__ import annotations
 
-from typing import Any, ClassVar, Optional, Tuple, Type
+import warnings
+from collections import deque
+from typing import Any, ClassVar, Deque, Optional, Set, Tuple, Type
 
 from ..serial.token import Token
 from .threads import DpsThread
@@ -34,6 +36,7 @@ __all__ = [
     "PostRequest",
     "NextTokenRequest",
     "ChargeRequest",
+    "SleepRequest",
     "CallGraphRequest",
     "ScatterCallRequest",
     "OpKind",
@@ -85,6 +88,24 @@ class ChargeRequest(_Request):
             raise ValueError("charge must be >= 0")
         self.seconds = seconds
         self.flops = flops
+
+
+class SleepRequest(_Request):
+    """Suspend the body for *seconds* of engine time.
+
+    On the simulated engine this advances virtual time without occupying
+    the node's CPU resource (the thread is idle, not computing); on the
+    real-execution engines it is a wall-clock sleep of the OS thread.
+    Unbounded :class:`~repro.core.streams.StreamSource` bodies use it to
+    pace their arrival process identically under both clocks.
+    """
+
+    __slots__ = ("seconds",)
+
+    def __init__(self, seconds: float):
+        if seconds < 0:
+            raise ValueError("sleep seconds must be >= 0")
+        self.seconds = seconds
 
 
 class CallGraphRequest(_Request):
@@ -197,6 +218,15 @@ class Operation:
         """Charge *seconds* of virtual CPU time (yield from a generator)."""
         return ChargeRequest(seconds=seconds)
 
+    def sleep(self, seconds: float) -> SleepRequest:
+        """Idle for *seconds* without computing (yield from a generator).
+
+        Virtual seconds on the simulated engine, wall seconds on the
+        real-execution engines — unlike :meth:`charge_seconds`, the
+        node's CPU stays free for other thread instances.
+        """
+        return SleepRequest(seconds)
+
     def charge_flops(self, flops: float) -> ChargeRequest:
         """Charge flops at the executing node's effective rate."""
         return ChargeRequest(flops=flops)
@@ -277,12 +307,108 @@ class MergeOperation(Operation):
     kind = OpKind.MERGE
 
 
-class StreamOperation(Operation):
-    """Merge and split combined: consume a group, post at any time.
+#: Stream classes that override ``execute`` directly (the pre-streaming
+#: generator contract); each warns once per class, per process.
+_LEGACY_STREAM_CLASSES: Set[type] = set()
 
-    Enables pipelining between successive parallel phases: output tokens
-    may be posted before the whole input group has arrived (paper §3,
-    "Stream operations"; used by the LU factorization of §5).
+
+def reset_legacy_stream_warnings() -> None:
+    """Forget which legacy stream classes already warned (test helper)."""
+    _LEGACY_STREAM_CLASSES.clear()
+
+
+class StreamOperation(Operation):
+    """A first-class stream stage: 0..N outputs per input, at any time.
+
+    Consumes an input group like a merge while opening an output group
+    like a split, enabling pipelining between successive parallel phases
+    (paper §3, "Stream operations"; the LU factorization of §5).  Since
+    the streaming redesign (DESIGN §5i) the contract is callback-based
+    with *dynamic data rates*:
+
+    - implement :meth:`on_token`, called once per input token in arrival
+      order; call :meth:`emit` zero or more times per input to produce
+      outputs (each emission traverses the stage's credit window);
+    - optionally implement :meth:`on_close`, called after the input
+      group drains — emissions there flush trailing state (e.g. a
+      partial window);
+    - call :meth:`end_of_stream` to stop processing further input;
+      remaining group tokens are still consumed (the group contract
+      requires it) but no longer reach :meth:`on_token`.
+
+    The base :meth:`execute` drives the callbacks and yields the posts,
+    so stream stages respect per-edge credits exactly like splits.
+
+    **Deprecated**: subclasses may still override :meth:`execute` with
+    the old ``tok = yield self.next_token()`` generator body.  They run
+    unmodified — the engines drive the generator directly — but emit a
+    :class:`DeprecationWarning` once per class.
     """
 
     kind = OpKind.STREAM
+    #: Marks stream stages (and :class:`~repro.core.streams.StreamSource`
+    #: splits) as streaming openers for :class:`StreamPolicy` resolution.
+    streaming: ClassVar[bool] = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._emit_buffer: Deque[Token] = deque()
+        self._input_closed = False
+        #: Input tokens consumed after :meth:`end_of_stream` (visible to
+        #: subclasses that want to account for skipped work).
+        self.input_discarded = 0
+        cls = type(self)
+        if cls.execute is not StreamOperation.execute \
+                and cls not in _LEGACY_STREAM_CLASSES:
+            _LEGACY_STREAM_CLASSES.add(cls)
+            warnings.warn(
+                f"{cls.__name__} overrides StreamOperation.execute() — the "
+                f"generator stream contract is deprecated; implement "
+                f"on_token()/on_close() and produce outputs with emit() "
+                f"instead (see DESIGN.md §5i)",
+                DeprecationWarning, stacklevel=3)
+
+    # -- new streaming contract ---------------------------------------------
+    def emit(self, token: Token) -> None:
+        """Queue *token* for posting downstream.
+
+        Valid inside :meth:`on_token` and :meth:`on_close`; each queued
+        token is posted through the stage's credit window before the
+        next input token is consumed, so emission respects flow control.
+        """
+        if not isinstance(token, Token):
+            raise TypeError(
+                f"emit() takes a Token, got {type(token).__name__}")
+        self._emit_buffer.append(token)
+
+    def end_of_stream(self) -> None:
+        """Declare that no further input should reach :meth:`on_token`.
+
+        The stage keeps consuming (and acknowledging) the rest of its
+        input group — the group contract requires every token to be
+        consumed — but stops processing it.  :meth:`on_close` still runs.
+        """
+        self._input_closed = True
+
+    def on_token(self, token: Token) -> None:
+        """Process one input token; call :meth:`emit` 0..N times."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement on_token() (or the "
+            f"deprecated generator execute())")
+
+    def on_close(self) -> None:
+        """Input group fully consumed; emit any trailing output here."""
+
+    def execute(self, token: Token):
+        tok: Optional[Token] = token
+        while tok is not None:
+            if self._input_closed:
+                self.input_discarded += 1
+            else:
+                self.on_token(tok)
+                while self._emit_buffer:
+                    yield self.post(self._emit_buffer.popleft())
+            tok = yield self.next_token()
+        self.on_close()
+        while self._emit_buffer:
+            yield self.post(self._emit_buffer.popleft())

@@ -1,0 +1,127 @@
+"""Unbounded stream sources with seeded bursty arrivals (DESIGN §5i).
+
+A :class:`StreamSource` is an entry split whose body never fans out a
+finite job at once: it *injects* tokens over time, pacing itself with
+``yield self.sleep(delay)`` so the same arrival schedule plays out under
+the simulated engine's virtual clock and the real engines' wall clock.
+The delays come from an :class:`ArrivalProcess` — a seeded Markov ON/OFF
+burst model (exponential intra-burst spacing at ``rate``, geometric
+burst lengths around ``burst``, exponential idle gaps around ``gap``) —
+so every engine, and every replay, sees the identical schedule.
+
+The source is still a split as far as the graph contract goes: its
+tokens form one group, throttled by the opener's
+:class:`~repro.core.flowcontrol.CreditWindow` and terminated by the
+ordinary group-total announcement when the body returns (finite
+``items``) or is cut off by :meth:`StreamSource.make_token` returning
+``None``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import ClassVar, Iterator, Optional, Tuple
+
+from ..serial.token import Token
+from .graph import FlowgraphNode
+from .ops import OpKind, SplitOperation
+
+__all__ = ["ArrivalProcess", "StreamSource", "is_streaming_opener"]
+
+
+@dataclass(frozen=True)
+class ArrivalProcess:
+    """Seeded bursty (Markov ON/OFF) token arrival schedule.
+
+    ``rate`` is the intra-burst arrival rate in tokens/second; ``burst``
+    the mean burst length in tokens; ``gap`` the mean idle time between
+    bursts in seconds.  ``items`` bounds the schedule (``None`` streams
+    forever — pair with a cutoff in ``make_token``).  The schedule is a
+    pure function of the seed: every engine and every replay draws the
+    identical delays.
+    """
+
+    rate: float = 1000.0
+    burst: int = 8
+    gap: float = 0.01
+    items: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("arrival rate must be > 0 tokens/sec")
+        if self.burst < 1:
+            raise ValueError("mean burst length must be >= 1")
+        if self.gap < 0:
+            raise ValueError("mean burst gap must be >= 0")
+        if self.items is not None and self.items < 1:
+            raise ValueError("items must be >= 1 or None (unbounded)")
+
+    def schedule(self) -> Iterator[Tuple[int, float]]:
+        """Yield ``(seq, delay_before_seq)`` pairs, deterministically."""
+        rng = random.Random(self.seed)
+        seq = 0
+        first_burst = True
+        while self.items is None or seq < self.items:
+            length = 1 + (int(rng.expovariate(1.0 / (self.burst - 1)))
+                          if self.burst > 1 else 0)
+            lead_in = 0.0 if first_burst else (
+                rng.expovariate(1.0 / self.gap) if self.gap > 0 else 0.0)
+            first_burst = False
+            for i in range(length):
+                if self.items is not None and seq >= self.items:
+                    return
+                delay = lead_in if i == 0 else rng.expovariate(self.rate)
+                yield seq, delay
+                seq += 1
+
+
+class StreamSource(SplitOperation):
+    """Entry split injecting tokens at a seeded bursty arrival process.
+
+    Subclasses implement :meth:`make_token` (returning ``None`` cuts the
+    stream off) and supply the :class:`ArrivalProcess` — either the
+    ``arrivals`` class attribute or :meth:`arrival_process` reading it
+    from the job token.  The body sleeps between posts, so the source is
+    paced by its schedule *and* throttled by its credit window: in
+    ``block`` mode a saturated window stalls the source (arrival
+    timestamps slip), in the lossy modes the source keeps pace and the
+    window sheds.
+    """
+
+    #: Marks the source as a streaming opener for StreamPolicy resolution.
+    streaming: ClassVar[bool] = True
+    arrivals: ClassVar[Optional[ArrivalProcess]] = None
+
+    def arrival_process(self, job: Token) -> ArrivalProcess:
+        """Arrival schedule for this activation (default: ``arrivals``)."""
+        process = type(self).arrivals
+        if process is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} declares no arrival process; set "
+                f"the `arrivals` class attribute or override "
+                f"arrival_process()")
+        return process
+
+    def make_token(self, seq: int, job: Token) -> Optional[Token]:
+        """Token for sequence *seq*, or ``None`` to end the stream."""
+        raise NotImplementedError
+
+    def execute(self, job: Token):
+        process = self.arrival_process(job)
+        for seq, delay in process.schedule():
+            if delay > 0:
+                yield self.sleep(delay)
+            token = self.make_token(seq, job)
+            if token is None:
+                return
+            yield self.post(token)
+
+
+def is_streaming_opener(node: FlowgraphNode) -> bool:
+    """True when *node* opens a *streaming* group (stream-stage or
+    :class:`StreamSource`), i.e. its edge resolves against
+    :attr:`~repro.core.flowcontrol.StreamPolicy.credit_window`."""
+    return node.kind == OpKind.STREAM \
+        or bool(getattr(node.op_class, "streaming", False))

@@ -1,0 +1,261 @@
+"""Watermarks and windowed aggregation over streams (DESIGN §5i).
+
+Stream stages observe tokens in whatever order the engines deliver them
+— arrival order differs between the simulated, threaded and multiprocess
+engines, and differs again under replay after a kernel kill.  Windowed
+results must nevertheless be **bit-identical** everywhere, so the
+machinery here is built from two order-independent pieces:
+
+- :class:`Watermark` — a *contiguity* watermark over the dense 0-based
+  sequence domain: the largest ``w`` such that every sequence number in
+  ``0..w`` has been observed.  It is a pure function of the *set* of
+  observed sequences, so every engine reaches the same watermark after
+  the same tokens regardless of interleaving.
+- :class:`WindowAccumulator` — per-window count/checksum/bounds folded
+  with commutative operations (sum modulo a Mersenne prime), so window
+  contents hash identically however the tokens arrived.
+
+A window ``w`` of :class:`WindowSpec` ``(size, slide)`` covers sequences
+``[w*slide, w*slide + size)`` (tumbling when ``slide == size``, the
+default).  Windows close — in window order, deterministically — exactly
+when the watermark passes their upper bound, or at end of stream for the
+trailing partial window.  :class:`WindowedStream` packages the whole
+protocol as a :class:`~repro.core.ops.StreamOperation` base class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Dict, Optional, Set, Tuple
+
+from ..serial.token import Token
+from .ops import StreamOperation
+
+__all__ = [
+    "WindowSpec",
+    "Watermark",
+    "WindowAccumulator",
+    "WindowResult",
+    "WindowedStream",
+    "checksum_mix",
+]
+
+#: Checksum modulus: the Mersenne prime 2^61 - 1.  Sums of per-item
+#: mixes are folded modulo this, making window checksums commutative,
+#: associative and platform-independent (no Python hash randomization).
+CHECKSUM_MOD = (1 << 61) - 1
+
+
+def checksum_mix(seq: int, value: int) -> int:
+    """Order-independent per-item contribution to a window checksum."""
+    return (seq * 1_000_003 + (value % CHECKSUM_MOD) * 8_191
+            + 0x9E3779B9) % CHECKSUM_MOD
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """Tumbling/sliding window geometry over the sequence domain.
+
+    ``slide=None`` means tumbling (``slide == size``); a smaller slide
+    yields overlapping sliding windows.  ``slide > size`` (gapped
+    sampling) is rejected — sequences would fall into no window.
+    """
+
+    size: int
+    slide: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("window size must be >= 1")
+        if self.slide is not None and not 1 <= self.slide <= self.size:
+            raise ValueError(
+                f"window slide must be in 1..size ({self.size}), got "
+                f"{self.slide}")
+
+    @property
+    def step(self) -> int:
+        return self.slide if self.slide is not None else self.size
+
+    @property
+    def tumbling(self) -> bool:
+        return self.step == self.size
+
+    def bounds(self, window_id: int) -> Tuple[int, int]:
+        """Sequence bounds ``[start, end)`` of *window_id*."""
+        start = window_id * self.step
+        return start, start + self.size
+
+    def windows_of(self, seq: int) -> Tuple[int, ...]:
+        """Ids of every window covering sequence *seq* (ascending)."""
+        if seq < 0:
+            raise ValueError("sequence numbers are 0-based")
+        step = self.step
+        first = max(0, (seq - self.size) // step + 1)
+        return tuple(range(first, seq // step + 1))
+
+
+class Watermark:
+    """Contiguity watermark over a dense 0-based sequence domain.
+
+    :meth:`observe` folds one sequence number in; :attr:`value` is the
+    largest ``w`` with ``0..w`` all observed (``-1`` initially).  The
+    value depends only on the set of observed sequences — never on their
+    order — which is what makes window closing deterministic across
+    engines.  Out-of-order arrivals are held in a frontier set bounded
+    by the upstream credit window (arrivals can only run ahead of the
+    contiguous prefix by the tokens in flight).
+    """
+
+    __slots__ = ("_next", "_frontier")
+
+    def __init__(self) -> None:
+        self._next = 0
+        self._frontier: Set[int] = set()
+
+    @property
+    def value(self) -> int:
+        return self._next - 1
+
+    def seen(self, seq: int) -> bool:
+        """True when *seq* was already observed (duplicate delivery)."""
+        return seq < self._next or seq in self._frontier
+
+    def observe(self, seq: int) -> int:
+        """Fold *seq* in; returns the (possibly advanced) watermark."""
+        if seq < 0:
+            raise ValueError("sequence numbers are 0-based")
+        if not self.seen(seq):
+            self._frontier.add(seq)
+            while self._next in self._frontier:
+                self._frontier.discard(self._next)
+                self._next += 1
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"<Watermark {self.value} frontier={len(self._frontier)}>"
+
+
+class WindowAccumulator:
+    """Commutative fold of one window's contents."""
+
+    __slots__ = ("count", "checksum", "lo", "hi")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.checksum = 0
+        self.lo: Optional[int] = None
+        self.hi: Optional[int] = None
+
+    def add(self, seq: int, value: int) -> None:
+        self.count += 1
+        self.checksum = (self.checksum + checksum_mix(seq, value)) \
+            % CHECKSUM_MOD
+        if self.lo is None or seq < self.lo:
+            self.lo = seq
+        if self.hi is None or seq > self.hi:
+            self.hi = seq
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """One closed window, handed to :meth:`WindowedStream.make_result`.
+
+    ``complete`` is True when every sequence of ``[start, end)`` was
+    aggregated — False only for the trailing partial window of a finite
+    stream (or when upstream shedding dropped members).  ``closed_at``
+    is the engine clock at close time (virtual on the simulated engine);
+    it feeds latency measurements and must stay out of any cross-engine
+    result comparison.
+    """
+
+    window_id: int
+    start: int
+    end: int
+    count: int
+    checksum: int
+    complete: bool
+    closed_at: float
+
+
+class WindowedStream(StreamOperation):
+    """Watermark-driven windowed aggregation over a dense stream.
+
+    Subclasses declare the geometry (the ``window`` class attribute, or
+    :meth:`window_of` for token-carried specs) and three projections:
+    :meth:`seq_of`, :meth:`value_of` and :meth:`make_result`.  Windows
+    close in window-id order as the watermark passes them; at end of
+    stream the trailing partial window flushes with ``complete=False``.
+    Results are bit-identical across engines because both the watermark
+    and the accumulators are order-independent.
+    """
+
+    window: ClassVar[Optional[WindowSpec]] = None
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._spec: Optional[WindowSpec] = None
+        self._watermark = Watermark()
+        self._accums: Dict[int, WindowAccumulator] = {}
+        self._next_close = 0
+
+    # -- subclass surface ---------------------------------------------------
+    def window_of(self, token: Token) -> WindowSpec:
+        """Window geometry; default reads the ``window`` class attribute."""
+        spec = type(self).window
+        if spec is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} declares no window; set the "
+                f"`window` class attribute or override window_of()")
+        return spec
+
+    def seq_of(self, token: Token) -> int:
+        """Dense 0-based sequence number of *token*."""
+        raise NotImplementedError
+
+    def value_of(self, token: Token) -> int:
+        """Integer payload folded into the window checksum (default 0)."""
+        return 0
+
+    def make_result(self, result: WindowResult) -> Token:
+        """Wrap one closed window into the stage's output token."""
+        raise NotImplementedError
+
+    # -- stream contract ----------------------------------------------------
+    def on_token(self, token: Token) -> None:
+        if self._spec is None:
+            self._spec = self.window_of(token)
+        seq = self.seq_of(token)
+        if self._watermark.seen(seq):
+            return  # duplicate delivery; already aggregated
+        for window_id in self._spec.windows_of(seq):
+            if window_id < self._next_close:
+                continue  # late straggler for an already-closed window
+            acc = self._accums.get(window_id)
+            if acc is None:
+                acc = self._accums[window_id] = WindowAccumulator()
+            acc.add(seq, self.value_of(token))
+        watermark = self._watermark.observe(seq)
+        while True:
+            _, end = self._spec.bounds(self._next_close)
+            if watermark < end - 1:
+                break
+            self._close_window(self._next_close)
+            self._next_close += 1
+
+    def on_close(self) -> None:
+        if self._spec is None:
+            return  # empty group: nothing was ever aggregated
+        for window_id in sorted(self._accums):
+            self._close_window(window_id)
+
+    def _close_window(self, window_id: int) -> None:
+        acc = self._accums.pop(window_id, None)
+        if acc is None:
+            return
+        start, end = self._spec.bounds(window_id)
+        self.emit(self.make_result(WindowResult(
+            window_id=window_id, start=start, end=end,
+            count=acc.count, checksum=acc.checksum,
+            complete=acc.count == self._spec.size,
+            closed_at=self.now(),
+        )))

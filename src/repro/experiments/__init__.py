@@ -5,7 +5,8 @@ Each module exposes ``run(fast=False) -> ExperimentResult``:
 - :mod:`.fig6_throughput`   — Figure 6, ring throughput DPS vs sockets
 - :mod:`.table1_overlap`    — Table 1, matmul overlap reductions
 - :mod:`.fig9_gol_speedup`  — Figure 9, Game of Life speedups
-- :mod:`.table2_services`   — Table 2, graph-call overhead
+- :mod:`.table2_services`   — Table 2, graph-call overhead (``table2``
+  in-sim; ``table2r`` against the resident service tier)
 - :mod:`.fig15_lu_speedup`  — Figure 15, LU pipelined vs non-pipelined
 """
 
@@ -23,6 +24,7 @@ ALL = {
     "table1": table1_overlap.run,
     "fig9": fig9_gol_speedup.run,
     "table2": table2_services.run,
+    "table2r": table2_services.run_resident,
     "fig15": fig15_lu_speedup.run,
 }
 

@@ -39,7 +39,7 @@ import threading
 import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..core.flowcontrol import FlowControlPolicy
+from ..core.flowcontrol import FlowControlPolicy, StreamPolicy
 from ..core.graph import Flowgraph
 from ..core.routing import RoutingPolicy
 from ..runtime.controller import KernelFailure
@@ -107,9 +107,11 @@ class DistributedKernel(ThreadedEngine):
                  recover: bool = False,
                  faults: Optional[FaultPolicy] = None,
                  heartbeat_interval: float = 0.0,
-                 routing: Optional[RoutingPolicy] = None):
+                 routing: Optional[RoutingPolicy] = None,
+                 stream: Optional[StreamPolicy] = None):
         super().__init__(policy=policy, serialize_transfers=False,
-                         tracer=tracer, metrics=metrics, routing=routing)
+                         tracer=tracer, metrics=metrics, routing=routing,
+                         stream=stream)
         self.transport = transport if transport is not None \
             else TransportPolicy()
         # Codec selection is process-wide (the wire module is shared by
@@ -505,14 +507,14 @@ class DistributedKernel(ThreadedEngine):
         # collection; kernels that never see the group keep a placeholder
         # group record (bounded by group count, reclaimed at shutdown).
         merge_nodes = set(body.graph.node(merge_id).collection.placements)
+        total = body.posted - body.shed
         message = None
         for kernel in merge_nodes:
             if kernel == self.name:
-                self._apply_group_total(body.out_group_id, body.posted)
+                self._apply_group_total(body.out_group_id, total)
             else:
                 if message is None:
-                    message = P.encode_group_total(body.out_group_id,
-                                                   body.posted)
+                    message = P.encode_group_total(body.out_group_id, total)
                 self._pool.send(kernel, message)
 
     def _final_result(self, body: _Body, token: Token) -> None:
@@ -537,7 +539,7 @@ class DistributedKernel(ThreadedEngine):
             super()._announce_scatter_total(body)
         else:
             self._pool.send(origin, P.encode_scatter_total(
-                body.ctx_id, body.posted))
+                body.ctx_id, body.posted - body.shed))
 
     def _propagate_failure(self, exc: BaseException) -> None:
         message = P.encode_failure(exc)
@@ -1080,7 +1082,8 @@ def run_kernel_process(name: str, ordinal: int,
                        recover: bool = False,
                        faults: Optional[FaultPolicy] = None,
                        heartbeat_interval: float = 0.0,
-                       routing: Optional[RoutingPolicy] = None) -> None:
+                       routing: Optional[RoutingPolicy] = None,
+                       stream: Optional[StreamPolicy] = None) -> None:
     """Child-process main for one kernel (forked by MultiprocessEngine).
 
     With *trace* set, the kernel records into a process-local tracer and
@@ -1100,7 +1103,8 @@ def run_kernel_process(name: str, ordinal: int,
         else TransportPolicy.from_env(),
         recover=recover, faults=faults,
         heartbeat_interval=heartbeat_interval,
-        routing=routing if routing is not None else RoutingPolicy.from_env())
+        routing=routing if routing is not None else RoutingPolicy.from_env(),
+        stream=stream)
     for graph in graphs:
         kernel.register_graph(graph)
     kernel.start()

@@ -57,11 +57,14 @@ __all__ = [
     "MSG_SVC_CLOSE",
     "MSG_MEMBER",
     "MSG_THREAD_STATE",
+    "MSG_CREDIT",
+    "MSG_CREDIT_BATCH",
     "AckWire",
     "encode_hello",
     "encode_data",
     "encode_ack",
     "encode_ack_batch",
+    "encode_credit_grant",
     "encode_group_total",
     "encode_result",
     "encode_scatter_total",
@@ -161,6 +164,18 @@ MSG_THREAD_STATE = 27
 #: message of the resident service tier).
 MSG_SERVICE_BUSY = MSG_SVC_BUSY
 
+#: Spec aliases for the streaming credit protocol: credit grants ARE
+#: acks.  A merge/stream consumer granting one credit back to the
+#: opener's :class:`~repro.core.flowcontrol.CreditWindow` sends exactly
+#: the wire ack for the consumed token — ``(group_id, index)`` keyed so
+#: the opener's replay journal prunes per-token — and a batched grant of
+#: N credits is an ack-batch run with ``count=N``.  Reusing the ack kind
+#: keeps the grant on the aggregated/piggybacked ack fast path (flushed
+#: ahead of data, batched under ``TransportPolicy.ack_batch``) with zero
+#: extra wire kinds or header bytes.
+MSG_CREDIT = MSG_ACK
+MSG_CREDIT_BATCH = MSG_ACK_BATCH
+
 _U8 = struct.Struct("<B")
 _U16 = struct.Struct("<H")
 _U32 = struct.Struct("<I")
@@ -249,6 +264,23 @@ def encode_ack_batch(runs: List[Tuple["AckWire", int]]) -> List[Segment]:
                               ack.opener_instance, ack.routed_instance,
                               count)
     return [head]
+
+
+def encode_credit_grant(ack: "AckWire", credits: int = 1) -> List[Segment]:
+    """Encode a credit grant for the streaming flow-control protocol.
+
+    Credits ride the ack path (:data:`MSG_CREDIT` *is* :data:`MSG_ACK`):
+    a single credit is the plain wire ack for the consumed token, and a
+    multi-credit grant is a one-run ack batch with ``count=credits``.
+    Decoders therefore need no streaming-specific handling — the
+    existing ack dispatch applies the grant to the opener's window.
+    """
+    if credits < 1:
+        raise ValueError("a credit grant must carry >= 1 credits")
+    if credits == 1:
+        return encode_ack(ack.graph_name, ack.opener, ack.opener_instance,
+                          ack.routed_instance, ack.group_id, ack.index)
+    return encode_ack_batch([(ack, credits)])
 
 
 def encode_shm_attach(arena_name: str, size: int) -> List[Segment]:

@@ -67,7 +67,7 @@ ENGINE_KINDS = ("sim", "threaded", "multiprocess")
 #: real-execution placements need no declaration.
 _COMMON_OPTS = frozenset({
     "policy", "tracer", "metrics", "transport", "faults", "nodes",
-    "routing",
+    "routing", "stream",
 })
 
 #: Engine-specific options on top of :data:`_COMMON_OPTS`.
@@ -119,7 +119,10 @@ def create_engine(kind: str, **opts) -> Union[SimEngine, ThreadedEngine,
     *kind* is ``"sim"``, ``"threaded"`` or ``"multiprocess"``.  Every
     kind accepts ``policy=``, ``tracer=``, ``metrics=``, ``routing=``
     (a :class:`~repro.core.routing.RoutingPolicy` selecting round-robin
-    or queue-depth adaptive split routing), ``transport=`` and
+    or queue-depth adaptive split routing), ``stream=`` (a
+    :class:`~repro.core.flowcontrol.StreamPolicy` setting per-edge
+    credit windows and the shedding mode for streaming stages),
+    ``transport=`` and
     ``faults=`` (the last two must be ``None`` outside the multiprocess
     engine, which is the only one with a wire to tune and kernel
     processes to kill); ``scaling=`` attaches an autoscaling

@@ -30,7 +30,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
-from ..core.flowcontrol import FlowControlPolicy
+from ..core.flowcontrol import FlowControlPolicy, StreamPolicy
 from ..core.graph import Flowgraph
 from ..serial.token import Token
 
@@ -207,8 +207,13 @@ class Engine:
         policy: Optional[FlowControlPolicy] = None,
         tracer: Optional[Any] = None,
         metrics: Optional[Any] = None,
+        stream: Optional[StreamPolicy] = None,
     ):
         self.policy = policy if policy is not None else FlowControlPolicy()
+        #: Streaming credit configuration (per-edge credit windows and
+        #: the shedding mode); the default instance inherits ``policy``
+        #: everywhere and blocks, i.e. batch behaviour is unchanged.
+        self.stream = stream if stream is not None else StreamPolicy()
         self.tracer = tracer
         self.metrics = metrics
         self._graphs: Dict[str, Flowgraph] = {}

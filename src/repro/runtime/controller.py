@@ -27,7 +27,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Tuple
 
 from ..cluster.costs import dps_wire_overhead_seconds
-from ..core.flowcontrol import SplitWindow
+from ..core.flowcontrol import CreditWindow, SplitWindow
 from ..core.graph import Flowgraph, FlowgraphNode
 from ..core.ops import (
     CallGraphRequest,
@@ -37,7 +37,9 @@ from ..core.ops import (
     OpKind,
     PostRequest,
     ScatterCallRequest,
+    SleepRequest,
 )
+from ..core.streams import is_streaming_opener
 from ..core.routing import Route, RoutingContext
 from ..core.threads import ThreadCollection
 from ..serial.token import Token
@@ -140,7 +142,8 @@ class _BodyState:
 
     __slots__ = (
         "op", "graph", "node_id", "thread_state", "ctx_id",
-        "base_frames", "out_group_id", "posted", "group", "started_at",
+        "base_frames", "out_group_id", "posted", "shed", "group",
+        "started_at",
     )
 
     def __init__(
@@ -162,6 +165,9 @@ class _BodyState:
         self.base_frames = base_frames
         self.out_group_id: Optional[int] = None
         self.posted = 0
+        #: posts dropped by a lossy credit window; excluded from the
+        #: announced group total so the merge still terminates exactly.
+        self.shed = 0
         self.group = group
         self.started_at = 0.0
 
@@ -506,6 +512,11 @@ class SimController:
                         engine.metrics.histogram("stall_seconds").observe(waited)
             elif isinstance(request, ChargeRequest):
                 yield from self._charge(request)
+            elif isinstance(request, SleepRequest):
+                # Pacing delay (stream sources): pure virtual-time wait,
+                # no compute charged against the node.
+                if request.seconds > 0:
+                    yield self.engine.sim.timeout(request.seconds)
             elif isinstance(request, NextTokenRequest):
                 group = body.group
                 if group is None:
@@ -545,8 +556,8 @@ class SimController:
             else:
                 raise ScheduleError(
                     f"{type(op).__name__} yielded {request!r}; operation "
-                    f"bodies may yield post/charge/next_token/call_graph "
-                    f"requests only"
+                    f"bodies may yield post/charge/sleep/next_token/"
+                    f"call_graph requests only"
                 )
         # not reached
 
@@ -589,6 +600,12 @@ class SimController:
                 raise ScheduleError(
                     f"{type(body.op).__name__} ({body.kind}) posted no "
                     f"tokens; a split/stream group must contain at least one"
+                )
+            if body.posted - body.shed == 0:
+                raise ScheduleError(
+                    f"{type(body.op).__name__} ({body.kind}): the credit "
+                    f"window shed every posted token ({body.shed}); the "
+                    f"group would announce total 0 and hang its merge"
                 )
             self._close_group(body)
 
@@ -657,13 +674,46 @@ class SimController:
                 # so feedback-driven routes see up-to-date counters — the
                 # paper routes "to those processing nodes which have
                 # previously posted data objects to the merge operation".
-                admit = self.engine.sim.event()
-                req._admit_event = admit  # type: ignore[attr-defined]
-                self._pending.setdefault(key, deque()).append(
-                    (body, token, succ, seq, admit)
-                )
+                shedding = getattr(window, "shedding", "block")
+                if shedding == "block":
+                    admit = self.engine.sim.event()
+                    req._admit_event = admit  # type: ignore[attr-defined]
+                    self._pending.setdefault(key, deque()).append(
+                        (body, token, succ, seq, admit)
+                    )
+                    return
+                # Lossy modes never stall the poster: queued entries carry
+                # admit=None and the queue is capped at the window size.
+                queue = self._pending.setdefault(key, deque())
+                if len(queue) >= (window.window or 1):
+                    if shedding == "drop-oldest":
+                        for i, entry in enumerate(queue):
+                            if entry[0] is body:
+                                del queue[i]
+                                self._record_shed(body, window)
+                                break
+                        else:
+                            # No queued entry of the live poster — dropping
+                            # another body's token would corrupt its
+                            # announced total; shed the incoming instead.
+                            self._record_shed(body, window)
+                            return
+                    else:  # "shed": drop the incoming token
+                        self._record_shed(body, window)
+                        return
+                queue.append((body, token, succ, seq, None))
                 return
         self._send_routed(body, token, succ, seq, window)
+
+    def _record_shed(self, body: _BodyState, window: SplitWindow) -> None:
+        if isinstance(window, CreditWindow):
+            window.on_shed()
+        body.shed += 1
+        if self.engine.tracer is not None:
+            self.engine.trace("shed", node=self.node_name,
+                              graph=body.graph.name)
+        if self.engine.metrics is not None:
+            self.engine.metrics.counter("tokens_shed").inc()
 
     def _send_routed(self, body: _BodyState, token: Token, succ: int,
                      seq: int, window: Optional[SplitWindow]) -> None:
@@ -700,7 +750,14 @@ class SimController:
         key = (body.graph.name, body.node_id, body.thread_state.index)
         window = self._windows.get(key)
         if window is None:
-            window = SplitWindow(self.engine.policy.window)
+            node = body.graph.node(body.node_id)
+            streaming = is_streaming_opener(node)
+            stream = self.engine.stream
+            window = CreditWindow(
+                stream.window_for(node.name, streaming,
+                                  self.engine.policy.window),
+                shedding=stream.shedding_for(streaming),
+            )
             self._windows[key] = window
         return window
 
@@ -780,11 +837,11 @@ class SimController:
         if graph.scatter and body.node_id == graph.scatter_opener:
             # the group is merged by the calling application: report the
             # total to the activation instead of broadcasting to merges
-            self.engine.scatter_total(body.ctx_id, body.posted)
+            self.engine.scatter_total(body.ctx_id, body.posted - body.shed)
             return
         merge_id = graph.matching_merge(body.node_id)
         merge_node = graph.node(merge_id)
-        total = body.posted
+        total = body.posted - body.shed
         for instance in range(merge_node.collection.thread_count):
             msg = GroupTotalMessage(
                 graph_name=graph.name,

@@ -37,7 +37,7 @@ import time
 import weakref
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-from ..core.flowcontrol import FlowControlPolicy
+from ..core.flowcontrol import FlowControlPolicy, StreamPolicy
 from ..core.graph import Flowgraph
 from ..core.routing import RoutingPolicy
 from ..net.connections import TransportPolicy
@@ -93,7 +93,8 @@ class MultiprocessEngine(Engine):
                  heartbeat_miss_limit: int = 4,
                  ns_port: int = 0,
                  routing: Optional[RoutingPolicy] = None,
-                 scaling: Optional[ScalingPolicy] = None):
+                 scaling: Optional[ScalingPolicy] = None,
+                 stream: Optional[StreamPolicy] = None):
         try:
             self._mp = multiprocessing.get_context("fork")
         except ValueError as exc:  # pragma: no cover - non-POSIX platforms
@@ -101,7 +102,8 @@ class MultiprocessEngine(Engine):
                 "MultiprocessEngine requires the 'fork' start method; "
                 "use ThreadedEngine on this platform"
             ) from exc
-        super().__init__(policy=policy, tracer=tracer, metrics=metrics)
+        super().__init__(policy=policy, tracer=tracer, metrics=metrics,
+                         stream=stream)
         #: Wire-path tuning (outbox coalescing, ack aggregation, the
         #: shared-memory lane).  Defaults honour the REPRO_SHM /
         #: REPRO_TRANSPORT_BATCH environment opt-outs; every forked
@@ -233,7 +235,7 @@ class MultiprocessEngine(Engine):
                     args=(name, ordinal, ns_address, peers, graphs,
                           self.policy, ready, trace_children, self.transport,
                           self.recover, self.faults, self.heartbeat_interval,
-                          self.routing),
+                          self.routing, self.stream),
                     name=f"dps-kernel:{name}", daemon=True)
                 proc.start()
                 self._kernel_procs[name] = proc
@@ -278,7 +280,7 @@ class MultiprocessEngine(Engine):
             policy=self.policy, dial_deadline=self.dial_deadline,
             tracer=self.tracer, metrics=self.metrics,
             transport=self.transport, recover=self.recover,
-            routing=self.routing)
+            routing=self.routing, stream=self.stream)
 
     def _monitor_children(self) -> None:
         # The sentinel map is rebuilt every iteration rather than
@@ -444,7 +446,7 @@ class MultiprocessEngine(Engine):
             args=(node_name, ordinal, self.ns_address, peers, graphs,
                   self.policy, ready, trace_children, self.transport,
                   self.recover, self.faults, self.heartbeat_interval,
-                  self.routing),
+                  self.routing, self.stream),
             name=f"dps-kernel:{node_name}", daemon=True)
         proc.start()
         with self._proc_lock:

@@ -31,7 +31,7 @@ import dataclasses
 
 from ..cluster.cluster import Cluster, ClusterSpec
 from ..cluster.costs import dps_wire_overhead_seconds
-from ..core.flowcontrol import FlowControlPolicy
+from ..core.flowcontrol import FlowControlPolicy, StreamPolicy
 from ..core.graph import Flowgraph
 from ..core.routing import RoutingPolicy
 from ..net.recovery import _unique_collections, plan_rebalance
@@ -108,8 +108,10 @@ class SimEngine(Engine):
         tracer: Optional[Any] = None,
         metrics: Optional[Any] = None,
         routing: Optional[RoutingPolicy] = None,
+        stream: Optional[StreamPolicy] = None,
     ):
-        super().__init__(policy=policy, tracer=tracer, metrics=metrics)
+        super().__init__(policy=policy, tracer=tracer, metrics=metrics,
+                         stream=stream)
         #: Routing policy consulted when controllers build split routes;
         #: ``queue_depth`` substitutes adaptive routing for declared
         #: round-robin routes.  ``routing=None`` defers to REPRO_ROUTING.

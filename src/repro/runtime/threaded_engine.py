@@ -26,7 +26,12 @@ import time
 from collections import deque
 from typing import Any, Deque, Dict, Optional, Tuple, Union
 
-from ..core.flowcontrol import FlowControlPolicy, SplitWindow
+from ..core.flowcontrol import (
+    CreditWindow,
+    FlowControlPolicy,
+    SplitWindow,
+    StreamPolicy,
+)
 from ..core.graph import Flowgraph
 from ..core.ops import (
     CallGraphRequest,
@@ -36,7 +41,9 @@ from ..core.ops import (
     OpKind,
     PostRequest,
     ScatterCallRequest,
+    SleepRequest,
 )
+from ..core.streams import is_streaming_opener
 from ..core.routing import Route, RoutingContext, RoutingPolicy
 from ..core.threads import DpsThread, ThreadCollection
 from ..serial.token import Token
@@ -115,7 +122,8 @@ class _Group:
 
 class _Body:
     __slots__ = ("op", "graph", "node_id", "worker", "ctx_id", "base_frames",
-                 "out_group_id", "posted", "group", "ctx_origin", "started_at")
+                 "out_group_id", "posted", "shed", "group", "ctx_origin",
+                 "started_at")
 
     def __init__(self, op, graph, node_id, worker, ctx_id, base_frames,
                  group=None, ctx_origin=None):
@@ -127,6 +135,9 @@ class _Body:
         self.base_frames = base_frames
         self.out_group_id: Optional[int] = None
         self.posted = 0
+        #: posts dropped by a lossy credit window; excluded from the
+        #: announced group total so the merge still terminates exactly.
+        self.shed = 0
         self.group = group
         #: Kernel owning the activation's result queue (multiprocess
         #: runtime); ``None`` on the single-process engines.
@@ -149,8 +160,10 @@ class ThreadedEngine(Engine):
                  serialize_transfers: bool = True,
                  tracer: Optional[Any] = None,
                  metrics: Optional[Any] = None,
-                 routing: Optional[RoutingPolicy] = None):
-        super().__init__(policy=policy, tracer=tracer, metrics=metrics)
+                 routing: Optional[RoutingPolicy] = None,
+                 stream: Optional[StreamPolicy] = None):
+        super().__init__(policy=policy, tracer=tracer, metrics=metrics,
+                         stream=stream)
         #: Engine-wide routing policy: ``queue_depth`` substitutes the
         #: adaptive :class:`~repro.core.routing.QueueDepthRoute` for
         #: declared round-robin/load-balanced routing sites.
@@ -584,6 +597,10 @@ class ThreadedEngine(Engine):
                                 "stall_seconds").observe(waited)
             elif isinstance(request, ChargeRequest):
                 pass  # virtual cost: meaningless on the real-thread engine
+            elif isinstance(request, SleepRequest):
+                # Pacing delay (stream sources): real wall-clock wait.
+                if request.seconds > 0:
+                    time.sleep(request.seconds)
             elif isinstance(request, NextTokenRequest):
                 group = body.group
                 if group is None:
@@ -638,6 +655,12 @@ class ThreadedEngine(Engine):
                 raise ScheduleError(
                     f"{type(body.op).__name__} posted no tokens"
                 )
+            if body.posted - body.shed == 0:
+                raise ScheduleError(
+                    f"{type(body.op).__name__}: the credit window shed "
+                    f"every posted token ({body.shed}); the group would "
+                    f"announce total 0 and hang its merge"
+                )
             self._close_group(body)
 
     # ------------------------------------------------------------------
@@ -671,23 +694,60 @@ class ThreadedEngine(Engine):
             if window is not None:
                 key = (body.graph.name, body.node_id, body.worker.index)
                 if not window.can_send or self._pending.get(key):
-                    # defer routing until the window admits the token
-                    admit = threading.Event()
-                    req._admit_event = admit
-                    self._pending.setdefault(key, deque()).append(
-                        (body, token, succ, seq, admit)
-                    )
-                    window.on_stall()
-                    if self.tracer is not None:
-                        self.trace("stall",
-                                   node=node.collection.node_of(
-                                       body.worker.index),
-                                   graph=body.graph.name)
-                    if self.metrics is not None:
-                        self.metrics.counter("stalls").inc()
+                    shedding = getattr(window, "shedding", "block")
+                    if shedding == "block":
+                        # defer routing until the window admits the token
+                        admit = threading.Event()
+                        req._admit_event = admit
+                        self._pending.setdefault(key, deque()).append(
+                            (body, token, succ, seq, admit)
+                        )
+                        window.on_stall()
+                        if self.tracer is not None:
+                            self.trace("stall",
+                                       node=node.collection.node_of(
+                                           body.worker.index),
+                                       graph=body.graph.name)
+                        if self.metrics is not None:
+                            self.metrics.counter("stalls").inc()
+                        return
+                    # Lossy modes never stall the poster: queued entries
+                    # carry admit=None, queue capped at the window size.
+                    pending = self._pending.setdefault(key, deque())
+                    if len(pending) >= (window.window or 1):
+                        if shedding == "drop-oldest":
+                            for i, entry in enumerate(pending):
+                                if entry[0] is body:
+                                    del pending[i]
+                                    self._record_shed(body, window)
+                                    break
+                            else:
+                                # No queued entry of the live poster —
+                                # dropping another body's token would
+                                # corrupt its announced total; shed the
+                                # incoming instead.
+                                self._record_shed(body, window)
+                                return
+                        else:  # "shed": drop the incoming token
+                            self._record_shed(body, window)
+                            return
+                    pending.append((body, token, succ, seq, None))
                     return
             env = self._route_env(body, token, succ, seq, window)
         self._deliver(env)
+
+    def _record_shed(self, body: _Body, window: SplitWindow) -> None:
+        """Count one shed post (caller holds the lock)."""
+        if isinstance(window, CreditWindow):
+            window.on_shed()
+        body.shed += 1
+        if self.tracer is not None:
+            node = body.graph.node(body.node_id)
+            self.trace("shed",
+                       node=node.collection.node_of(body.worker.index),
+                       graph=body.graph.name)
+        if self.metrics is not None:
+            self.metrics.counter("tokens_shed").inc()
 
     def _route_env(self, body: _Body, token: Token, succ: int, seq: int,
                    window) -> DataEnvelope:
@@ -722,7 +782,13 @@ class ThreadedEngine(Engine):
         key = (body.graph.name, body.node_id, body.worker.index)
         window = self._windows.get(key)
         if window is None:
-            window = SplitWindow(self.policy.window)
+            node = body.graph.node(body.node_id)
+            streaming = is_streaming_opener(node)
+            window = CreditWindow(
+                self.stream.window_for(node.name, streaming,
+                                       self.policy.window),
+                shedding=self.stream.shedding_for(streaming),
+            )
             self._windows[key] = window
         return window
 
@@ -769,7 +835,7 @@ class ThreadedEngine(Engine):
 
     def _announce_scatter_total(self, body: _Body) -> None:
         """Tell the scatter caller how many tokens its group contains."""
-        self.scatter_total(body.ctx_id, body.posted)
+        self.scatter_total(body.ctx_id, body.posted - body.shed)
 
     # ------------------------------------------------------------------
     # feedback
@@ -832,7 +898,7 @@ class ThreadedEngine(Engine):
 
     def _announce_group_total(self, body: _Body, merge_id: int) -> None:
         """Hook: tell the merge's kernel(s) the group's token count."""
-        self._apply_group_total(body.out_group_id, body.posted)
+        self._apply_group_total(body.out_group_id, body.posted - body.shed)
 
     def _apply_group_total(self, group_id: int, total: int) -> None:
         """Record a group's total; resume its merge body if parked."""

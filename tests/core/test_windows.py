@@ -1,0 +1,128 @@
+"""Unit tests for watermarks and windowed aggregation (DESIGN §5i).
+
+Everything here is engine-free: the properties that make windowed
+streaming results bit-identical across engines (order-independence of
+the watermark and the accumulator checksum) are checked directly.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.windows import (
+    CHECKSUM_MOD,
+    Watermark,
+    WindowAccumulator,
+    WindowSpec,
+    checksum_mix,
+)
+
+
+# ---------------------------------------------------------------------------
+# WindowSpec geometry
+# ---------------------------------------------------------------------------
+
+def test_spec_validation():
+    with pytest.raises(ValueError, match="size"):
+        WindowSpec(0)
+    with pytest.raises(ValueError, match="slide"):
+        WindowSpec(4, slide=0)
+    with pytest.raises(ValueError, match="slide"):
+        WindowSpec(4, slide=5)  # gapped sampling would orphan sequences
+    assert WindowSpec(4).tumbling
+    assert WindowSpec(4, slide=4).tumbling
+    assert not WindowSpec(4, slide=2).tumbling
+
+
+def test_tumbling_bounds_and_membership():
+    spec = WindowSpec(4)
+    assert spec.bounds(0) == (0, 4)
+    assert spec.bounds(3) == (12, 16)
+    for seq in range(32):
+        assert spec.windows_of(seq) == (seq // 4,)
+
+
+def test_sliding_membership_covers_every_sequence():
+    spec = WindowSpec(6, slide=2)
+    for seq in range(40):
+        wids = spec.windows_of(seq)
+        # every covering window really covers it, ascending, no gaps
+        assert list(wids) == sorted(wids)
+        for wid in wids:
+            start, end = spec.bounds(wid)
+            assert start <= seq < end
+        # and no non-listed window covers it
+        for wid in range(0, max(wids) + 3):
+            start, end = spec.bounds(wid)
+            assert (start <= seq < end) == (wid in wids)
+
+
+def test_windows_of_rejects_negative():
+    with pytest.raises(ValueError, match="0-based"):
+        WindowSpec(4).windows_of(-1)
+
+
+# ---------------------------------------------------------------------------
+# Watermark: pure function of the observed *set*
+# ---------------------------------------------------------------------------
+
+def test_watermark_in_order():
+    wm = Watermark()
+    assert wm.value == -1
+    for seq in range(5):
+        assert wm.observe(seq) == seq
+    assert not wm.seen(5)
+    assert wm.seen(3)
+
+
+def test_watermark_out_of_order_and_duplicates():
+    wm = Watermark()
+    wm.observe(2)
+    wm.observe(0)
+    assert wm.value == 0  # 1 is still missing
+    wm.observe(2)  # duplicate: no effect
+    assert wm.value == 0
+    wm.observe(1)
+    assert wm.value == 2  # hole filled, frontier drained
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.permutations(list(range(12))))
+def test_watermark_is_order_independent(order):
+    wm = Watermark()
+    for seq in order:
+        wm.observe(seq)
+    assert wm.value == 11
+    assert not wm._frontier  # fully contiguous: nothing held back
+
+
+# ---------------------------------------------------------------------------
+# WindowAccumulator: commutative fold
+# ---------------------------------------------------------------------------
+
+def test_accumulator_order_independent():
+    items = [(seq, seq * 977 + 13) for seq in range(16)]
+    reference = WindowAccumulator()
+    for seq, value in items:
+        reference.add(seq, value)
+
+    rng = random.Random(42)
+    for _ in range(5):
+        shuffled = items[:]
+        rng.shuffle(shuffled)
+        acc = WindowAccumulator()
+        for seq, value in shuffled:
+            acc.add(seq, value)
+        assert acc.checksum == reference.checksum
+        assert acc.count == reference.count
+        assert (acc.lo, acc.hi) == (0, 15)
+
+
+def test_checksum_mix_is_deterministic_and_bounded():
+    assert checksum_mix(3, 7) == checksum_mix(3, 7)
+    assert checksum_mix(3, 7) != checksum_mix(7, 3)  # seq and value differ
+    assert 0 <= checksum_mix(10**9, 10**18) < CHECKSUM_MOD
+    # value is reduced mod the Mersenne prime before mixing
+    assert checksum_mix(1, 5) == checksum_mix(1, 5 + CHECKSUM_MOD)

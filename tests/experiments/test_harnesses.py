@@ -2,13 +2,16 @@
 
 import pytest
 
+import math
+
 from repro.cli import main as cli_main
 from repro.experiments import ALL, ExperimentResult, format_table
-from repro.experiments import fig6_throughput, table1_overlap
+from repro.experiments import fig6_throughput, table1_overlap, table2_services
 
 
 def test_all_registry_complete():
-    assert sorted(ALL) == ["fig15", "fig6", "fig9", "table1", "table2"]
+    assert sorted(ALL) == ["fig15", "fig6", "fig9", "table1", "table2",
+                           "table2r"]
 
 
 def test_format_table_alignment():
@@ -47,6 +50,20 @@ def test_table1_fast_structure():
     assert len(r.rows) == 8  # 4 block sizes x 2 node counts
 
 
+def test_table2_resident_fast_structure():
+    r = table2_services.run_resident(fast=True)
+    assert r.name == "table2r"
+    labels = [row[0] for row in r.rows]
+    assert labels == ["none", "8x8", "24x24", "24x48"]
+    # the no-client baseline row has no call columns
+    assert math.isnan(r.data["none"]["call_ms"])
+    assert r.data["none"]["iter_ms"] > 0
+    # every paced external client really called the resident service
+    for label in labels[1:]:
+        assert r.data[label]["call_ms"] > 0
+        assert r.data[label]["cps"] > 0
+
+
 # ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
@@ -71,6 +88,20 @@ def test_cli_demo(capsys):
     out = capsys.readouterr().out
     assert "DYNAMIC PARALLEL SCHEDULES" in out
     assert "timeline" in out
+
+
+def test_cli_stream(capsys):
+    assert cli_main(["stream", "--items", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "windows" in out
+    assert "MATCH" in out
+
+
+def test_cli_stream_shedding(capsys):
+    assert cli_main(["stream", "--items", "64", "--credit-window", "4",
+                     "--shedding", "shed"]) == 0
+    out = capsys.readouterr().out
+    assert "shed" in out
 
 
 def test_cli_rejects_unknown():

@@ -1,0 +1,80 @@
+"""The bursty streaming workload is bit-identical on every engine.
+
+Runs ``repro.apps.stream_pipeline`` — seeded bursty source, parallel
+transform, watermark-driven windowed aggregation, digest merge — on the
+simulated, threaded and multiprocess engines and checks every digest
+against the engine-free pure fold (``oracle_digest``).  The chaos case
+kills a worker kernel mid-stream: recovery must replay the lost tokens
+and the digest must *still* match, i.e. each window aggregates each
+sequence exactly once across the kill (the merge corrupts a window's
+entry on duplicate delivery, so any double-count breaks the digest).
+
+The heavier, longer protocol (overload shedding, published throughput
+and latency) lives in ``benchmarks/test_stream_soak.py``.
+"""
+
+import pytest
+
+from repro.apps.stream_pipeline import (
+    StreamJob,
+    oracle_digest,
+    run_stream_pipeline,
+)
+from repro.cluster import paper_cluster
+from repro.runtime import FaultPolicy, SimEngine, create_engine
+
+MAIN = "node01"
+WORKERS = ["node02", "node03"]
+AGG = "node04"
+
+JOB = StreamJob(items=192, rate=6000.0, burst=12, gap=0.003, seed=11,
+                window=24, work=0.0001)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return oracle_digest(JOB)
+
+
+def test_oracle_is_a_pure_function(oracle):
+    again = oracle_digest(JOB)
+    assert again.digest == oracle.digest
+    assert again.windows == oracle.windows == 8
+    assert again.complete_windows == 8
+
+
+def test_sim_engine_matches_oracle(oracle):
+    stats = run_stream_pipeline(SimEngine(paper_cluster(4)), JOB,
+                                MAIN, WORKERS, AGG, name="int-sim")
+    assert stats.digest == oracle.digest
+    assert stats.items == JOB.items
+    assert stats.windows == oracle.windows
+
+
+def test_threaded_engine_matches_oracle(oracle):
+    with create_engine("threaded") as engine:
+        stats = run_stream_pipeline(engine, JOB, MAIN, WORKERS, AGG,
+                                    name="int-threaded")
+    assert stats.digest == oracle.digest
+    assert stats.complete_windows == oracle.complete_windows
+
+
+def test_multiprocess_engine_matches_oracle(oracle):
+    with create_engine("multiprocess") as engine:
+        stats = run_stream_pipeline(engine, JOB, MAIN, WORKERS, AGG,
+                                    name="int-mp", timeout=120.0)
+    assert stats.digest == oracle.digest
+    assert stats.recovered is False
+
+
+def test_kernel_kill_mid_stream_is_exactly_once(oracle):
+    faults = FaultPolicy(kill_kernel="node02", kill_after_messages=25)
+    with create_engine("multiprocess", recover=True,
+                       faults=faults) as engine:
+        stats = run_stream_pipeline(engine, JOB, MAIN, WORKERS, AGG,
+                                    name="int-chaos", timeout=120.0)
+    assert stats.recovered is True
+    assert stats.replayed_tokens > 0
+    # replay did not double-aggregate any window member
+    assert stats.digest == oracle.digest
+    assert stats.windows == oracle.windows

@@ -46,20 +46,64 @@ def test_exact_public_surface():
     shim first (see ``repro.runtime.checkpoint.fail_node``).
     """
     assert list(repro.__all__) == [
-        "AdmissionPolicy", "Application", "Buffer", "Cluster",
-        "ClusterSpec", "ComplexToken", "ConstantRoute", "DpsThread",
-        "Engine", "FaultPolicy", "FlowControlPolicy", "Flowgraph",
-        "FlowgraphBuilder", "FlowgraphNode", "GraphError", "KernelFailure",
-        "LeafOperation", "LoadBalancedRoute", "MergeOperation",
-        "MetricsRegistry", "MultiprocessEngine", "NetworkSpec", "NodeSpec",
-        "Operation", "QueueDepthRoute", "RoundRobinRoute", "Route",
-        "RoutingPolicy", "RunResult", "ScalingPolicy",
-        "ScheduleError", "ServiceClient", "ServiceEngine", "SimEngine",
-        "SimpleToken", "SplitOperation", "StreamOperation",
-        "ThreadCollection", "ThreadedEngine", "Token", "Tracer",
-        "TransportPolicy", "Vector", "create_engine",
+        "AdmissionPolicy", "Application", "ArrivalProcess", "Buffer",
+        "Cluster", "ClusterSpec", "ComplexToken", "ConstantRoute",
+        "DpsThread", "Engine", "FaultPolicy", "FlowControlPolicy",
+        "Flowgraph", "FlowgraphBuilder", "FlowgraphNode", "GraphError",
+        "KernelFailure", "LeafOperation", "LoadBalancedRoute",
+        "MergeOperation", "MetricsRegistry", "MultiprocessEngine",
+        "NetworkSpec", "NodeSpec", "Operation", "QueueDepthRoute",
+        "RoundRobinRoute", "Route", "RoutingPolicy", "RunResult",
+        "ScalingPolicy", "ScheduleError", "ServiceClient", "ServiceEngine",
+        "SimEngine", "SimpleToken", "SplitOperation", "StreamOperation",
+        "StreamPolicy", "StreamSource", "ThreadCollection",
+        "ThreadedEngine", "Token", "Tracer", "TransportPolicy", "Vector",
+        "Watermark", "WindowSpec", "WindowedStream", "create_engine",
         "export_chrome_trace", "paper_cluster", "route_fn",
     ]
+
+
+def test_stream_api_semantics():
+    """The streaming API redesign: StreamPolicy resolution, the
+    emit()/end_of_stream() contract, and create_engine(stream=)."""
+    import dataclasses
+
+    import pytest
+
+    from repro import StreamOperation, StreamPolicy, create_engine
+
+    # StreamPolicy is a frozen dataclass that validates eagerly.
+    assert dataclasses.is_dataclass(StreamPolicy)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        StreamPolicy().shedding = "shed"
+    with pytest.raises(ValueError, match="shedding"):
+        StreamPolicy(shedding="drop-newest")
+    with pytest.raises(ValueError, match="credit window"):
+        StreamPolicy(credit_window=0)
+
+    # Per-edge credits override the streaming default; non-streaming
+    # openers keep the engine-wide flow-control window and never shed.
+    policy = StreamPolicy(credit_window=4, shedding="shed",
+                          edge_credits={"ingest": 2, "bulk": None})
+    assert policy.window_for("ingest", streaming=True, default=16) == 2
+    assert policy.window_for("bulk", streaming=True, default=16) is None
+    assert policy.window_for("other", streaming=True, default=16) == 4
+    assert policy.window_for("other", streaming=False, default=16) == 16
+    assert policy.shedding_for(streaming=True) == "shed"
+    assert policy.shedding_for(streaming=False) == "block"
+
+    # The callback contract is part of the base class surface.
+    for attr in ("emit", "end_of_stream", "on_token", "on_close"):
+        assert hasattr(StreamOperation, attr)
+
+    # Every engine kind accepts stream=; unknown options still fail.
+    engine = create_engine("threaded", stream=policy)
+    try:
+        assert engine.stream is policy
+    finally:
+        engine.shutdown()
+    with pytest.raises(ValueError, match="streem"):
+        create_engine("sim", streem=policy)
 
 
 def test_failure_and_faultpolicy_semantics():
